@@ -1,0 +1,48 @@
+"""Figure 10 -- Average L2 Miss Latency.
+
+Regenerates the average L2-miss latency (queueing plus transit, in
+nanoseconds) per workload and configuration.  Shape claims checked:
+
+* on an unloaded system the latency floor is the ~20 ns memory access plus a
+  few tens of ns of interconnect, and Corona's crossbar has the lowest latency
+  of all configurations for nearly every workload;
+* bandwidth-starved runs (high-demand workloads on ECM) show queueing-driven
+  latencies many times the floor;
+* LU and Raytrace -- the paper's bursty, latency-bound codes -- see their
+  latency collapse by a large factor when moving from ECM to OCM.
+"""
+
+import pytest
+
+from repro.harness.figures import figure10_latency, render_figure
+
+LOW_BANDWIDTH = ["Barnes", "Radiosity", "Volrend", "Water-Sp"]
+HIGH_BANDWIDTH = ["Uniform", "FFT", "Radix", "Ocean"]
+
+
+def test_figure10_average_latency(benchmark, evaluation_results, workload_order):
+    latencies = benchmark(figure10_latency, evaluation_results, workload_order)
+    print()
+    print(render_figure(latencies, title="Figure 10: Average L2 Miss Latency", unit=" ns"))
+
+    for workload, by_config in latencies.items():
+        # Nothing beats the raw memory latency floor.
+        for value in by_config.values():
+            assert value >= 20.0
+
+    # Unloaded (cache-resident) workloads sit near the floor everywhere, and
+    # the crossbar is the fastest network.
+    for workload in LOW_BANDWIDTH:
+        by_config = latencies[workload]
+        assert by_config["XBar/OCM"] < 60.0
+        assert by_config["XBar/OCM"] <= min(by_config.values()) * 1.2
+
+    # Memory-intensive workloads on the electrical baseline queue heavily.
+    for workload in HIGH_BANDWIDTH:
+        assert latencies[workload]["LMesh/ECM"] > 3 * latencies[workload]["XBar/OCM"]
+
+    # LU and Raytrace: latency is the story (Section 5).
+    for workload in ("LU", "Raytrace"):
+        ecm = latencies[workload]["HMesh/ECM"]
+        ocm = latencies[workload]["HMesh/OCM"]
+        assert ecm > 2 * ocm

@@ -1,0 +1,49 @@
+"""Figure 11 -- On-chip Network Power.
+
+Regenerates the on-chip network power per workload and configuration.  The
+paper's claims checked here:
+
+* the photonic crossbar draws an essentially constant ~26 W (laser, trimming
+  and analog power do not scale down with traffic), so for cache-resident
+  applications it can actually dissipate more than the meshes;
+* for memory-intensive applications the electrical meshes' dynamic power
+  (196 pJ per message-hop) grows with traffic and overtakes the crossbar,
+  even while delivering less performance;
+* mesh power tracks delivered bandwidth times average hop count.
+"""
+
+import pytest
+
+from repro.harness.figures import figure11_power, figure9_bandwidth, render_figure
+
+LOW_BANDWIDTH = ["Barnes", "Radiosity", "Volrend", "Water-Sp"]
+HIGH_BANDWIDTH = ["Uniform", "FFT", "Radix", "Ocean"]
+
+
+def test_figure11_network_power(benchmark, evaluation_results, workload_order):
+    powers = benchmark(figure11_power, evaluation_results, workload_order)
+    bandwidths = figure9_bandwidth(evaluation_results, workload_order)
+    print()
+    print(render_figure(powers, title="Figure 11: On-chip Network Power", unit=" W"))
+
+    # The crossbar's power is dominated by its constant 26 W.
+    for workload, by_config in powers.items():
+        assert 26.0 <= by_config["XBar/OCM"] < 40.0
+
+    # For cache-resident codes the crossbar dissipates more than the meshes.
+    for workload in LOW_BANDWIDTH:
+        assert powers[workload]["XBar/OCM"] > powers[workload]["HMesh/OCM"]
+
+    # For memory-intensive codes the HMesh/OCM mesh burns more power than the
+    # crossbar while achieving less bandwidth.
+    for workload in HIGH_BANDWIDTH:
+        assert powers[workload]["HMesh/OCM"] > powers[workload]["XBar/OCM"]
+        assert (
+            bandwidths[workload]["HMesh/OCM"] < bandwidths[workload]["XBar/OCM"]
+        )
+
+    # Mesh dynamic power grows with delivered traffic.
+    for config in ("LMesh/ECM", "HMesh/OCM"):
+        busy = max(powers[w][config] for w in HIGH_BANDWIDTH)
+        idle = min(powers[w][config] for w in LOW_BANDWIDTH)
+        assert busy > 3 * idle

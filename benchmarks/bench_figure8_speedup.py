@@ -1,0 +1,79 @@
+"""Figure 8 -- Normalized Speedup.
+
+Replays the full evaluation matrix (shared session fixture, scaled-down
+traces) and regenerates the paper's speedup figure: the execution time of
+every workload on every configuration, normalized to LMesh/ECM.  Absolute
+bar heights depend on the trace scale and on the statistical workload models,
+so the assertions check the paper's *shape* claims rather than exact values:
+
+* the Corona configuration (XBar/OCM) is the fastest configuration on every
+  bandwidth-hungry workload;
+* low-miss-rate SPLASH-2 codes (Barnes, Radiosity, Volrend, Water-Sp) are
+  insensitive to the interconnect;
+* Hot Spot gains essentially nothing from the crossbar over HMesh/OCM;
+* LU and Raytrace get most of their speedup from OCM alone;
+* the OCM-over-ECM and crossbar-over-mesh geometric means are well above 1.
+"""
+
+import pytest
+
+from repro.harness.figures import (
+    PAPER_SPEEDUP_SUMMARY,
+    figure8_speedup,
+    render_figure,
+    speedup_summary,
+)
+
+LOW_BANDWIDTH = ["Barnes", "Radiosity", "Volrend", "Water-Sp"]
+HIGH_BANDWIDTH = ["Uniform", "Tornado", "Transpose", "FFT", "Radix", "Ocean", "Cholesky"]
+
+
+def test_figure8_normalized_speedup(benchmark, evaluation_results, workload_order,
+                                    synthetic_names, splash_names):
+    speedups = benchmark(figure8_speedup, evaluation_results, "LMesh/ECM", workload_order)
+    print()
+    print(render_figure(speedups, title="Figure 8: Normalized Speedup", unit="x"))
+
+    # Baseline is 1.0 by construction.
+    for workload, by_config in speedups.items():
+        assert by_config["LMesh/ECM"] == pytest.approx(1.0)
+
+    # Corona wins on every bandwidth-hungry workload.
+    for workload in HIGH_BANDWIDTH:
+        corona = speedups[workload]["XBar/OCM"]
+        assert corona > 1.8, f"{workload}: expected a clear Corona win, got {corona:.2f}"
+        assert corona == pytest.approx(
+            max(speedups[workload].values()), rel=0.25
+        )
+
+    # Cache-resident applications are insensitive to the interconnect.
+    for workload in LOW_BANDWIDTH:
+        for value in speedups[workload].values():
+            assert value == pytest.approx(1.0, abs=0.2)
+
+    # Hot Spot: the crossbar adds little over HMesh/OCM (memory is the limit).
+    hot_spot = speedups["Hot Spot"]
+    assert hot_spot["XBar/OCM"] == pytest.approx(hot_spot["HMesh/OCM"], rel=0.25)
+
+    # LU and Raytrace: OCM provides the bulk of the gain.
+    for workload in ("LU", "Raytrace"):
+        ocm_gain = speedups[workload]["HMesh/OCM"]
+        extra_from_crossbar = speedups[workload]["XBar/OCM"] / ocm_gain
+        assert ocm_gain > 1.5
+        assert extra_from_crossbar < 1.5
+
+    summary = speedup_summary(evaluation_results, synthetic_names, splash_names)
+    print("Geometric-mean summary (measured vs paper):")
+    for key, value in summary.items():
+        paper = PAPER_SPEEDUP_SUMMARY.get(key)
+        suffix = f"(paper {paper:.2f})" if paper else ""
+        print(f"  {key:<34} {value:6.2f} {suffix}")
+
+    # The qualitative claims of Section 5: both steps help, multiplicatively.
+    assert summary["synthetic_ocm_over_ecm"] > 1.5
+    assert summary["synthetic_xbar_over_hmesh_ocm"] > 1.5
+    assert summary["splash_ocm_over_ecm"] > 1.3
+    assert summary["splash_xbar_over_hmesh_ocm"] > 1.0
+    # Abstract: 2-6x on memory-intensive workloads.
+    assert summary["corona_over_baseline_splash"] > 1.3
+    assert summary["corona_over_baseline_synthetic"] > 2.0

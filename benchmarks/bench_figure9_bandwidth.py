@@ -1,0 +1,52 @@
+"""Figure 9 -- Achieved Bandwidth.
+
+Regenerates the achieved main-memory bandwidth per workload and
+configuration.  Shape claims checked against the paper:
+
+* ECM-based systems never exceed their ~0.96 TB/s read-bandwidth ceiling by a
+  meaningful margin;
+* the low-bandwidth SPLASH-2 group demands (and achieves) well under the ECM
+  limit on every configuration, which is why it shows no speedup in Figure 8;
+* the bandwidth-hungry group achieves multiple TB/s only on XBar/OCM;
+* Hot Spot is throttled by a single memory controller on every configuration.
+"""
+
+import pytest
+
+from repro.harness.figures import figure9_bandwidth, render_figure
+
+LOW_BANDWIDTH = ["Barnes", "Radiosity", "Volrend", "Water-Sp"]
+HIGH_BANDWIDTH = ["Uniform", "Tornado", "Transpose", "FFT", "Radix", "Ocean"]
+
+#: ECM aggregate read bandwidth (Table 4) plus write headroom and tolerance.
+ECM_CEILING_TBPS = 1.3
+
+
+def test_figure9_achieved_bandwidth(benchmark, evaluation_results, workload_order):
+    bandwidths = benchmark(figure9_bandwidth, evaluation_results, workload_order)
+    print()
+    print(render_figure(bandwidths, title="Figure 9: Achieved Bandwidth", unit=" TB/s"))
+
+    for workload, by_config in bandwidths.items():
+        # ECM systems are capped by the electrical memory interconnect.
+        assert by_config["LMesh/ECM"] < ECM_CEILING_TBPS
+        assert by_config["HMesh/ECM"] < ECM_CEILING_TBPS
+
+    for workload in LOW_BANDWIDTH:
+        for value in bandwidths[workload].values():
+            assert value < 0.6, f"{workload} should be a low-bandwidth application"
+
+    for workload in HIGH_BANDWIDTH:
+        corona = bandwidths[workload]["XBar/OCM"]
+        baseline = bandwidths[workload]["LMesh/ECM"]
+        assert corona > 1.5, f"{workload}: Corona should exceed 1.5 TB/s"
+        assert corona > 2 * baseline
+
+    # Hot Spot: all traffic through one controller keeps bandwidth far below
+    # the aggregate capability of any configuration.
+    for value in bandwidths["Hot Spot"].values():
+        assert value < 0.25
+
+    # The crossbar never does worse than the high-performance mesh on OCM.
+    for workload, by_config in bandwidths.items():
+        assert by_config["XBar/OCM"] >= 0.8 * by_config["HMesh/OCM"]

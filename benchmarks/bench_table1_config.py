@@ -1,0 +1,43 @@
+"""Table 1 -- Resource Configuration.
+
+Regenerates the paper's Table 1 from :class:`repro.core.config.CoronaConfig`
+and checks every row against the published values.
+"""
+
+from repro.core.config import CORONA_DEFAULT
+from repro.harness.tables import format_table, table1_resource_configuration
+
+#: The paper's Table 1, verbatim.
+PAPER_TABLE1 = {
+    "Number of clusters": "64",
+    "L2 cache size/assoc": "4 MB/16-way",
+    "L2 cache line size": "64 B",
+    "L2 coherence": "MOESI",
+    "Memory controllers": "1",
+    "Cores": "4",
+    "L1 ICache size/assoc": "16 KB/4-way",
+    "L1 DCache size/assoc": "32 KB/4-way",
+    "L1 I & D cache line size": "64 B",
+    "Frequency": "5 GHz",
+    "Threads": "4",
+    "Issue policy": "In-order",
+    "Issue width": "2",
+    "64 b floating point SIMD width": "4",
+    "Fused floating point operations": "Multiply-Add",
+}
+
+
+def test_table1_matches_paper(benchmark):
+    rows = benchmark(table1_resource_configuration, CORONA_DEFAULT)
+    assert dict(rows) == PAPER_TABLE1
+    print()
+    print(format_table(["Resource", "Value"], rows, title="Table 1 (reproduced)"))
+
+
+def test_table1_headline_derivations(benchmark):
+    summary = benchmark(CORONA_DEFAULT.summary)
+    # The abstract's headline numbers follow from Table 1.
+    assert round(summary["peak_teraflops"], 1) == 10.2
+    assert summary["crossbar_bandwidth_tbps"] == 20.48
+    assert summary["memory_bandwidth_tbps"] == 10.24
+    assert summary["threads"] == 1024

@@ -1,0 +1,43 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The figure benchmarks (Figures 8-11) all consume the same evaluation matrix,
+so it is run exactly once per benchmark session at the quick scale and shared
+through a session-scoped fixture.  Table benchmarks and micro-benchmarks do
+not need it and stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import quick_matrix
+from repro.harness.runner import EvaluationRunner
+
+
+@pytest.fixture(scope="session")
+def evaluation_matrix():
+    """The 5-configuration x 15-workload matrix at the quick scale."""
+    return quick_matrix()
+
+
+@pytest.fixture(scope="session")
+def evaluation_results(evaluation_matrix):
+    """Results of running the full matrix once (shared by all figure benches)."""
+    runner = EvaluationRunner(matrix=evaluation_matrix)
+    runner.run()
+    return runner.results
+
+
+@pytest.fixture(scope="session")
+def workload_order(evaluation_matrix):
+    return evaluation_matrix.workload_names()
+
+
+@pytest.fixture(scope="session")
+def synthetic_names(evaluation_matrix):
+    return evaluation_matrix.synthetic_names()
+
+
+@pytest.fixture(scope="session")
+def splash_names(evaluation_matrix):
+    return evaluation_matrix.splash_names()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Optically connected memory: daisy-chain expansion and hot-spot behaviour.
+
+Two small studies of the OCM design from Section 3.3 of the paper:
+
+1. **Expansion**: add OCM modules to one controller's fiber loop and show that
+   access latency stays nearly flat (the light passes through each module
+   without retiming), unlike a store-and-forward electrical chain.
+2. **Hot spot**: drive a single controller at increasing request rates on the
+   OCM and ECM channels and show where each saturates -- the effect behind the
+   paper's Hot Spot synthetic benchmark.
+
+Run with::
+
+    python examples/ocm_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.memory.channel import ElectricalMemoryChannel, OpticalMemoryChannel
+from repro.memory.controller import MemoryController
+from repro.memory.dram import OcmModule
+
+
+def expansion_study() -> None:
+    print("1. Daisy-chain expansion: latency vs modules on the loop")
+    print(f"{'modules':>8}{'capacity (modules)':>20}{'avg read latency (ns)':>24}")
+    for module_count in (1, 2, 4, 8):
+        controller = MemoryController(
+            controller_id=0,
+            channel=OpticalMemoryChannel(f"loop-{module_count}"),
+            modules=[OcmModule(module_id=m) for m in range(module_count)],
+        )
+        # One read per module region, spaced far apart so there is no queueing.
+        latencies = []
+        for i in range(64):
+            address = i * 64 * 256  # spread across modules and banks
+            result = controller.access(
+                now=i * 1e-6, size_bytes=64, is_write=False, address=address
+            )
+            latencies.append(result.memory_latency)
+        average = sum(latencies) / len(latencies)
+        print(f"{module_count:>8}{module_count:>20}{average * 1e9:>24.2f}")
+
+
+def hot_spot_study() -> None:
+    print("\n2. Single-controller saturation: OCM vs ECM channel")
+    print(f"{'requests':>10}{'OCM achieved (GB/s)':>22}{'ECM achieved (GB/s)':>22}")
+    for count in (500, 2000, 8000):
+        achieved = {}
+        for label, channel_factory in (
+            ("OCM", OpticalMemoryChannel),
+            ("ECM", ElectricalMemoryChannel),
+        ):
+            controller = MemoryController(
+                controller_id=0, channel=channel_factory(f"{label}-hot")
+            )
+            finish = 0.0
+            for i in range(count):
+                result = controller.access(
+                    now=0.0, size_bytes=64, is_write=False, address=i * 64
+                )
+                finish = max(finish, result.completion_time)
+            achieved[label] = controller.bytes_transferred / finish / 1e9
+        print(f"{count:>10}{achieved['OCM']:>22.1f}{achieved['ECM']:>22.1f}")
+    print("\nThe OCM channel sustains roughly an order of magnitude more "
+          "bandwidth per controller, which is the paper's Table 4 in action.")
+
+
+def main() -> None:
+    expansion_study()
+    hot_spot_study()
+
+
+if __name__ == "__main__":
+    main()

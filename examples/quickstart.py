@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on Corona and on the electrical baseline.
+
+Replays a scaled-down Uniform random traffic trace (the paper's first
+synthetic benchmark) on the Corona design (optical crossbar + optically
+connected memory) and on the all-electrical baseline (low-performance mesh +
+electrically connected memory), then prints the headline comparison the
+paper's abstract makes: performance, memory bandwidth, latency and network
+power.
+
+Run with::
+
+    python examples/quickstart.py [num_requests]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    CORONA_DEFAULT,
+    configuration_by_name,
+    simulate_workload,
+    uniform_workload,
+)
+
+
+def main() -> None:
+    num_requests = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+
+    print("Corona quickstart")
+    print("=" * 60)
+    summary = CORONA_DEFAULT.summary()
+    print(
+        f"Design point: {summary['clusters']:.0f} clusters, "
+        f"{summary['cores']:.0f} cores, {summary['threads']:.0f} threads, "
+        f"{summary['peak_teraflops']:.1f} Tflop/s peak"
+    )
+    print(
+        f"Crossbar bandwidth: {summary['crossbar_bandwidth_tbps']:.2f} TB/s, "
+        f"memory bandwidth: {summary['memory_bandwidth_tbps']:.2f} TB/s "
+        f"({summary['bytes_per_flop']:.2f} bytes/flop)"
+    )
+    print()
+
+    workload = uniform_workload()
+    print(
+        f"Workload: {workload.name} ({num_requests:,} L2 misses across "
+        f"{workload.num_clusters * workload.threads_per_cluster} threads)"
+    )
+    print()
+
+    results = {}
+    for name in ("LMesh/ECM", "XBar/OCM"):
+        configuration = configuration_by_name(name)
+        results[name] = simulate_workload(
+            configuration, workload, num_requests=num_requests
+        )
+
+    header = f"{'metric':<32}{'LMesh/ECM':>14}{'XBar/OCM':>14}"
+    print(header)
+    print("-" * len(header))
+    baseline, corona = results["LMesh/ECM"], results["XBar/OCM"]
+    rows = [
+        ("execution time (us)", baseline.execution_time_s * 1e6,
+         corona.execution_time_s * 1e6),
+        ("achieved memory bandwidth (TB/s)", baseline.achieved_bandwidth_tbps,
+         corona.achieved_bandwidth_tbps),
+        ("average L2-miss latency (ns)", baseline.average_latency_ns,
+         corona.average_latency_ns),
+        ("on-chip network power (W)", baseline.network_power_w,
+         corona.network_power_w),
+    ]
+    for label, baseline_value, corona_value in rows:
+        print(f"{label:<32}{baseline_value:>14.2f}{corona_value:>14.2f}")
+    print()
+    speedup = baseline.execution_time_s / corona.execution_time_s
+    print(f"Corona (XBar/OCM) speedup over LMesh/ECM: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Sensitivity study: how good do the photonic devices have to be?
+
+The Corona architecture assumes 2017-class device quality.  This example
+sweeps the three physical parameters the crossbar's link budget is most
+sensitive to -- waveguide propagation loss, per-ring through loss and the
+laser power needed to close the budget -- and two architectural knobs
+(crossbar channel bandwidth and per-thread memory-level parallelism) whose
+settings determine how much of the optical bandwidth the system can actually
+use.
+
+Run with::
+
+    python examples/sensitivity_study.py
+"""
+
+from __future__ import annotations
+
+from repro.harness.sensitivity import (
+    channel_bandwidth_sensitivity,
+    format_sweep,
+    required_laser_power_sensitivity,
+    ring_through_loss_sensitivity,
+    waveguide_loss_sensitivity,
+    window_depth_sensitivity,
+)
+
+
+def main() -> None:
+    print(format_sweep(
+        "Crossbar link-budget margin vs waveguide loss (16 cm worst-case path)",
+        waveguide_loss_sensitivity(),
+        parameter_label="dB/cm",
+        metric_label="margin (dB)",
+    ))
+    print("\nDemonstrated waveguides (2-3 dB/cm) do not close the budget; the\n"
+          "architecture needs roughly 10x lower propagation loss.\n")
+
+    print(format_sweep(
+        "Crossbar link-budget margin vs per-ring through loss (4096 ring passes)",
+        ring_through_loss_sensitivity(),
+        parameter_label="dB/ring",
+        metric_label="margin (dB)",
+    ))
+    print()
+
+    print(format_sweep(
+        "Laser wall-plug power for the crossbar vs waveguide loss",
+        required_laser_power_sensitivity(),
+        parameter_label="dB/cm",
+        metric_label="laser power (W)",
+    ))
+    print()
+
+    print(format_sweep(
+        "Achieved bandwidth (Uniform) vs crossbar channel bandwidth",
+        channel_bandwidth_sensitivity(num_requests=6000),
+        parameter_label="bytes/s per channel",
+        metric_label="achieved (bytes/s)",
+    ))
+    print()
+
+    print(format_sweep(
+        "Achieved bandwidth (Uniform, XBar/OCM) vs per-thread miss window",
+        window_depth_sensitivity(num_requests=6000),
+        parameter_label="window (misses)",
+        metric_label="achieved (bytes/s)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,231 @@
+"""Command-line interface for the Corona reproduction.
+
+Installed as ``corona-repro`` (see ``pyproject.toml``).  Subcommands:
+
+``tables``
+    Print Tables 1-4 regenerated from the models.
+``inventory``
+    Print the Table 2 optical inventory for an arbitrary cluster count.
+``power``
+    Print the chip-level power/area roll-up and the memory-interconnect power
+    comparison.
+``simulate``
+    Replay one workload on one or more configurations and print the results.
+``evaluate``
+    Run the full evaluation matrix and print (or write) the markdown report.
+``sensitivity``
+    Print the physical-design sensitivity sweeps (waveguide loss, ring loss,
+    laser power).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.configs import CONFIGURATION_ORDER, configuration_by_name
+from repro.core.system import simulate_workload
+from repro.harness.experiments import (
+    FULL_SCALE,
+    QUICK_SCALE,
+    EvaluationMatrix,
+    ExperimentScale,
+)
+from repro.harness.report import build_report
+from repro.harness.sensitivity import (
+    format_sweep,
+    required_laser_power_sensitivity,
+    ring_through_loss_sensitivity,
+    waveguide_loss_sensitivity,
+)
+from repro.harness.tables import format_table, render_all_tables
+from repro.photonics.inventory import corona_inventory
+from repro.power.chip import corona_chip_power
+from repro.power.electrical import electrical_memory_interconnect_power_w
+from repro.power.optical import optical_memory_interconnect_power_w
+from repro.trace.splash2 import SPLASH2_ORDER, splash2_workload
+from repro.trace.synthetic import synthetic_workloads
+
+_SYNTHETIC_NAMES = [w.name for w in synthetic_workloads()]
+
+
+def _workload_by_name(name: str):
+    for workload in synthetic_workloads():
+        if workload.name.lower() == name.lower():
+            return workload
+    for benchmark in SPLASH2_ORDER:
+        if benchmark.lower() == name.lower():
+            return splash2_workload(benchmark)
+    raise SystemExit(
+        f"unknown workload {name!r}; choose one of "
+        f"{_SYNTHETIC_NAMES + SPLASH2_ORDER}"
+    )
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    print(render_all_tables())
+    return 0
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    inventory = corona_inventory(clusters=args.clusters)
+    print(inventory.report())
+    return 0
+
+
+def _cmd_power(_args: argparse.Namespace) -> int:
+    print("Chip power / area roll-up (Section 3.1):")
+    rows = []
+    for anchor in ("penryn", "silverthorne"):
+        report = corona_chip_power(anchor=anchor)
+        rows.append(
+            (
+                anchor,
+                f"{report.processor_power_w:.1f}",
+                f"{report.total_power_w:.1f}",
+                f"{report.core_die_area_mm2:.0f}",
+            )
+        )
+    print(
+        format_table(
+            ["anchor", "processor W", "total W", "core die mm^2"], rows
+        )
+    )
+    print()
+    print("Memory interconnect power at 10.24 TB/s:")
+    print(f"  optical (OCM):    {optical_memory_interconnect_power_w(10.24e12):7.2f} W")
+    print(f"  electrical:       {electrical_memory_interconnect_power_w(10.24e12):7.2f} W")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    workload = _workload_by_name(args.workload)
+    configurations = args.configurations or CONFIGURATION_ORDER
+    baseline_time = None
+    print(
+        f"{'configuration':<12}{'speedup':>9}{'bw (TB/s)':>11}"
+        f"{'latency (ns)':>14}{'power (W)':>11}"
+    )
+    for name in configurations:
+        result = simulate_workload(
+            configuration_by_name(name),
+            workload,
+            num_requests=args.requests,
+            seed=args.seed,
+        )
+        if baseline_time is None:
+            baseline_time = result.execution_time_s
+        print(
+            f"{name:<12}{baseline_time / result.execution_time_s:>9.2f}"
+            f"{result.achieved_bandwidth_tbps:>11.3f}"
+            f"{result.average_latency_ns:>14.1f}"
+            f"{result.network_power_w:>11.2f}"
+        )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    scale = {"quick": QUICK_SCALE, "default": ExperimentScale(), "full": FULL_SCALE}[
+        args.scale
+    ]
+    matrix = EvaluationMatrix(scale=scale, include_splash=not args.skip_splash)
+    progress = print if args.verbose else None
+    report = build_report(matrix, progress=progress)
+    if args.output:
+        path = report.write(args.output)
+        print(f"report written to {path}")
+    else:
+        print(report.to_markdown())
+    return 0
+
+
+def _cmd_sensitivity(_args: argparse.Namespace) -> int:
+    print(
+        format_sweep(
+            "Crossbar link-budget margin vs waveguide loss",
+            waveguide_loss_sensitivity(),
+            parameter_label="dB/cm",
+            metric_label="margin (dB)",
+        )
+    )
+    print()
+    print(
+        format_sweep(
+            "Crossbar link-budget margin vs per-ring through loss",
+            ring_through_loss_sensitivity(),
+            parameter_label="dB/ring",
+            metric_label="margin (dB)",
+        )
+    )
+    print()
+    print(
+        format_sweep(
+            "Crossbar laser wall-plug power vs waveguide loss",
+            required_laser_power_sensitivity(),
+            parameter_label="dB/cm",
+            metric_label="laser power (W)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="corona-repro",
+        description="Reproduction of Corona (ISCA 2008): tables, figures and simulations.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("tables", help="print Tables 1-4").set_defaults(
+        handler=_cmd_tables
+    )
+
+    inventory = subparsers.add_parser(
+        "inventory", help="print the optical resource inventory"
+    )
+    inventory.add_argument("--clusters", type=int, default=64)
+    inventory.set_defaults(handler=_cmd_inventory)
+
+    power = subparsers.add_parser("power", help="print the chip power roll-up")
+    power.set_defaults(handler=_cmd_power)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="replay one workload on the evaluated configurations"
+    )
+    simulate.add_argument("workload", help="e.g. Uniform, 'Hot Spot', FFT, LU")
+    simulate.add_argument("--requests", type=int, default=20_000)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument(
+        "--configurations",
+        nargs="+",
+        choices=CONFIGURATION_ORDER,
+        help="subset of configurations (default: all five)",
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="run the full matrix and emit a markdown report"
+    )
+    evaluate.add_argument("--scale", choices=("quick", "default", "full"), default="quick")
+    evaluate.add_argument("--skip-splash", action="store_true")
+    evaluate.add_argument("--output", help="write the report to this path")
+    evaluate.add_argument("--verbose", action="store_true")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    sensitivity = subparsers.add_parser(
+        "sensitivity", help="print the photonic-design sensitivity sweeps"
+    )
+    sensitivity.set_defaults(handler=_cmd_sensitivity)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

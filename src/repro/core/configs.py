@@ -1,0 +1,149 @@
+"""The five system configurations evaluated in the paper (Section 4).
+
+=============  =========================  ==========================
+Configuration  On-stack interconnect      Memory interconnect
+=============  =========================  ==========================
+XBar/OCM       Optical crossbar, 20 TB/s  Optical, 10.24 TB/s, 20 ns
+HMesh/OCM      Electrical mesh, 1.28 TB/s Optical, 10.24 TB/s, 20 ns
+LMesh/OCM      Electrical mesh, 0.64 TB/s Optical, 10.24 TB/s, 20 ns
+HMesh/ECM      Electrical mesh, 1.28 TB/s Electrical, 0.96 TB/s, 20 ns
+LMesh/ECM      Electrical mesh, 0.64 TB/s Electrical, 0.96 TB/s, 20 ns
+=============  =========================  ==========================
+
+``XBar/OCM`` is the Corona design; ``LMesh/ECM`` is the all-electrical
+baseline every speedup in Figure 8 is normalized to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.config import CoronaConfig, CORONA_DEFAULT
+from repro.memory.ecm import ElectricallyConnectedMemory
+from repro.memory.ocm import OpticallyConnectedMemory
+from repro.memory.system import MemorySystem
+from repro.network.crossbar import OpticalCrossbar
+from repro.network.mesh import high_performance_mesh, low_performance_mesh
+from repro.network.topology import Interconnect
+
+
+@dataclass(frozen=True)
+class SystemConfiguration:
+    """One evaluated system: an on-stack network plus a memory system."""
+
+    name: str
+    network_name: str
+    memory_name: str
+    network_factory: Callable[[CoronaConfig], Interconnect]
+    memory_factory: Callable[[CoronaConfig], MemorySystem]
+    #: Continuous on-chip network power assumed by the paper for this network
+    #: (26 W for the crossbar; the meshes dissipate traffic-dependent dynamic
+    #: power instead, reported by the network model itself).
+    network_static_power_w: float = 0.0
+
+    def build_network(self, config: CoronaConfig = CORONA_DEFAULT) -> Interconnect:
+        return self.network_factory(config)
+
+    def build_memory(self, config: CoronaConfig = CORONA_DEFAULT) -> MemorySystem:
+        return self.memory_factory(config)
+
+    @property
+    def is_corona(self) -> bool:
+        return self.network_name == "XBar" and self.memory_name == "OCM"
+
+
+def _crossbar_factory(config: CoronaConfig) -> Interconnect:
+    return OpticalCrossbar(
+        num_clusters=config.num_clusters,
+        clock_hz=config.clock_hz,
+        channel_bandwidth_bytes_per_s=config.crossbar_channel_bandwidth_bytes_per_s,
+        max_propagation_cycles=config.crossbar_max_propagation_cycles,
+        ring_round_trip_cycles=config.token_ring_round_trip_cycles,
+    )
+
+
+def _hmesh_factory(config: CoronaConfig) -> Interconnect:
+    return high_performance_mesh(
+        num_clusters=config.num_clusters, clock_hz=config.clock_hz
+    )
+
+
+def _lmesh_factory(config: CoronaConfig) -> Interconnect:
+    return low_performance_mesh(
+        num_clusters=config.num_clusters, clock_hz=config.clock_hz
+    )
+
+
+def _ocm_factory(config: CoronaConfig) -> MemorySystem:
+    return OpticallyConnectedMemory(num_controllers=config.num_clusters)
+
+
+def _ecm_factory(config: CoronaConfig) -> MemorySystem:
+    return ElectricallyConnectedMemory(num_controllers=config.num_clusters)
+
+
+_CONFIGURATIONS: List[SystemConfiguration] = [
+    SystemConfiguration(
+        name="LMesh/ECM",
+        network_name="LMesh",
+        memory_name="ECM",
+        network_factory=_lmesh_factory,
+        memory_factory=_ecm_factory,
+    ),
+    SystemConfiguration(
+        name="HMesh/ECM",
+        network_name="HMesh",
+        memory_name="ECM",
+        network_factory=_hmesh_factory,
+        memory_factory=_ecm_factory,
+    ),
+    SystemConfiguration(
+        name="LMesh/OCM",
+        network_name="LMesh",
+        memory_name="OCM",
+        network_factory=_lmesh_factory,
+        memory_factory=_ocm_factory,
+    ),
+    SystemConfiguration(
+        name="HMesh/OCM",
+        network_name="HMesh",
+        memory_name="OCM",
+        network_factory=_hmesh_factory,
+        memory_factory=_ocm_factory,
+    ),
+    SystemConfiguration(
+        name="XBar/OCM",
+        network_name="XBar",
+        memory_name="OCM",
+        network_factory=_crossbar_factory,
+        memory_factory=_ocm_factory,
+        network_static_power_w=26.0,
+    ),
+]
+
+#: The reference configuration every speedup is normalized against.
+BASELINE_CONFIGURATION_NAME = "LMesh/ECM"
+
+#: Plot order used by the paper's figures (baseline first, Corona last).
+CONFIGURATION_ORDER = [c.name for c in _CONFIGURATIONS]
+
+
+def all_configurations() -> List[SystemConfiguration]:
+    """The five configurations in the paper's plot order."""
+    return list(_CONFIGURATIONS)
+
+
+def configuration_by_name(name: str) -> SystemConfiguration:
+    """Look up a configuration by its paper name (e.g. ``"XBar/OCM"``)."""
+    table: Dict[str, SystemConfiguration] = {c.name: c for c in _CONFIGURATIONS}
+    if name not in table:
+        raise KeyError(
+            f"unknown configuration {name!r}; known: {sorted(table)}"
+        )
+    return table[name]
+
+
+def corona_configuration() -> SystemConfiguration:
+    """The Corona design point (XBar/OCM)."""
+    return configuration_by_name("XBar/OCM")

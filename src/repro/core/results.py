@@ -1,0 +1,158 @@
+"""Result containers and speedup analysis for the evaluation.
+
+A :class:`WorkloadResult` captures everything Figures 8-11 need about one
+(workload, configuration) pair: execution time, achieved memory bandwidth,
+average L2-miss latency and network power.  ``speedup_table`` normalizes the
+execution times against the paper's baseline (LMesh/ECM) and computes the
+geometric-mean speedups quoted in Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.sim.stats import geometric_mean
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Measurements from replaying one workload on one configuration."""
+
+    workload: str
+    configuration: str
+    num_requests: int
+    execution_time_s: float
+    achieved_bandwidth_bytes_per_s: float
+    average_latency_s: float
+    p99_latency_s: float
+    network_dynamic_power_w: float
+    network_static_power_w: float
+    network_energy_j: float
+    network_messages: int
+    network_hops: int
+    memory_bytes: float
+    average_token_wait_s: float = 0.0
+    average_queueing_delay_s: float = 0.0
+    is_synthetic: bool = False
+
+    @property
+    def network_power_w(self) -> float:
+        """Total on-chip network power (dynamic plus always-on)."""
+        return self.network_dynamic_power_w + self.network_static_power_w
+
+    @property
+    def achieved_bandwidth_tbps(self) -> float:
+        return self.achieved_bandwidth_bytes_per_s / 1e12
+
+    @property
+    def average_latency_ns(self) -> float:
+        return self.average_latency_s * 1e9
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.execution_time_s <= 0:
+            return 0.0
+        return self.num_requests / self.execution_time_s
+
+
+@dataclass
+class ConfigurationResult:
+    """All workload results for one system configuration."""
+
+    configuration: str
+    results: Dict[str, WorkloadResult] = field(default_factory=dict)
+
+    def add(self, result: WorkloadResult) -> None:
+        if result.configuration != self.configuration:
+            raise ValueError(
+                f"result for {result.configuration} added to {self.configuration}"
+            )
+        self.results[result.workload] = result
+
+    def workloads(self) -> List[str]:
+        return list(self.results)
+
+    def __getitem__(self, workload: str) -> WorkloadResult:
+        return self.results[workload]
+
+
+def _group(results: Iterable[WorkloadResult]) -> Dict[str, Dict[str, WorkloadResult]]:
+    """Group results as ``{workload: {configuration: result}}``."""
+    grouped: Dict[str, Dict[str, WorkloadResult]] = {}
+    for result in results:
+        grouped.setdefault(result.workload, {})[result.configuration] = result
+    return grouped
+
+
+def speedup_table(
+    results: Iterable[WorkloadResult],
+    baseline: str = "LMesh/ECM",
+) -> Dict[str, Dict[str, float]]:
+    """Normalized speedup of every configuration over ``baseline``, per workload.
+
+    Speedup is the ratio of execution times (baseline / configuration), the
+    quantity plotted in Figure 8.
+    """
+    grouped = _group(results)
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, by_config in grouped.items():
+        if baseline not in by_config:
+            raise KeyError(
+                f"workload {workload!r} has no {baseline!r} result to normalize by"
+            )
+        base_time = by_config[baseline].execution_time_s
+        table[workload] = {
+            config: base_time / result.execution_time_s
+            for config, result in by_config.items()
+        }
+    return table
+
+
+def geometric_mean_speedup(
+    results: Iterable[WorkloadResult],
+    numerator: str,
+    denominator: str,
+    workloads: Optional[Sequence[str]] = None,
+) -> float:
+    """Geometric-mean speedup of one configuration over another.
+
+    Reproduces the paper's aggregate claims, e.g. HMesh/OCM over HMesh/ECM is
+    3.28x on the synthetic benchmarks and 1.80x on SPLASH-2.
+    """
+    grouped = _group(results)
+    selected = workloads if workloads is not None else sorted(grouped)
+    ratios: List[float] = []
+    for workload in selected:
+        by_config = grouped.get(workload, {})
+        if numerator not in by_config or denominator not in by_config:
+            raise KeyError(
+                f"workload {workload!r} lacks results for "
+                f"{numerator!r} and/or {denominator!r}"
+            )
+        ratios.append(
+            by_config[denominator].execution_time_s
+            / by_config[numerator].execution_time_s
+        )
+    return geometric_mean(ratios)
+
+
+def metric_table(
+    results: Iterable[WorkloadResult], metric: str
+) -> Dict[str, Dict[str, float]]:
+    """Extract ``{workload: {configuration: value}}`` for a result attribute.
+
+    ``metric`` is any numeric attribute/property of :class:`WorkloadResult`,
+    e.g. ``"achieved_bandwidth_tbps"`` (Figure 9), ``"average_latency_ns"``
+    (Figure 10) or ``"network_power_w"`` (Figure 11).
+    """
+    grouped = _group(results)
+    table: Dict[str, Dict[str, float]] = {}
+    for workload, by_config in grouped.items():
+        table[workload] = {}
+        for config, result in by_config.items():
+            value = getattr(result, metric)
+            if not isinstance(value, (int, float)):
+                raise TypeError(f"metric {metric!r} is not numeric")
+            table[workload][config] = float(value)
+    return table

@@ -1,0 +1,391 @@
+"""The trace-driven Corona system simulator.
+
+This is the reproduction of the paper's network/memory simulator (Section 4):
+L2-miss traces are replayed through a request-response on-stack interconnect
+transaction plus an off-stack memory transaction, with MSHRs, hubs,
+interconnect arbitration and memory modelled with finite buffers, queues and
+ports so that bandwidth, latency, back-pressure and capacity limits are
+enforced throughout.
+
+The replay is event driven.  Each L2 miss becomes a transaction with four
+stages -- issue (MSHR + hub + request message), memory access at the home
+cluster, response message, completion -- and each stage is scheduled at the
+simulated time at which it actually starts, so every resource reservation
+(crossbar token, mesh link, memory channel, DRAM bank) is made in global time
+order.  Threads issue their misses in program order subject to their compute
+gaps and a bounded window of outstanding misses; this is what converts
+interconnect and memory latency into execution time, and execution time for
+the fixed number of trace requests is the performance metric behind Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import CoronaConfig, CORONA_DEFAULT
+from repro.core.configs import SystemConfiguration
+from repro.core.results import WorkloadResult
+from repro.cores.hub import Hub
+from repro.memory.system import MemorySystem
+from repro.network.message import Message, MessageType
+from repro.network.topology import Interconnect, TransferResult
+from repro.sim.engine import Simulator
+from repro.sim.stats import Histogram, RunningStats
+from repro.trace.record import TraceRecord, TraceStream
+
+
+@dataclass
+class TransactionStats:
+    """Aggregate statistics over all replayed L2-miss transactions."""
+
+    latency: RunningStats = field(default_factory=lambda: RunningStats("latency"))
+    queueing: RunningStats = field(default_factory=lambda: RunningStats("queueing"))
+    network_latency: RunningStats = field(
+        default_factory=lambda: RunningStats("network-latency")
+    )
+    memory_latency: RunningStats = field(
+        default_factory=lambda: RunningStats("memory-latency")
+    )
+    latency_histogram: Histogram = field(
+        default_factory=lambda: Histogram(
+            "latency-ns", lower=0.0, upper=2000.0, bins=200
+        )
+    )
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    memory_bytes: float = 0.0
+    network_hops: int = 0
+    network_messages: int = 0
+
+    def record(
+        self,
+        latency_s: float,
+        queueing_s: float,
+        network_s: float,
+        memory_s: float,
+        is_write: bool,
+        memory_bytes: int,
+        hops: int,
+        messages: int,
+    ) -> None:
+        self.latency.add(latency_s)
+        self.queueing.add(queueing_s)
+        self.network_latency.add(network_s)
+        self.memory_latency.add(memory_s)
+        self.latency_histogram.add(latency_s * 1e9)
+        self.requests += 1
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.memory_bytes += memory_bytes
+        self.network_hops += hops
+        self.network_messages += messages
+
+
+def _local_transfer(now: float) -> TransferResult:
+    """A zero-cost transfer result for misses homed at the issuing cluster."""
+    return TransferResult(
+        arrival_time=now,
+        queueing_delay=0.0,
+        serialization_delay=0.0,
+        propagation_delay=0.0,
+        hops=0,
+        dynamic_energy_j=0.0,
+    )
+
+
+@dataclass
+class _Transaction:
+    """In-flight state of one L2-miss transaction."""
+
+    record: TraceRecord
+    index: int
+    issue_time: float
+    mshr_wait: float = 0.0
+    request_result: Optional[TransferResult] = None
+    memory_queueing: float = 0.0
+    memory_latency: float = 0.0
+    response_result: Optional[TransferResult] = None
+
+
+@dataclass
+class _ThreadState:
+    """Replay bookkeeping for one hardware thread."""
+
+    thread_id: int
+    cluster_id: int
+    records: List[TraceRecord]
+    window: int
+    next_index: int = 0
+    issue_scheduled: bool = False
+    issue_times: List[float] = field(default_factory=list)
+    completions: List[Optional[float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.completions = [None] * len(self.records)
+
+    def finished_issuing(self) -> bool:
+        return self.next_index >= len(self.records)
+
+
+class SystemSimulator:
+    """Replay a workload trace on one system configuration."""
+
+    def __init__(
+        self,
+        configuration: SystemConfiguration,
+        corona_config: CoronaConfig = CORONA_DEFAULT,
+        network: Optional[Interconnect] = None,
+        memory: Optional[MemorySystem] = None,
+        window_depth: int = 4,
+        mshrs_per_cluster: int = 64,
+        hub_queue_depth: int = 64,
+    ) -> None:
+        if window_depth < 1:
+            raise ValueError(f"window depth must be >= 1, got {window_depth}")
+        self.configuration = configuration
+        self.corona_config = corona_config
+        self.network = network or configuration.build_network(corona_config)
+        self.memory = memory or configuration.build_memory(corona_config)
+        self.window_depth = window_depth
+        self.hubs: Dict[int, Hub] = {
+            cluster: Hub(
+                cluster_id=cluster,
+                queue_depth=hub_queue_depth,
+                mshrs=mshrs_per_cluster,
+            )
+            for cluster in range(corona_config.num_clusters)
+        }
+        self.stats = TransactionStats()
+        self._simulator = Simulator()
+        self._threads: Dict[int, _ThreadState] = {}
+        self._makespan = 0.0
+
+    # ------------------------------------------------------------------ replay
+    def run(self, trace: TraceStream) -> WorkloadResult:
+        """Replay ``trace`` to completion and return the workload result."""
+        self._simulator = Simulator()
+        self._threads = {}
+        self._makespan = 0.0
+
+        clock = self.corona_config.clock_hz
+        for thread_id, thread_trace in trace.threads.items():
+            if not thread_trace.records:
+                continue
+            state = _ThreadState(
+                thread_id=thread_id,
+                cluster_id=thread_trace.cluster_id,
+                records=thread_trace.records,
+                window=self.window_depth,
+            )
+            self._threads[thread_id] = state
+            first_issue = state.records[0].gap_cycles / clock
+            state.issue_scheduled = True
+            self._simulator.schedule_at(first_issue, self._on_issue, state)
+
+        self._simulator.run()
+        return self._build_result(trace, self._makespan)
+
+    # --------------------------------------------------------------- scheduling
+    def _try_schedule_issue(self, state: _ThreadState) -> None:
+        """Schedule the thread's next miss if its gap and window allow it."""
+        if state.issue_scheduled or state.finished_issuing():
+            return
+        index = state.next_index
+        clock = self.corona_config.clock_hz
+        prev_issue = state.issue_times[index - 1] if index > 0 else 0.0
+        gap_ready = prev_issue + state.records[index].gap_cycles / clock
+        gate_index = index - state.window
+        if gate_index >= 0:
+            gate_completion = state.completions[gate_index]
+            if gate_completion is None:
+                # The window slot has not freed yet; the completion event of
+                # the gating miss will call back into this method.
+                return
+            issue_time = max(gap_ready, gate_completion)
+        else:
+            issue_time = gap_ready
+        issue_time = max(issue_time, self._simulator.now)
+        state.issue_scheduled = True
+        self._simulator.schedule_at(issue_time, self._on_issue, state)
+
+    # ------------------------------------------------------------ stage handlers
+    def _on_issue(self, state: _ThreadState) -> None:
+        """Stage 1: the miss leaves the core, allocates an MSHR, and the
+        request message crosses the interconnect to the home cluster."""
+        now = self._simulator.now
+        state.issue_scheduled = False
+        index = state.next_index
+        record = state.records[index]
+        state.issue_times.append(now)
+        state.next_index += 1
+
+        transaction = _Transaction(record=record, index=index, issue_time=now)
+        hub = self.hubs[record.cluster_id]
+        mshr_grant = hub.mshr_pool.acquire(now)
+        transaction.mshr_wait = mshr_grant - now
+
+        inject_time = hub.inject(mshr_grant, mshr_grant + hub.forwarding_latency_s)
+        if record.cluster_id == record.home_cluster:
+            # Local miss: the hub hands it straight to the cluster's own
+            # memory controller without touching the interconnect.
+            transaction.request_result = _local_transfer(inject_time)
+        else:
+            request_type = (
+                MessageType.WRITEBACK if record.is_write else MessageType.READ_REQUEST
+            )
+            request = Message(
+                src=record.cluster_id,
+                dst=record.home_cluster,
+                message_type=request_type,
+                transaction_id=self.stats.requests,
+            )
+            transaction.request_result = self.network.transfer(request, inject_time)
+
+        home_hub = self.hubs[record.home_cluster]
+        memory_start = (
+            transaction.request_result.arrival_time + home_hub.forwarding_latency_s
+        )
+        self._simulator.schedule_at(memory_start, self._on_memory, state, transaction)
+
+        # The next miss of this thread may already be eligible (its window
+        # slot may be free and only the compute gap remains).
+        self._try_schedule_issue(state)
+
+    def _on_memory(self, state: _ThreadState, transaction: _Transaction) -> None:
+        """Stage 2: the memory transaction at the home cluster's controller."""
+        now = self._simulator.now
+        record = transaction.record
+        memory_result = self.memory.access(
+            home_cluster=record.home_cluster,
+            now=now,
+            size_bytes=record.size_bytes,
+            is_write=record.is_write,
+            address=record.address,
+        )
+        transaction.memory_queueing = memory_result.queueing_delay
+        transaction.memory_latency = memory_result.memory_latency
+        home_hub = self.hubs[record.home_cluster]
+        response_start = memory_result.completion_time + home_hub.forwarding_latency_s
+        self._simulator.schedule_at(
+            response_start, self._on_response, state, transaction
+        )
+
+    def _on_response(self, state: _ThreadState, transaction: _Transaction) -> None:
+        """Stage 3: the response message returns to the requesting cluster."""
+        now = self._simulator.now
+        record = transaction.record
+        if record.cluster_id == record.home_cluster:
+            transaction.response_result = _local_transfer(now)
+        else:
+            response_type = (
+                MessageType.WRITE_ACK if record.is_write else MessageType.READ_RESPONSE
+            )
+            response = Message(
+                src=record.home_cluster,
+                dst=record.cluster_id,
+                message_type=response_type,
+                transaction_id=transaction.index,
+            )
+            transaction.response_result = self.network.transfer(response, now)
+        hub = self.hubs[record.cluster_id]
+        completion_time = (
+            transaction.response_result.arrival_time + hub.forwarding_latency_s
+        )
+        self._simulator.schedule_at(
+            completion_time, self._on_complete, state, transaction
+        )
+
+    def _on_complete(self, state: _ThreadState, transaction: _Transaction) -> None:
+        """Stage 4: the data (or acknowledgement) reaches the core."""
+        now = self._simulator.now
+        record = transaction.record
+        hub = self.hubs[record.cluster_id]
+        hub.mshr_pool.release_at(now)
+
+        state.completions[transaction.index] = now
+        self._makespan = max(self._makespan, now)
+
+        request_result = transaction.request_result
+        response_result = transaction.response_result
+        latency = now - transaction.issue_time
+        queueing = (
+            transaction.mshr_wait
+            + request_result.queueing_delay
+            + transaction.memory_queueing
+            + response_result.queueing_delay
+        )
+        network_latency = (
+            request_result.network_latency + response_result.network_latency
+        )
+        is_remote = record.cluster_id != record.home_cluster
+        self.stats.record(
+            latency_s=latency,
+            queueing_s=queueing,
+            network_s=network_latency,
+            memory_s=transaction.memory_latency,
+            is_write=record.is_write,
+            memory_bytes=record.size_bytes,
+            hops=request_result.hops + response_result.hops,
+            messages=2 if is_remote else 0,
+        )
+
+        # This completion may free the window slot the thread's next miss is
+        # waiting for.
+        self._try_schedule_issue(state)
+
+    # ------------------------------------------------------------- result assembly
+    def _build_result(self, trace: TraceStream, makespan: float) -> WorkloadResult:
+        elapsed = max(makespan, 1e-12)
+        dynamic_power = self.network.dynamic_power_w(elapsed)
+        static_power = max(
+            self.network.static_power_w(), self.configuration.network_static_power_w
+        )
+        token_wait = 0.0
+        arbiter = getattr(self.network, "arbiter", None)
+        if arbiter is not None and hasattr(arbiter, "average_wait_s"):
+            token_wait = arbiter.average_wait_s()
+        return WorkloadResult(
+            workload=trace.name,
+            configuration=self.configuration.name,
+            num_requests=self.stats.requests,
+            execution_time_s=makespan,
+            achieved_bandwidth_bytes_per_s=self.stats.memory_bytes / elapsed,
+            average_latency_s=self.stats.latency.mean,
+            p99_latency_s=self.stats.latency_histogram.percentile(0.99) * 1e-9,
+            network_dynamic_power_w=dynamic_power,
+            network_static_power_w=static_power,
+            network_energy_j=self.network.total_dynamic_energy_j,
+            network_messages=self.network.messages_sent,
+            network_hops=self.stats.network_hops,
+            memory_bytes=self.stats.memory_bytes,
+            average_token_wait_s=token_wait,
+            average_queueing_delay_s=self.stats.queueing.mean,
+            is_synthetic="splash" not in trace.description.lower(),
+        )
+
+
+def simulate_workload(
+    configuration: SystemConfiguration,
+    workload,
+    num_requests: Optional[int] = None,
+    seed: int = 1,
+    corona_config: CoronaConfig = CORONA_DEFAULT,
+    window_depth: Optional[int] = None,
+) -> WorkloadResult:
+    """Convenience wrapper: generate a workload's trace and replay it.
+
+    ``workload`` is any object with ``generate(seed, num_requests)`` and a
+    ``window`` attribute (both synthetic and SPLASH-2 workloads qualify).
+    """
+    trace = workload.generate(seed=seed, num_requests=num_requests)
+    depth = window_depth if window_depth is not None else getattr(workload, "window", 4)
+    simulator = SystemSimulator(
+        configuration=configuration,
+        corona_config=corona_config,
+        window_depth=depth,
+    )
+    return simulator.run(trace)

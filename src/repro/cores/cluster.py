@@ -1,0 +1,74 @@
+"""Cluster model (Figure 2b / Table 1 of the Corona paper).
+
+A cluster is four cores sharing a 4 MB, 16-way unified L2 cache, a directory,
+a memory controller, a network interface and a hub that routes traffic among
+them and onto the optical interconnect.  The cluster is the unit of the
+crossbar (64 clusters = 64 channels) and the unit of memory interleaving (one
+memory controller per cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cores.core import Core, CoreParameters
+from repro.cores.hub import Hub
+
+
+@dataclass(frozen=True)
+class ClusterParameters:
+    """Per-cluster resources (Table 1)."""
+
+    cores: int = 4
+    l2_cache_bytes: int = 4 * 1024 * 1024
+    l2_associativity: int = 16
+    l2_line_bytes: int = 64
+    l2_coherence: str = "MOESI"
+    memory_controllers: int = 1
+    l2_mshrs: int = 64
+    hub_queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cluster must contain at least one core")
+        if self.l2_cache_bytes <= 0 or self.l2_associativity < 1:
+            raise ValueError("invalid L2 configuration")
+        if self.memory_controllers < 1:
+            raise ValueError("cluster needs at least one memory controller")
+
+
+@dataclass
+class Cluster:
+    """One four-core cluster."""
+
+    cluster_id: int
+    params: ClusterParameters = ClusterParameters()
+    core_params: CoreParameters = CoreParameters()
+    cores: List[Core] = field(default_factory=list)
+    hub: Hub = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.cluster_id < 0:
+            raise ValueError(f"cluster id must be non-negative, got {self.cluster_id}")
+        if not self.cores:
+            self.cores = [
+                Core(core_id=self.cluster_id * self.params.cores + i, params=self.core_params)
+                for i in range(self.params.cores)
+            ]
+        self.hub = Hub(
+            cluster_id=self.cluster_id, queue_depth=self.params.hub_queue_depth
+        )
+
+    @property
+    def hardware_threads(self) -> int:
+        return sum(core.hardware_threads for core in self.cores)
+
+    @property
+    def peak_flops(self) -> float:
+        return sum(core.peak_flops for core in self.cores)
+
+    def thread_ids(self) -> range:
+        """Global hardware-thread ids hosted by this cluster."""
+        first = self.cluster_id * self.hardware_threads
+        return range(first, first + self.hardware_threads)

@@ -1,0 +1,71 @@
+"""Cluster hub model.
+
+The hub routes message traffic between the L2 cache, directory, memory
+controller, network interface, optical broadcast bus and optical crossbar
+(Figure 2b).  For the system study its relevant behaviours are a small
+store-and-forward latency and a finite injection queue toward the
+interconnect, which is where flow-control back-pressure appears when a
+destination is saturated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.resources import BoundedQueue, TokenPool
+from repro.sim.stats import RunningStats
+
+
+@dataclass
+class Hub:
+    """The per-cluster message hub.
+
+    Parameters
+    ----------
+    cluster_id:
+        The cluster this hub serves.
+    queue_depth:
+        Injection-queue capacity toward the interconnect (messages).
+    forwarding_latency_s:
+        Store-and-forward latency through the hub for each message.
+    mshrs:
+        Outstanding-miss registers shared by the cluster's L2; misses beyond
+        this limit wait before they can even enter the hub.
+    """
+
+    cluster_id: int
+    queue_depth: int = 64
+    forwarding_latency_s: float = 0.4e-9
+    mshrs: int = 64
+    injection_queue: BoundedQueue = field(init=False, repr=False)
+    mshr_pool: TokenPool = field(init=False, repr=False)
+    wait_stats: RunningStats = field(init=False, repr=False)
+    messages_routed: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.forwarding_latency_s < 0:
+            raise ValueError("hub latency must be non-negative")
+        self.injection_queue = BoundedQueue(
+            name=f"hub{self.cluster_id}-inject", capacity=self.queue_depth
+        )
+        self.mshr_pool = TokenPool(name=f"hub{self.cluster_id}-mshrs", tokens=self.mshrs)
+        self.wait_stats = RunningStats(f"hub{self.cluster_id}-wait")
+
+    def allocate_mshr(self, now: float, release_time: float) -> float:
+        """Allocate an MSHR for a miss; returns when the allocation succeeds."""
+        grant = self.mshr_pool.acquire(now, release_time_hint=release_time)
+        self.wait_stats.add(grant - now)
+        return grant
+
+    def inject(self, now: float, departure_time: float) -> float:
+        """Enqueue an outbound message; returns the admission time.
+
+        ``departure_time`` is when the message will have left for the
+        interconnect (it frees its queue slot then).
+        """
+        admit = self.injection_queue.admit(now, max(departure_time, now))
+        self.messages_routed += 1
+        return admit + self.forwarding_latency_s
+
+    def average_mshr_wait_s(self) -> float:
+        return self.mshr_pool.average_wait()

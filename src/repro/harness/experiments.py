@@ -1,0 +1,128 @@
+"""The evaluation matrix and its scaling knobs.
+
+The paper replays 1 M-request synthetic traces and up to 240 M-request
+SPLASH-2 traces on five system configurations.  A pure-Python replay cannot
+afford hundreds of millions of events per run, so the harness scales every
+workload down while preserving its per-thread statistics: the request count
+changes, the miss process does not.  Speedups, bandwidths, latencies and
+powers are rates or ratios, so they converge quickly with trace length; the
+scale is a command-line/benchmark knob, not a hidden constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.configs import CONFIGURATION_ORDER, all_configurations
+from repro.trace.splash2 import SPLASH2_ORDER, splash2_workloads
+from repro.trace.synthetic import synthetic_workloads
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How far to scale the paper's request counts down.
+
+    Parameters
+    ----------
+    synthetic_requests:
+        Requests per synthetic workload (paper: 1 M).
+    splash_fraction:
+        Fraction of each SPLASH-2 benchmark's Table 3 request count to replay.
+    splash_min_requests, splash_max_requests:
+        Clamp on the scaled SPLASH-2 request counts, so tiny benchmarks still
+        exercise every thread and huge ones stay tractable.
+    seed:
+        Trace-generation seed (runs are deterministic for a given seed).
+    """
+
+    synthetic_requests: int = 60_000
+    splash_fraction: float = 1.0 / 4000.0
+    splash_min_requests: int = 20_000
+    splash_max_requests: int = 80_000
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.synthetic_requests < 1:
+            raise ValueError("synthetic request count must be >= 1")
+        if not 0 < self.splash_fraction <= 1:
+            raise ValueError("splash fraction must be in (0, 1]")
+        if self.splash_min_requests > self.splash_max_requests:
+            raise ValueError("splash_min_requests exceeds splash_max_requests")
+
+    def splash_requests(self, paper_requests: int) -> int:
+        """Scaled request count for a SPLASH-2 benchmark."""
+        scaled = int(round(paper_requests * self.splash_fraction))
+        return max(self.splash_min_requests, min(self.splash_max_requests, scaled))
+
+
+#: Scale used by the pytest benchmarks by default: small enough that the whole
+#: 75-run matrix finishes in minutes, large enough that every hardware thread
+#: issues dozens of misses.
+QUICK_SCALE = ExperimentScale(
+    synthetic_requests=12_000,
+    splash_fraction=1.0 / 10_000.0,
+    splash_min_requests=8_000,
+    splash_max_requests=18_000,
+)
+
+#: Scale aimed at overnight-quality numbers.
+FULL_SCALE = ExperimentScale(
+    synthetic_requests=200_000,
+    splash_fraction=1.0 / 1000.0,
+    splash_min_requests=50_000,
+    splash_max_requests=250_000,
+)
+
+
+@dataclass
+class EvaluationMatrix:
+    """The (configuration x workload) matrix of the paper's evaluation."""
+
+    scale: ExperimentScale = field(default_factory=ExperimentScale)
+    configuration_names: Sequence[str] = field(
+        default_factory=lambda: list(CONFIGURATION_ORDER)
+    )
+    include_synthetic: bool = True
+    include_splash: bool = True
+
+    def workloads(self) -> List:
+        """Workload generators in the paper's plot order."""
+        workloads: List = []
+        if self.include_synthetic:
+            workloads.extend(synthetic_workloads())
+        if self.include_splash:
+            workloads.extend(splash2_workloads())
+        return workloads
+
+    def workload_names(self) -> List[str]:
+        return [w.name for w in self.workloads()]
+
+    def synthetic_names(self) -> List[str]:
+        return [w.name for w in synthetic_workloads()] if self.include_synthetic else []
+
+    def splash_names(self) -> List[str]:
+        return list(SPLASH2_ORDER) if self.include_splash else []
+
+    def requests_for(self, workload) -> int:
+        """Scaled request count for one workload."""
+        if getattr(workload, "is_synthetic", False):
+            return self.scale.synthetic_requests
+        return self.scale.splash_requests(workload.profile.paper_requests)
+
+    def configurations(self) -> List:
+        by_name = {c.name: c for c in all_configurations()}
+        return [by_name[name] for name in self.configuration_names]
+
+    def run_count(self) -> int:
+        return len(self.configuration_names) * len(self.workloads())
+
+
+def default_matrix(scale: Optional[ExperimentScale] = None) -> EvaluationMatrix:
+    """The full 5 x 15 matrix at the default scale."""
+    return EvaluationMatrix(scale=scale or ExperimentScale())
+
+
+def quick_matrix() -> EvaluationMatrix:
+    """A fast matrix for benchmarks and CI: all workloads, quick scale."""
+    return EvaluationMatrix(scale=QUICK_SCALE)

@@ -1,0 +1,90 @@
+"""Run the evaluation matrix and collect results.
+
+The runner caches the trace of each workload (trace generation is the same
+across configurations) and the per-run results, so the per-figure extraction
+functions in :mod:`repro.harness.figures` can all be fed from a single pass
+over the matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.results import WorkloadResult
+from repro.core.system import SystemSimulator
+from repro.harness.experiments import EvaluationMatrix
+from repro.trace.record import TraceStream
+
+
+@dataclass
+class EvaluationRunner:
+    """Runs every (configuration, workload) pair of a matrix."""
+
+    matrix: EvaluationMatrix
+    progress: Optional[Callable[[str], None]] = None
+    results: List[WorkloadResult] = field(default_factory=list)
+    run_seconds: Dict[tuple, float] = field(default_factory=dict)
+    _traces: Dict[str, TraceStream] = field(default_factory=dict, repr=False)
+    _windows: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def _report(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _trace_for(self, workload) -> TraceStream:
+        if workload.name not in self._traces:
+            requests = self.matrix.requests_for(workload)
+            self._traces[workload.name] = workload.generate(
+                seed=self.matrix.scale.seed, num_requests=requests
+            )
+            self._windows[workload.name] = getattr(workload, "window", 4)
+        return self._traces[workload.name]
+
+    def run_pair(self, configuration, workload) -> WorkloadResult:
+        """Run one (configuration, workload) pair and record the result."""
+        trace = self._trace_for(workload)
+        simulator = SystemSimulator(
+            configuration=configuration,
+            window_depth=self._windows[workload.name],
+        )
+        started = time.perf_counter()
+        result = simulator.run(trace)
+        self.run_seconds[(configuration.name, workload.name)] = (
+            time.perf_counter() - started
+        )
+        self.results.append(result)
+        self._report(
+            f"{workload.name:<10} {configuration.name:<10} "
+            f"exec={result.execution_time_s * 1e6:9.2f} us "
+            f"bw={result.achieved_bandwidth_tbps:6.3f} TB/s "
+            f"lat={result.average_latency_ns:8.1f} ns"
+        )
+        return result
+
+    def run(self) -> List[WorkloadResult]:
+        """Run the whole matrix; returns all results (also kept on self)."""
+        for workload in self.matrix.workloads():
+            for configuration in self.matrix.configurations():
+                self.run_pair(configuration, workload)
+        return self.results
+
+    def run_workload(self, workload_name: str) -> List[WorkloadResult]:
+        """Run one workload across every configuration of the matrix."""
+        workloads = {w.name: w for w in self.matrix.workloads()}
+        if workload_name not in workloads:
+            raise KeyError(
+                f"unknown workload {workload_name!r}; known: {sorted(workloads)}"
+            )
+        workload = workloads[workload_name]
+        return [
+            self.run_pair(configuration, workload)
+            for configuration in self.matrix.configurations()
+        ]
+
+    def total_simulated_requests(self) -> int:
+        return sum(result.num_requests for result in self.results)
+
+    def total_wall_clock_seconds(self) -> float:
+        return sum(self.run_seconds.values())

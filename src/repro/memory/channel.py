@@ -1,0 +1,151 @@
+"""Memory-controller-to-memory channel models (Table 4 of the Corona paper).
+
+================  =====================  =====================
+Resource          OCM                    ECM
+================  =====================  =====================
+Controllers       64                     64
+Connectivity      256 fibers             1536 pins
+Channel width     128 b half duplex      12 b full duplex
+Channel data rate 10 Gb/s                10 Gb/s
+Bandwidth         10.24 TB/s             0.96 TB/s
+Latency           20 ns                  20 ns
+Power             ~0.078 mW/Gb/s         ~2 mW/Gb/s
+================  =====================  =====================
+
+A channel serializes request and response traffic between one memory
+controller and its memory devices; contention for the channel is what caps a
+cluster's achievable memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.resources import SerialResource
+
+
+@dataclass
+class MemoryChannel:
+    """A memory controller's external channel.
+
+    Parameters
+    ----------
+    name:
+        Identifier for reporting.
+    width_bits:
+        Signalling width in bits (per direction for full duplex; total for
+        half duplex).
+    data_rate_bps:
+        Per-signal data rate (10 Gb/s in both designs).
+    full_duplex:
+        Whether both directions can transfer simultaneously at full width.
+    latency_s:
+        Flight latency of the channel (included in the memory access latency).
+    interconnect_power_w_per_gbps:
+        Interconnect power per Gb/s of peak signalling bandwidth, the paper's
+        figure of merit for memory-link power (0.078 mW/Gb/s optical vs
+        2 mW/Gb/s electrical).
+    """
+
+    name: str
+    width_bits: int
+    data_rate_bps: float
+    full_duplex: bool
+    latency_s: float = 0.0
+    interconnect_power_w_per_gbps: float = 0.0
+    _outbound: SerialResource = field(init=False, repr=False)
+    _inbound: SerialResource = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width_bits < 1:
+            raise ValueError(f"width must be >= 1 bit, got {self.width_bits}")
+        if self.data_rate_bps <= 0:
+            raise ValueError(f"data rate must be positive, got {self.data_rate_bps}")
+        self._outbound = SerialResource(name=f"{self.name}-out")
+        # Half-duplex links share one serializing resource for both directions.
+        self._inbound = (
+            SerialResource(name=f"{self.name}-in") if self.full_duplex else self._outbound
+        )
+
+    @property
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """Peak aggregate bandwidth of the channel."""
+        directions = 2 if self.full_duplex else 1
+        return self.width_bits * self.data_rate_bps * directions / 8.0
+
+    @property
+    def per_direction_bandwidth_bytes_per_s(self) -> float:
+        return self.width_bits * self.data_rate_bps / 8.0
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak signalling bandwidth in gigabits per second."""
+        directions = 2 if self.full_duplex else 1
+        return self.width_bits * self.data_rate_bps * directions / 1e9
+
+    @property
+    def interconnect_power_w(self) -> float:
+        """Interconnect power at the paper's per-Gb/s figure of merit."""
+        return self.peak_bandwidth_gbps * self.interconnect_power_w_per_gbps
+
+    def serialization_time(self, size_bytes: float) -> float:
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        return size_bytes / self.per_direction_bandwidth_bytes_per_s
+
+    def send(self, now: float, size_bytes: float) -> float:
+        """Transfer controller -> memory; returns completion time."""
+        duration = self.serialization_time(size_bytes)
+        return self._outbound.reserve(now, duration) + self.latency_s
+
+    def receive(self, now: float, size_bytes: float) -> float:
+        """Transfer memory -> controller; returns completion time."""
+        duration = self.serialization_time(size_bytes)
+        return self._inbound.reserve(now, duration) + self.latency_s
+
+    def busy_time(self) -> float:
+        if self.full_duplex:
+            return self._outbound.busy_time + self._inbound.busy_time
+        return self._outbound.busy_time
+
+    def utilization(self, elapsed_seconds: float) -> float:
+        if elapsed_seconds <= 0:
+            return 0.0
+        directions = 2 if self.full_duplex else 1
+        return self.busy_time() / (elapsed_seconds * directions)
+
+    def reset(self) -> None:
+        self._outbound.reset()
+        if self.full_duplex:
+            self._inbound.reset()
+
+
+def OpticalMemoryChannel(name: str = "ocm-channel") -> MemoryChannel:
+    """One OCM link pair: 128 bits half duplex at 10 Gb/s (160 GB/s)."""
+    return MemoryChannel(
+        name=name,
+        width_bits=128,
+        data_rate_bps=10e9,
+        full_duplex=False,
+        latency_s=1e-9,
+        interconnect_power_w_per_gbps=0.078e-3,
+    )
+
+
+def ElectricalMemoryChannel(name: str = "ecm-channel") -> MemoryChannel:
+    """One ECM channel: 12 signal bits per direction at 10 Gb/s.
+
+    The serial link itself is full duplex (12 bits each way, 24 pins per
+    controller), but the DRAM data bus behind it is shared between reads and
+    writes, so the channel is modelled as a single 15 GB/s serialization
+    resource -- which is exactly the 0.96 TB/s aggregate memory bandwidth of
+    Table 4.
+    """
+    return MemoryChannel(
+        name=name,
+        width_bits=12,
+        data_rate_bps=10e9,
+        full_duplex=False,
+        latency_s=1e-9,
+        interconnect_power_w_per_gbps=2e-3,
+    )

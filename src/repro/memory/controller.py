@@ -1,0 +1,170 @@
+"""Memory controller model.
+
+One controller per cluster (Table 1): it owns the cluster's slice of physical
+memory, schedules accesses over its external channel, and enforces a finite
+request queue so that saturated controllers push back on the interconnect --
+the effect that dominates the Hot Spot results in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.memory.channel import MemoryChannel
+from repro.memory.dram import DramTimings, OcmModule, daisy_chain_delay
+from repro.sim.resources import BoundedQueue
+from repro.sim.stats import RunningStats
+
+#: Bytes of command/address overhead sent to memory per access (the command
+#: itself is small; most command signalling travels on dedicated wavelengths
+#: or pins and does not consume data-channel bandwidth).
+COMMAND_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MemoryAccessResult:
+    """Outcome of one memory access at a controller."""
+
+    completion_time: float
+    queueing_delay: float
+    channel_delay: float
+    dram_delay: float
+
+    @property
+    def memory_latency(self) -> float:
+        return self.queueing_delay + self.channel_delay + self.dram_delay
+
+
+@dataclass
+class MemoryController:
+    """A per-cluster memory controller.
+
+    Parameters
+    ----------
+    controller_id:
+        The cluster this controller belongs to.
+    channel:
+        External channel (optical or electrical).
+    modules:
+        Daisy chain of OCM modules (or the equivalent DRAM behind an ECM
+        channel).
+    queue_depth:
+        Finite request queue; overflowing requests wait, creating
+        back-pressure into the hub.
+    access_latency_s:
+        End-to-end memory access latency excluding channel serialization and
+        queueing (Table 4: 20 ns for both designs).
+    model_banks:
+        When True, bank (mat) occupancy is simulated in addition to the fixed
+        access latency; when False only the fixed latency is charged, which is
+        faster and matches the paper's flat 20 ns figure.
+    """
+
+    controller_id: int
+    channel: MemoryChannel
+    modules: List[OcmModule] = field(default_factory=list)
+    queue_depth: int = 256
+    access_latency_s: float = 20e-9
+    model_banks: bool = True
+    queue: BoundedQueue = field(init=False, repr=False)
+    latency_stats: RunningStats = field(init=False, repr=False)
+    reads: int = field(default=0, repr=False)
+    writes: int = field(default=0, repr=False)
+    bytes_transferred: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.modules:
+            self.modules = [OcmModule(module_id=0)]
+        if self.queue_depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {self.queue_depth}")
+        self.queue = BoundedQueue(
+            name=f"mc{self.controller_id}-queue", capacity=self.queue_depth
+        )
+        self.latency_stats = RunningStats(f"mc{self.controller_id}-latency")
+
+    # -- address mapping ------------------------------------------------------
+    def module_for_address(self, address: int) -> tuple[int, OcmModule]:
+        """Which module in the daisy chain owns ``address``."""
+        line = address >> 6
+        index = (line >> 8) % len(self.modules)
+        return index, self.modules[index]
+
+    # -- the access path ------------------------------------------------------
+    def access(
+        self,
+        now: float,
+        size_bytes: int,
+        is_write: bool,
+        address: int = 0,
+    ) -> MemoryAccessResult:
+        """Perform one memory access arriving at the controller at ``now``."""
+        if size_bytes <= 0:
+            raise ValueError(f"access size must be positive, got {size_bytes}")
+
+        # Finite controller queue: requests that arrive while the queue is
+        # full are admitted only when an earlier request departs.
+        admit_estimate = self.queue.admission_time(now)
+        queue_wait = admit_estimate - now
+        start = admit_estimate
+
+        # Channel: command goes out, then either the write data goes out or
+        # the read data comes back.  Half-duplex channels serialize the two.
+        if is_write:
+            outbound_done = self.channel.send(start, COMMAND_BYTES + size_bytes)
+            channel_done = outbound_done
+        else:
+            command_done = self.channel.send(start, COMMAND_BYTES)
+            channel_done = command_done
+
+        # DRAM access behind the channel.
+        module_index, module = self.module_for_address(address)
+        chain_delay = daisy_chain_delay(module_index)
+        if self.model_banks:
+            data_ready = module.access(address, channel_done + chain_delay)
+        else:
+            data_ready = channel_done + chain_delay + self.access_latency_s
+
+        if is_write:
+            completion = data_ready
+        else:
+            # Read data returns over the channel.
+            completion = self.channel.receive(data_ready + chain_delay, size_bytes)
+
+        # Register the stay in the queue now that the departure time is known.
+        self.queue.admit(now, completion)
+
+        channel_delay = (channel_done - start) + (
+            (completion - data_ready - chain_delay) if not is_write else 0.0
+        )
+        dram_delay = data_ready - channel_done
+
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.bytes_transferred += size_bytes
+        self.latency_stats.add(completion - now)
+
+        return MemoryAccessResult(
+            completion_time=completion,
+            queueing_delay=queue_wait,
+            channel_delay=channel_delay,
+            dram_delay=dram_delay,
+        )
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def achieved_bandwidth_bytes_per_s(self, elapsed_seconds: float) -> float:
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.bytes_transferred / elapsed_seconds
+
+    def average_latency_s(self) -> float:
+        return self.latency_stats.mean
+
+    def dram_energy_j(self) -> float:
+        return sum(module.energy_j() for module in self.modules)

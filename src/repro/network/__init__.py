@@ -1,0 +1,45 @@
+"""On-stack interconnect models (Section 3.2 of the Corona paper).
+
+Three interconnects are modelled, matching the paper's evaluation:
+
+* :class:`~repro.network.crossbar.OpticalCrossbar` -- Corona's DWDM crossbar:
+  64 many-writer single-reader channels, each 256 wavelengths wide, managed by
+  distributed optical token arbitration, with an optical broadcast bus on the
+  side for invalidations.
+* :class:`~repro.network.mesh.ElectricalMesh` -- the HMesh and LMesh electrical
+  baselines: 8x8 2D meshes with dimension-order wormhole routing and
+  credit-based (finite-buffer) flow control.
+
+All interconnects implement the :class:`~repro.network.topology.Interconnect`
+interface so the system simulator can swap them freely.
+"""
+
+from repro.network.arbitration import TokenChannelArbiter, TokenRingArbiter
+from repro.network.broadcast import OpticalBroadcastBus
+from repro.network.crossbar import OpticalCrossbar
+from repro.network.interface import MultiStackFabric, NetworkInterface
+from repro.network.link import Link
+from repro.network.mesh import ElectricalMesh, high_performance_mesh, low_performance_mesh
+from repro.network.message import Message, MessageType, message_size_bytes
+from repro.network.router import MeshRouter
+from repro.network.topology import Interconnect, MeshCoordinates, TransferResult
+
+__all__ = [
+    "Message",
+    "MessageType",
+    "message_size_bytes",
+    "Interconnect",
+    "TransferResult",
+    "MeshCoordinates",
+    "Link",
+    "MeshRouter",
+    "ElectricalMesh",
+    "high_performance_mesh",
+    "low_performance_mesh",
+    "OpticalCrossbar",
+    "OpticalBroadcastBus",
+    "TokenRingArbiter",
+    "TokenChannelArbiter",
+    "NetworkInterface",
+    "MultiStackFabric",
+]

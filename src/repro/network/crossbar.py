@@ -1,0 +1,160 @@
+"""Corona's optical crossbar (Section 3.2.1 of the paper).
+
+The crossbar is 64 *many-writer, single-reader* channels: channel ``d`` can be
+written by any cluster but is only read by cluster ``d`` (its home).  Each
+channel is 256 wavelengths wide (a 4-waveguide bundle of 64-wavelength combs),
+modulated on both edges of the 5 GHz clock, so one channel carries 2.56 Tb/s
+(320 GB/s) and a 64-byte cache line crosses in a single clock.  The 64
+channels together provide 20 TB/s of aggregate bandwidth.  The waveguide
+bundle of channel ``d`` originates at cluster ``d``, serpentines past every
+other cluster and terminates back at ``d``, so a message modulated by cluster
+``s`` propagates ``(d - s) mod 64`` / 64 of the ring, at most 8 clocks.
+
+Exclusive access to a channel is granted by the optical token arbitration of
+:mod:`repro.network.arbitration`: only the token holder modulates, the token
+is re-injected alongside the tail of the message, and the next holder's light
+follows immediately behind -- which is why several messages can be in flight
+on the same bundle at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.network.arbitration import TokenRingArbiter
+from repro.network.message import Message
+from repro.network.topology import Interconnect, TransferResult
+from repro.photonics.dwdm import DwdmChannel, corona_crossbar_channel
+
+
+class OpticalCrossbar(Interconnect):
+    """The Corona DWDM crossbar with optical token arbitration."""
+
+    def __init__(
+        self,
+        num_clusters: int = 64,
+        clock_hz: float = 5e9,
+        channel_bandwidth_bytes_per_s: float = 320e9,
+        max_propagation_cycles: float = 8.0,
+        ring_round_trip_cycles: float = 8.0,
+        static_power_w: float = 26.0,
+        energy_per_bit_j: float = 100e-15,
+        name: str = "XBar",
+        build_photonic_channels: bool = False,
+    ) -> None:
+        super().__init__(name=name, num_clusters=num_clusters, clock_hz=clock_hz)
+        if channel_bandwidth_bytes_per_s <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        self.channel_bandwidth_bytes_per_s = channel_bandwidth_bytes_per_s
+        self.max_propagation_s = max_propagation_cycles / clock_hz
+        self._static_power_w = static_power_w
+        self.energy_per_bit_j = energy_per_bit_j
+        self.arbiter = TokenRingArbiter(
+            num_clusters=num_clusters,
+            num_channels=num_clusters,
+            clock_hz=clock_hz,
+            ring_round_trip_cycles=ring_round_trip_cycles,
+        )
+        #: Per-channel counters: messages and bytes delivered to each home.
+        self.channel_messages: Dict[int, int] = {c: 0 for c in range(num_clusters)}
+        self.channel_bytes: Dict[int, float] = {c: 0.0 for c in range(num_clusters)}
+        #: Optional detailed photonic channel models (device-level view).
+        self.photonic_channels: Optional[Dict[int, DwdmChannel]] = None
+        if build_photonic_channels:
+            self.photonic_channels = {
+                c: corona_crossbar_channel(name=f"xbar-ch{c}")
+                for c in range(num_clusters)
+            }
+
+    # -- Interconnect interface ---------------------------------------------
+    def bisection_bandwidth_bytes_per_s(self) -> float:
+        """All channels can be driven across any bisection simultaneously."""
+        return self.num_clusters * self.channel_bandwidth_bytes_per_s
+
+    def static_power_w(self) -> float:
+        """Laser, ring-trimming and clocking power; constant by construction."""
+        return self._static_power_w
+
+    def propagation_delay_s(self, src: int, dst: int) -> float:
+        """Serpentine flight time from the modulating cluster to the home."""
+        if src == dst:
+            return 0.0
+        distance = (dst - src) % self.num_clusters
+        return self.max_propagation_s * distance / self.num_clusters
+
+    def serialization_delay_s(self, size_bytes: float) -> float:
+        return size_bytes / self.channel_bandwidth_bytes_per_s
+
+    def transfer(self, message: Message, now: float) -> TransferResult:
+        if message.src >= self.num_clusters or message.dst >= self.num_clusters:
+            raise ValueError(
+                f"message endpoints {message.src}->{message.dst} outside crossbar"
+            )
+        if message.is_local:
+            result = TransferResult(
+                arrival_time=now,
+                queueing_delay=0.0,
+                serialization_delay=0.0,
+                propagation_delay=0.0,
+                hops=0,
+                dynamic_energy_j=0.0,
+            )
+            self.record_transfer(message, result)
+            return result
+
+        channel = message.dst
+        grant_time = self.arbiter.acquire(channel, message.src, now)
+        serialization = self.serialization_delay_s(message.size_bytes)
+        modulation_done = grant_time + serialization
+        # The token is re-injected with the tail of the message.
+        self.arbiter.release(channel, message.src, modulation_done)
+        propagation = self.propagation_delay_s(message.src, message.dst)
+        arrival = modulation_done + propagation
+
+        energy = message.size_bytes * 8.0 * self.energy_per_bit_j
+        self.channel_messages[channel] += 1
+        self.channel_bytes[channel] += message.size_bytes
+
+        result = TransferResult(
+            arrival_time=arrival,
+            queueing_delay=grant_time - now,
+            serialization_delay=serialization,
+            propagation_delay=propagation,
+            hops=0,
+            dynamic_energy_j=energy,
+        )
+        self.record_transfer(message, result)
+        return result
+
+    # -- reporting ------------------------------------------------------------
+    def channel_utilization(self, elapsed_seconds: float) -> Dict[int, float]:
+        """Fraction of each channel's bandwidth used over the run."""
+        if elapsed_seconds <= 0:
+            return {c: 0.0 for c in self.channel_bytes}
+        return {
+            c: self.channel_bytes[c]
+            / (self.channel_bandwidth_bytes_per_s * elapsed_seconds)
+            for c in self.channel_bytes
+        }
+
+    def busiest_channels(self, count: int = 5) -> list[tuple[int, float]]:
+        ordered = sorted(
+            self.channel_bytes.items(), key=lambda item: item[1], reverse=True
+        )
+        return ordered[:count]
+
+    def total_ring_resonators(self) -> int:
+        """Ring count implied by the crossbar geometry (Table 2 cross-check)."""
+        channel_width = 256
+        return self.num_clusters * self.num_clusters * channel_width
+
+    def reset_statistics(self) -> None:
+        super().reset_statistics()
+        self.channel_messages = {c: 0 for c in range(self.num_clusters)}
+        self.channel_bytes = {c: 0.0 for c in range(self.num_clusters)}
+        self.arbiter = TokenRingArbiter(
+            num_clusters=self.num_clusters,
+            num_channels=self.num_clusters,
+            clock_hz=self.clock_hz,
+            ring_round_trip_cycles=self.arbiter.ring_round_trip_s * self.clock_hz,
+        )

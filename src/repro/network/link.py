@@ -1,0 +1,79 @@
+"""Point-to-point link model used by the electrical meshes.
+
+A link is a serial resource with a fixed width (bytes transferred per cycle)
+and therefore a fixed bandwidth at a given clock.  Wormhole routing moves a
+message across a link flit by flit; the occupancy of the link equals the
+serialization time of the whole message, which is what the
+:class:`~repro.sim.resources.SerialResource` reservation captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.resources import SerialResource
+
+
+@dataclass
+class Link:
+    """A directed link between two adjacent mesh routers.
+
+    Parameters
+    ----------
+    src, dst:
+        Endpoint cluster/router ids.
+    bandwidth_bytes_per_s:
+        Peak link bandwidth.
+    latency_s:
+        Per-hop latency (forwarding plus signal propagation); the paper uses
+        5 clocks at 5 GHz = 1 ns for both meshes.
+    """
+
+    src: int
+    dst: int
+    bandwidth_bytes_per_s: float
+    latency_s: float
+    _resource: SerialResource = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError(
+                f"link bandwidth must be positive, got {self.bandwidth_bytes_per_s}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(f"link latency must be non-negative, got {self.latency_s}")
+        self._resource = SerialResource(name=f"link-{self.src}-{self.dst}")
+
+    def serialization_time(self, size_bytes: float) -> float:
+        """Time to clock ``size_bytes`` across the link."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        return size_bytes / self.bandwidth_bytes_per_s
+
+    def next_available(self, now: float) -> float:
+        return self._resource.next_available(now)
+
+    def reserve(self, now: float, size_bytes: float) -> tuple[float, float]:
+        """Reserve the link for one message.
+
+        Returns ``(start_time, finish_time)`` where ``start_time`` is when the
+        head flit begins crossing and ``finish_time`` is when the tail flit
+        has crossed (excluding the per-hop latency, which the router adds).
+        """
+        duration = self.serialization_time(size_bytes)
+        finish = self._resource.reserve(now, duration)
+        return finish - duration, finish
+
+    @property
+    def busy_time(self) -> float:
+        return self._resource.busy_time
+
+    @property
+    def reservations(self) -> int:
+        return self._resource.reservations
+
+    def utilization(self, elapsed_seconds: float) -> float:
+        return self._resource.utilization(elapsed_seconds)
+
+    def reset(self) -> None:
+        self._resource.reset()

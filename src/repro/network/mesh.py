@@ -1,0 +1,172 @@
+"""Electrical 2D mesh interconnects (the HMesh and LMesh baselines).
+
+The paper's electrical baselines are 8x8 meshes of the 64 clusters using
+dimension-order wormhole routing with a per-hop latency of 5 clocks
+(forwarding plus wire propagation) and bisection bandwidths of 1.28 TB/s
+(HMesh) and 0.64 TB/s (LMesh).  Dynamic energy is charged at 196 pJ per
+message per hop, the paper's aggressive low-swing estimate that ignores
+leakage.
+
+The transfer model is wormhole-accurate to first order: the head flit advances
+one hop every ``hop latency`` once each successive link is free, each link is
+occupied for the full serialization time of the message, and the message
+arrives once the tail flit has crossed the final link.  Link contention and
+the resulting queueing (and back-pressure through the routers' finite buffers)
+is therefore captured, which is what produces the mesh's collapse under the
+paper's high-bandwidth workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.network.link import Link
+from repro.network.message import Message
+from repro.network.router import MeshRouter
+from repro.network.topology import Interconnect, MeshCoordinates, TransferResult
+
+
+class ElectricalMesh(Interconnect):
+    """A 2D mesh with dimension-order wormhole routing."""
+
+    def __init__(
+        self,
+        name: str,
+        num_clusters: int = 64,
+        clock_hz: float = 5e9,
+        bisection_bandwidth_bytes_per_s: float = 1.28e12,
+        hop_latency_cycles: float = 5.0,
+        energy_per_hop_j: float = 196e-12,
+        router_buffer_flits: int = 16,
+        flit_bytes: int = 16,
+    ) -> None:
+        super().__init__(name=name, num_clusters=num_clusters, clock_hz=clock_hz)
+        self.coordinates = MeshCoordinates.square(num_clusters)
+        self._bisection_bandwidth = bisection_bandwidth_bytes_per_s
+        self.hop_latency_s = hop_latency_cycles / clock_hz
+        self.energy_per_hop_j = energy_per_hop_j
+        self.flit_bytes = flit_bytes
+
+        # Per-link bandwidth is set so that the links crossing the bisection
+        # add up to the configured bisection bandwidth.
+        bisection_links = self.coordinates.bisection_link_count()
+        self.link_bandwidth_bytes_per_s = (
+            bisection_bandwidth_bytes_per_s / bisection_links
+        )
+
+        self.links: Dict[Tuple[int, int], Link] = {
+            (src, dst): Link(
+                src=src,
+                dst=dst,
+                bandwidth_bytes_per_s=self.link_bandwidth_bytes_per_s,
+                latency_s=self.hop_latency_s,
+            )
+            for src, dst in self.coordinates.all_links()
+        }
+        self.routers: Dict[int, MeshRouter] = {
+            node: MeshRouter(
+                node_id=node,
+                buffer_flits=router_buffer_flits,
+                flit_bytes=flit_bytes,
+                forwarding_latency_s=self.hop_latency_s,
+                energy_per_hop_j=energy_per_hop_j,
+            )
+            for node in range(num_clusters)
+        }
+        self.hop_count_total = 0
+
+    # -- Interconnect interface ---------------------------------------------
+    def bisection_bandwidth_bytes_per_s(self) -> float:
+        return self._bisection_bandwidth
+
+    def transfer(self, message: Message, now: float) -> TransferResult:
+        if message.src >= self.num_clusters or message.dst >= self.num_clusters:
+            raise ValueError(
+                f"message endpoints {message.src}->{message.dst} outside mesh"
+            )
+        if message.is_local:
+            result = TransferResult(
+                arrival_time=now,
+                queueing_delay=0.0,
+                serialization_delay=0.0,
+                propagation_delay=0.0,
+                hops=0,
+                dynamic_energy_j=0.0,
+            )
+            self.record_transfer(message, result)
+            return result
+
+        route = self.coordinates.dimension_order_route(message.src, message.dst)
+        serialization = message.size_bytes / self.link_bandwidth_bytes_per_s
+
+        head_time = now
+        queueing = 0.0
+        for src, dst in route:
+            link = self.links[(src, dst)]
+            start, _finish = link.reserve(head_time, message.size_bytes)
+            queueing += start - head_time
+            # Head flit crosses this hop; body/tail pipeline behind it.
+            head_time = start + self.hop_latency_s
+
+        hops = len(route)
+        arrival = head_time + serialization
+        energy = hops * self.energy_per_hop_j
+        self.hop_count_total += hops
+
+        result = TransferResult(
+            arrival_time=arrival,
+            queueing_delay=queueing,
+            serialization_delay=serialization,
+            propagation_delay=hops * self.hop_latency_s,
+            hops=hops,
+            dynamic_energy_j=energy,
+        )
+        self.record_transfer(message, result)
+        return result
+
+    # -- reporting ------------------------------------------------------------
+    def average_link_utilization(self, elapsed_seconds: float) -> float:
+        if not self.links or elapsed_seconds <= 0:
+            return 0.0
+        return sum(
+            link.utilization(elapsed_seconds) for link in self.links.values()
+        ) / len(self.links)
+
+    def most_utilized_links(
+        self, elapsed_seconds: float, count: int = 5
+    ) -> List[Tuple[Tuple[int, int], float]]:
+        """The ``count`` hottest links -- useful for diagnosing Hot Spot runs."""
+        utilizations = [
+            (pair, link.utilization(elapsed_seconds))
+            for pair, link in self.links.items()
+        ]
+        utilizations.sort(key=lambda item: item[1], reverse=True)
+        return utilizations[:count]
+
+    def reset_statistics(self) -> None:
+        super().reset_statistics()
+        for link in self.links.values():
+            link.reset()
+        for router in self.routers.values():
+            router.reset()
+        self.hop_count_total = 0
+
+
+def high_performance_mesh(num_clusters: int = 64, clock_hz: float = 5e9) -> ElectricalMesh:
+    """The paper's HMesh: 1.28 TB/s bisection bandwidth, 5-clock hops."""
+    return ElectricalMesh(
+        name="HMesh",
+        num_clusters=num_clusters,
+        clock_hz=clock_hz,
+        bisection_bandwidth_bytes_per_s=1.28e12,
+    )
+
+
+def low_performance_mesh(num_clusters: int = 64, clock_hz: float = 5e9) -> ElectricalMesh:
+    """The paper's LMesh: 0.64 TB/s bisection bandwidth, 5-clock hops."""
+    return ElectricalMesh(
+        name="LMesh",
+        num_clusters=num_clusters,
+        clock_hz=clock_hz,
+        bisection_bandwidth_bytes_per_s=0.64e12,
+    )

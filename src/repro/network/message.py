@@ -1,0 +1,113 @@
+"""Network message types and sizes.
+
+Each L2 miss becomes a request/response message pair on the on-stack
+interconnect plus a transaction on the memory interconnect.  The sizes below
+follow the paper's parameters: 64-byte cache lines (Table 1), small
+address/coherence messages, and line-sized data messages with a small header.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+#: Cache line size (Table 1).
+CACHE_LINE_BYTES = 64
+
+#: Header bytes carried by every message (address, type, source, MSHR id).
+HEADER_BYTES = 8
+
+#: Size of a control-only message (request, acknowledgement, invalidate).
+CONTROL_MESSAGE_BYTES = 16
+
+
+class MessageType(enum.Enum):
+    """The message classes exchanged over the on-stack interconnect."""
+
+    READ_REQUEST = "read_request"
+    READ_RESPONSE = "read_response"
+    WRITE_REQUEST = "write_request"
+    WRITE_ACK = "write_ack"
+    WRITEBACK = "writeback"
+    INVALIDATE = "invalidate"
+    INVALIDATE_ACK = "invalidate_ack"
+    COHERENCE = "coherence"
+
+
+#: Message payload size per type.  Data-bearing messages carry a full cache
+#: line plus header; control messages are header plus address.
+_MESSAGE_SIZES = {
+    MessageType.READ_REQUEST: CONTROL_MESSAGE_BYTES,
+    MessageType.READ_RESPONSE: CACHE_LINE_BYTES + HEADER_BYTES,
+    MessageType.WRITE_REQUEST: CACHE_LINE_BYTES + HEADER_BYTES,
+    MessageType.WRITE_ACK: CONTROL_MESSAGE_BYTES,
+    MessageType.WRITEBACK: CACHE_LINE_BYTES + HEADER_BYTES,
+    MessageType.INVALIDATE: CONTROL_MESSAGE_BYTES,
+    MessageType.INVALIDATE_ACK: CONTROL_MESSAGE_BYTES,
+    MessageType.COHERENCE: CONTROL_MESSAGE_BYTES,
+}
+
+
+def message_size_bytes(message_type: MessageType) -> int:
+    """Payload size (bytes) of a message of the given type."""
+    return _MESSAGE_SIZES[message_type]
+
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A single interconnect message.
+
+    Attributes
+    ----------
+    src, dst:
+        Source and destination cluster ids.
+    message_type:
+        One of :class:`MessageType`.
+    size_bytes:
+        Payload size; defaults to the canonical size for the type.
+    transaction_id:
+        Id of the L2-miss transaction this message belongs to, so latency can
+        be attributed per miss.
+    """
+
+    src: int
+    dst: int
+    message_type: MessageType
+    size_bytes: int = 0
+    transaction_id: int = -1
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(
+                f"message endpoints must be non-negative, got {self.src}->{self.dst}"
+            )
+        if self.size_bytes == 0:
+            self.size_bytes = message_size_bytes(self.message_type)
+        if self.size_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {self.size_bytes}")
+
+    @property
+    def is_local(self) -> bool:
+        """Whether the message never needs the interconnect."""
+        return self.src == self.dst
+
+    @property
+    def carries_data(self) -> bool:
+        return self.size_bytes > CONTROL_MESSAGE_BYTES
+
+    def flit_count(self, flit_bytes: int) -> int:
+        """Number of flits at the given flit width (mesh wormhole routing)."""
+        if flit_bytes <= 0:
+            raise ValueError(f"flit size must be positive, got {flit_bytes}")
+        return -(-self.size_bytes // flit_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.message_id} {self.message_type.value} "
+            f"{self.src}->{self.dst} {self.size_bytes}B)"
+        )

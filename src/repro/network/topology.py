@@ -1,0 +1,200 @@
+"""Interconnect interface and topology helpers.
+
+Every on-stack interconnect (optical crossbar, electrical meshes) implements
+the same small interface: ``transfer`` moves a message from a source cluster
+to a destination cluster starting no earlier than ``now`` and returns a
+:class:`TransferResult` describing when it arrived and what it cost.  The
+system simulator is therefore completely agnostic of which network it drives,
+exactly mirroring the paper's five-configuration comparison.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.network.message import Message
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one message transfer across an interconnect.
+
+    Attributes
+    ----------
+    arrival_time:
+        Absolute simulated time at which the last bit arrives at the
+        destination.
+    queueing_delay:
+        Time spent waiting for arbitration / free links before the message
+        started moving.
+    serialization_delay:
+        Time spent clocking the message onto the channel(s).
+    propagation_delay:
+        Time of flight (including per-hop forwarding latency for meshes).
+    hops:
+        Number of router-to-router hops traversed (0 for a crossbar).
+    dynamic_energy_j:
+        Dynamic energy attributed to this transfer.
+    """
+
+    arrival_time: float
+    queueing_delay: float
+    serialization_delay: float
+    propagation_delay: float
+    hops: int
+    dynamic_energy_j: float
+
+    @property
+    def network_latency(self) -> float:
+        """Total latency contributed by the interconnect."""
+        return self.queueing_delay + self.serialization_delay + self.propagation_delay
+
+
+class Interconnect(abc.ABC):
+    """Abstract on-stack interconnect."""
+
+    def __init__(self, name: str, num_clusters: int, clock_hz: float) -> None:
+        if num_clusters < 2:
+            raise ValueError(f"need at least two clusters, got {num_clusters}")
+        if clock_hz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_hz}")
+        self.name = name
+        self.num_clusters = num_clusters
+        self.clock_hz = clock_hz
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+        self.total_dynamic_energy_j = 0.0
+
+    @property
+    def cycle_time(self) -> float:
+        return 1.0 / self.clock_hz
+
+    @abc.abstractmethod
+    def transfer(self, message: Message, now: float) -> TransferResult:
+        """Move ``message`` starting no earlier than ``now``."""
+
+    @abc.abstractmethod
+    def bisection_bandwidth_bytes_per_s(self) -> float:
+        """Bisection bandwidth of the interconnect."""
+
+    def static_power_w(self) -> float:
+        """Always-on power (lasers, ring trimming, clocking); zero by default."""
+        return 0.0
+
+    def record_transfer(self, message: Message, result: TransferResult) -> None:
+        """Accumulate book-keeping common to every interconnect."""
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes
+        self.total_dynamic_energy_j += result.dynamic_energy_j
+
+    def dynamic_power_w(self, elapsed_seconds: float) -> float:
+        """Average dynamic power over ``elapsed_seconds`` of simulated time."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.total_dynamic_energy_j / elapsed_seconds
+
+    def reset_statistics(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+        self.total_dynamic_energy_j = 0.0
+
+
+@dataclass(frozen=True)
+class MeshCoordinates:
+    """Maps cluster ids onto an (x, y) grid and computes routes."""
+
+    radix_x: int
+    radix_y: int
+
+    def __post_init__(self) -> None:
+        if self.radix_x < 1 or self.radix_y < 1:
+            raise ValueError("mesh radix must be at least 1 in each dimension")
+
+    @classmethod
+    def square(cls, num_clusters: int) -> "MeshCoordinates":
+        import math
+
+        radix = int(round(math.sqrt(num_clusters)))
+        if radix * radix != num_clusters:
+            raise ValueError(
+                f"cannot build a square mesh from {num_clusters} clusters"
+            )
+        return cls(radix_x=radix, radix_y=radix)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.radix_x * self.radix_y
+
+    def position(self, cluster: int) -> Tuple[int, int]:
+        if not 0 <= cluster < self.num_nodes:
+            raise ValueError(f"cluster {cluster} outside mesh of {self.num_nodes}")
+        return cluster % self.radix_x, cluster // self.radix_x
+
+    def cluster_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.radix_x and 0 <= y < self.radix_y):
+            raise ValueError(f"position ({x}, {y}) outside mesh")
+        return y * self.radix_x + x
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan distance between two clusters."""
+        sx, sy = self.position(src)
+        dx, dy = self.position(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def dimension_order_route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """The XY (dimension-order) route as a list of directed node pairs.
+
+        Returns the sequence of ``(from_node, to_node)`` link traversals; an
+        empty list when ``src == dst``.
+        """
+        route: List[Tuple[int, int]] = []
+        sx, sy = self.position(src)
+        dx, dy = self.position(dst)
+        x, y = sx, sy
+        while x != dx:
+            step = 1 if dx > x else -1
+            nxt = self.cluster_at(x + step, y)
+            route.append((self.cluster_at(x, y), nxt))
+            x += step
+        while y != dy:
+            step = 1 if dy > y else -1
+            nxt = self.cluster_at(x, y + step)
+            route.append((self.cluster_at(x, y), nxt))
+            y += step
+        return route
+
+    def all_links(self) -> List[Tuple[int, int]]:
+        """Every directed link in the mesh."""
+        links: List[Tuple[int, int]] = []
+        for y in range(self.radix_y):
+            for x in range(self.radix_x):
+                node = self.cluster_at(x, y)
+                if x + 1 < self.radix_x:
+                    east = self.cluster_at(x + 1, y)
+                    links.append((node, east))
+                    links.append((east, node))
+                if y + 1 < self.radix_y:
+                    north = self.cluster_at(x, y + 1)
+                    links.append((node, north))
+                    links.append((north, node))
+        return links
+
+    def bisection_link_count(self) -> int:
+        """Directed links crossing the vertical bisection of the mesh."""
+        # A vertical cut between column radix_x/2 - 1 and radix_x/2 severs one
+        # link pair per row.
+        return 2 * self.radix_y
+
+    def average_hops(self) -> float:
+        """Average Manhattan distance over all source/destination pairs."""
+        total = 0
+        pairs = 0
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                if src == dst:
+                    continue
+                total += self.hop_distance(src, dst)
+                pairs += 1
+        return total / pairs if pairs else 0.0

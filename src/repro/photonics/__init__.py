@@ -1,0 +1,62 @@
+"""Nanophotonic device and budget models (Section 2 of the Corona paper).
+
+This package models the photonic building blocks the paper describes --
+waveguides, ring resonators used as modulators / injectors / detectors,
+broadband splitters, mode-locked comb lasers and DWDM channels -- at the level
+the paper uses them: component counts, optical power/loss budgets, propagation
+delays and data rates.  It also computes the Table 2 optical resource
+inventory from the architectural parameters.
+"""
+
+from repro.photonics.constants import (
+    GE_ABSORPTION_WINDOW_M,
+    LIGHT_SPEED_VACUUM_M_PER_S,
+    SILICON_GROUP_INDEX,
+    WAVEGUIDE_BEND_RADIUS_M,
+    WAVEGUIDE_LOSS_DB_PER_CM,
+    WAVEGUIDE_PITCH_M,
+)
+from repro.photonics.dwdm import DwdmChannel, WavelengthComb
+from repro.photonics.inventory import (
+    OpticalResourceInventory,
+    SubsystemInventory,
+    corona_inventory,
+)
+from repro.photonics.laser import ModeLockedLaser
+from repro.photonics.power_budget import LossBudget, LossElement, PowerBudget
+from repro.photonics.ring import (
+    Detector,
+    Injector,
+    Modulator,
+    RingResonator,
+    RingRole,
+)
+from repro.photonics.splitter import BroadbandSplitter, StarCoupler
+from repro.photonics.waveguide import Waveguide, WaveguideBundle
+
+__all__ = [
+    "LIGHT_SPEED_VACUUM_M_PER_S",
+    "SILICON_GROUP_INDEX",
+    "WAVEGUIDE_LOSS_DB_PER_CM",
+    "WAVEGUIDE_BEND_RADIUS_M",
+    "WAVEGUIDE_PITCH_M",
+    "GE_ABSORPTION_WINDOW_M",
+    "WavelengthComb",
+    "DwdmChannel",
+    "ModeLockedLaser",
+    "RingResonator",
+    "RingRole",
+    "Modulator",
+    "Injector",
+    "Detector",
+    "BroadbandSplitter",
+    "StarCoupler",
+    "Waveguide",
+    "WaveguideBundle",
+    "LossBudget",
+    "LossElement",
+    "PowerBudget",
+    "OpticalResourceInventory",
+    "SubsystemInventory",
+    "corona_inventory",
+]

@@ -1,0 +1,156 @@
+"""Dense wavelength division multiplexing (DWDM) channel abstractions.
+
+A :class:`WavelengthComb` describes the set of wavelengths available on a
+waveguide; a :class:`DwdmChannel` combines a waveguide bundle with per
+wavelength modulators at the sender and detectors at the receiver into a
+logical point-to-point data channel with a bandwidth, a phit width and a
+serialization model.  The Corona crossbar channel (4 waveguides x 64
+wavelengths = 256 bits per clock edge) and the OCM memory links (1 waveguide x
+64 wavelengths) are both instances of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.photonics.constants import MODULATION_RATE_BPS
+from repro.photonics.ring import Detector, Modulator
+from repro.photonics.waveguide import WaveguideBundle
+
+
+@dataclass(frozen=True)
+class WavelengthComb:
+    """A set of equally spaced DWDM comb lines."""
+
+    num_wavelengths: int = 64
+    spacing_hz: float = 80e9
+
+    def __post_init__(self) -> None:
+        if self.num_wavelengths < 1:
+            raise ValueError(
+                f"comb needs at least one wavelength, got {self.num_wavelengths}"
+            )
+        if self.spacing_hz <= 0:
+            raise ValueError(f"spacing must be positive, got {self.spacing_hz}")
+
+    @property
+    def total_bandwidth_hz(self) -> float:
+        """Optical spectrum occupied by the comb."""
+        return self.num_wavelengths * self.spacing_hz
+
+    def indices(self) -> range:
+        return range(self.num_wavelengths)
+
+
+@dataclass
+class DwdmChannel:
+    """A logical data channel built from a waveguide bundle plus ring arrays.
+
+    Parameters
+    ----------
+    name:
+        Channel identifier (e.g. ``"xbar-ch17"`` or ``"ocm-link-3"``).
+    bundle:
+        The physical waveguides carrying the channel.
+    comb:
+        Wavelength comb carried by *each* waveguide of the bundle.
+    bit_rate_per_wavelength_bps:
+        Signalling rate per wavelength (10 Gb/s: both edges of a 5 GHz clock).
+    dual_edge:
+        Whether data is modulated on both clock edges (Corona: yes).
+    """
+
+    name: str
+    bundle: WaveguideBundle
+    comb: WavelengthComb = field(default_factory=WavelengthComb)
+    bit_rate_per_wavelength_bps: float = MODULATION_RATE_BPS
+    dual_edge: bool = True
+    modulators: List[Modulator] = field(default_factory=list)
+    detectors: List[Detector] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        expected = self.bundle.count * self.comb.num_wavelengths
+        if not self.modulators:
+            self.modulators = [
+                Modulator(wavelength_index=i % self.comb.num_wavelengths)
+                for i in range(expected)
+            ]
+        if not self.detectors:
+            self.detectors = [
+                Detector(wavelength_index=i % self.comb.num_wavelengths)
+                for i in range(expected)
+            ]
+        if len(self.modulators) != expected:
+            raise ValueError(
+                f"channel {self.name} needs {expected} modulators, "
+                f"got {len(self.modulators)}"
+            )
+        if len(self.detectors) != expected:
+            raise ValueError(
+                f"channel {self.name} needs {expected} detectors, "
+                f"got {len(self.detectors)}"
+            )
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def phit_bits(self) -> int:
+        """Bits transferred in parallel per signalling edge."""
+        return self.bundle.count * self.comb.num_wavelengths
+
+    @property
+    def total_rings(self) -> int:
+        return len(self.modulators) + len(self.detectors)
+
+    # -- performance --------------------------------------------------------
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Peak channel bandwidth in bytes per second."""
+        return self.phit_bits * self.bit_rate_per_wavelength_bps / 8.0
+
+    @property
+    def propagation_delay_s(self) -> float:
+        return self.bundle.propagation_delay_s
+
+    def serialization_time_s(self, num_bytes: float) -> float:
+        """Time to clock ``num_bytes`` onto the channel (excludes propagation)."""
+        if num_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+        return num_bytes / self.bandwidth_bytes_per_s
+
+    def transfer_latency_s(self, num_bytes: float) -> float:
+        """Serialization plus propagation for a message of ``num_bytes``."""
+        return self.serialization_time_s(num_bytes) + self.propagation_delay_s
+
+    def transfer_energy_j(self, num_bytes: float, toggle_probability: float = 0.5) -> float:
+        """Electrical (modulator + receiver) energy to move ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+        num_bits = num_bytes * 8.0
+        modulator_energy = (
+            num_bits * toggle_probability * self.modulators[0].switching_energy_j
+        )
+        receiver_energy = num_bits * self.detectors[0].receiver_energy_per_bit_j
+        return modulator_energy + receiver_energy
+
+
+def corona_crossbar_channel(
+    name: str, length_m: float = 0.08, waveguides: int = 4
+) -> DwdmChannel:
+    """Build one Corona crossbar channel: 4 waveguides x 64 wavelengths.
+
+    The default length corresponds to a serpentine path past all 64 clusters
+    on a ~20 mm die edge (the paper quotes a worst-case propagation time of 8
+    clocks at ~2 cm per clock, i.e. up to ~16 cm routed length; individual
+    channels are shorter on average).
+    """
+    bundle = WaveguideBundle.uniform(
+        name=f"{name}-bundle", count=waveguides, length_m=length_m
+    )
+    return DwdmChannel(name=name, bundle=bundle)
+
+
+def corona_memory_link(name: str, length_m: float = 0.05) -> DwdmChannel:
+    """Build one OCM memory link: a single 64-wavelength waveguide/fiber pair."""
+    bundle = WaveguideBundle.uniform(name=f"{name}-bundle", count=1, length_m=length_m)
+    return DwdmChannel(name=name, bundle=bundle)

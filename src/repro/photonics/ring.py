@@ -1,0 +1,217 @@
+"""Ring resonator models: modulators, injectors and detectors.
+
+A ring resonator coupled to a waveguide is the universal active element in the
+Corona photonic network (Figure 1 of the paper).  Depending on construction it
+acts as:
+
+* a **modulator** -- switched in and out of resonance by charge injection to
+  encode data onto a continuous-wave carrier;
+* an **injector** -- a frequency-selective switch that transfers its resonant
+  wavelength from one waveguide to another (used to divert and re-inject
+  arbitration tokens);
+* a **detector** -- a ring containing germanium that absorbs its resonant
+  wavelength and produces a photocurrent.
+
+The models are behavioural: they track resonance state, the wavelength index
+they act on, switching energy/latency, and the loss they contribute to the
+optical budget.  They do not solve Maxwell's equations -- the paper uses the
+devices as digital building blocks, and so do we.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.photonics.constants import (
+    DETECTOR_ABSORPTION_PER_PASS,
+    DETECTOR_CAPACITANCE_F,
+    MODULATION_RATE_BPS,
+    RING_DIAMETER_M,
+)
+
+
+class RingRole(enum.Enum):
+    """What a ring resonator is built to do."""
+
+    MODULATOR = "modulator"
+    INJECTOR = "injector"
+    DETECTOR = "detector"
+
+
+@dataclass
+class RingResonator:
+    """Common state and behaviour of a ring resonator.
+
+    Parameters
+    ----------
+    wavelength_index:
+        Index of the DWDM comb line this ring is tuned to (0-63 for a 64
+        wavelength comb).
+    role:
+        Whether the ring is a modulator, injector or detector.
+    diameter_m:
+        Physical ring diameter; 3-5 um in the paper.
+    through_loss_db:
+        Loss imposed on *non-resonant* wavelengths passing the ring.
+    drop_loss_db:
+        Loss imposed on the resonant wavelength when it is diverted/coupled.
+    switching_energy_j:
+        Electrical energy to change resonance state once (charge injection).
+    switching_time_s:
+        Time to move between on- and off-resonance states.
+    """
+
+    wavelength_index: int
+    role: RingRole = RingRole.MODULATOR
+    diameter_m: float = RING_DIAMETER_M
+    through_loss_db: float = 0.01
+    drop_loss_db: float = 0.5
+    switching_energy_j: float = 50e-15
+    switching_time_s: float = 20e-12
+    on_resonance: bool = False
+    switch_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.wavelength_index < 0:
+            raise ValueError(
+                f"wavelength index must be non-negative, got {self.wavelength_index}"
+            )
+        if self.diameter_m <= 0:
+            raise ValueError(f"diameter must be positive, got {self.diameter_m}")
+
+    def set_resonance(self, on: bool) -> float:
+        """Drive the ring on or off resonance.
+
+        Returns the electrical energy consumed by the transition (zero if the
+        ring was already in the requested state).
+        """
+        if on == self.on_resonance:
+            return 0.0
+        self.on_resonance = on
+        self.switch_count += 1
+        return self.switching_energy_j
+
+    def passes_wavelength(self, wavelength_index: int) -> bool:
+        """Whether light of ``wavelength_index`` continues along the waveguide."""
+        if wavelength_index != self.wavelength_index:
+            return True
+        return not self.on_resonance
+
+    def loss_for(self, wavelength_index: int) -> float:
+        """Loss in dB this ring imposes on light of ``wavelength_index``."""
+        if wavelength_index != self.wavelength_index or not self.on_resonance:
+            return self.through_loss_db
+        return self.drop_loss_db
+
+    def total_switching_energy_j(self) -> float:
+        """Energy consumed by all resonance transitions so far."""
+        return self.switch_count * self.switching_energy_j
+
+
+@dataclass
+class Modulator(RingResonator):
+    """A ring used to encode data onto a continuous-wave carrier.
+
+    The modulator toggles between on- and off-resonance at the data rate; the
+    energy cost of sending ``n`` bits is therefore approximately ``n/2`` state
+    transitions (on average half the bits flip the state) times the switching
+    energy, which is how the analog-layer power in the paper's 39 W photonic
+    budget arises.
+    """
+
+    role: RingRole = RingRole.MODULATOR
+    data_rate_bps: float = MODULATION_RATE_BPS
+    bits_modulated: int = 0
+
+    def modulate(self, num_bits: int, toggle_probability: float = 0.5) -> float:
+        """Encode ``num_bits`` of data; returns the electrical energy used."""
+        if num_bits < 0:
+            raise ValueError(f"bit count must be non-negative, got {num_bits}")
+        if not 0.0 <= toggle_probability <= 1.0:
+            raise ValueError(
+                f"toggle probability must be in [0, 1], got {toggle_probability}"
+            )
+        self.bits_modulated += num_bits
+        transitions = num_bits * toggle_probability
+        return transitions * self.switching_energy_j
+
+    def modulation_time(self, num_bits: int) -> float:
+        """Time to serialize ``num_bits`` through this single modulator."""
+        if num_bits < 0:
+            raise ValueError(f"bit count must be non-negative, got {num_bits}")
+        return num_bits / self.data_rate_bps
+
+
+@dataclass
+class Injector(RingResonator):
+    """A frequency-selective switch between two waveguides.
+
+    When on resonance, the ring transfers its wavelength from the input
+    waveguide to the output waveguide; when off resonance the wavelength
+    passes by untouched.  Corona's token arbitration uses injectors to divert
+    (acquire) and re-inject (release) channel tokens.
+    """
+
+    role: RingRole = RingRole.INJECTOR
+
+    def divert(self) -> float:
+        """Start diverting the resonant wavelength (acquire a token)."""
+        return self.set_resonance(True)
+
+    def release(self) -> float:
+        """Stop diverting, letting the wavelength continue (release a token)."""
+        return self.set_resonance(False)
+
+    @property
+    def diverting(self) -> bool:
+        return self.on_resonance
+
+
+@dataclass
+class Detector(RingResonator):
+    """A germanium-loaded ring that converts its resonant wavelength to charge."""
+
+    role: RingRole = RingRole.DETECTOR
+    capacitance_f: float = DETECTOR_CAPACITANCE_F
+    absorption_per_pass: float = DETECTOR_ABSORPTION_PER_PASS
+    receiver_energy_per_bit_j: float = 25e-15
+    bits_detected: int = 0
+
+    def detect(self, num_bits: int) -> float:
+        """Receive ``num_bits``; returns the receiver electrical energy used."""
+        if num_bits < 0:
+            raise ValueError(f"bit count must be non-negative, got {num_bits}")
+        self.bits_detected += num_bits
+        return num_bits * self.receiver_energy_per_bit_j
+
+    def effective_absorption(self, passes: int) -> float:
+        """Fraction of resonant light absorbed after ``passes`` recirculations."""
+        if passes < 0:
+            raise ValueError(f"passes must be non-negative, got {passes}")
+        remaining = (1.0 - self.absorption_per_pass) ** passes
+        return 1.0 - remaining
+
+
+def ring_array(
+    count: int,
+    role: RingRole,
+    start_wavelength: int = 0,
+    **kwargs: float,
+) -> list[RingResonator]:
+    """Create ``count`` rings with consecutive wavelength assignments.
+
+    This is the building block for a cluster's bank of modulators or
+    detectors: one ring per wavelength of the comb.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    cls = {
+        RingRole.MODULATOR: Modulator,
+        RingRole.INJECTOR: Injector,
+        RingRole.DETECTOR: Detector,
+    }[role]
+    return [
+        cls(wavelength_index=start_wavelength + i, **kwargs) for i in range(count)
+    ]

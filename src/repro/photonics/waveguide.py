@@ -1,0 +1,154 @@
+"""Waveguide and waveguide-bundle models.
+
+A waveguide carries a DWDM comb of wavelengths around the die.  The models
+track the properties the architecture cares about: physical length (hence
+propagation delay), insertion loss (propagation loss plus the through-loss of
+every ring the light passes), and aggregate data rate when the waveguide
+carries modulated wavelengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.photonics.constants import (
+    MODULATION_RATE_BPS,
+    WAVEGUIDE_LOSS_DB_PER_CM,
+    propagation_delay,
+)
+
+
+@dataclass
+class Waveguide:
+    """A single silicon waveguide segment.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in loss-budget reports.
+    length_m:
+        Physical routed length in metres.
+    wavelengths:
+        Number of DWDM wavelengths carried.
+    loss_db_per_cm:
+        Propagation loss; defaults to the paper's 2-3 dB/cm midpoint.
+    ring_passes:
+        Number of off-resonance ring resonators the light passes; each adds a
+        small through loss.
+    ring_through_loss_db:
+        Through loss per off-resonance ring pass.
+    """
+
+    name: str
+    length_m: float
+    wavelengths: int = 64
+    loss_db_per_cm: float = WAVEGUIDE_LOSS_DB_PER_CM
+    ring_passes: int = 0
+    ring_through_loss_db: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.length_m < 0:
+            raise ValueError(f"length must be non-negative, got {self.length_m}")
+        if self.wavelengths < 1:
+            raise ValueError(
+                f"wavelength count must be >= 1, got {self.wavelengths}"
+            )
+
+    @property
+    def propagation_loss_db(self) -> float:
+        """Loss from propagation through the silicon."""
+        return self.loss_db_per_cm * (self.length_m * 100.0)
+
+    @property
+    def ring_loss_db(self) -> float:
+        """Accumulated through-loss of all off-resonance ring passes."""
+        return self.ring_passes * self.ring_through_loss_db
+
+    @property
+    def insertion_loss_db(self) -> float:
+        """Total loss from source to the end of the waveguide."""
+        return self.propagation_loss_db + self.ring_loss_db
+
+    @property
+    def propagation_delay_s(self) -> float:
+        """End-to-end light propagation delay (seconds)."""
+        return propagation_delay(self.length_m)
+
+    def data_rate_bps(self, rate_per_wavelength_bps: float = MODULATION_RATE_BPS) -> float:
+        """Aggregate data rate if every wavelength carries modulated data."""
+        return self.wavelengths * rate_per_wavelength_bps
+
+    def delay_cycles(self, clock_hz: float) -> float:
+        """Propagation delay expressed in clock cycles."""
+        if clock_hz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_hz}")
+        return self.propagation_delay_s * clock_hz
+
+
+@dataclass
+class WaveguideBundle:
+    """A bundle of parallel waveguides forming one wide logical channel.
+
+    Corona's crossbar channels are 4-waveguide bundles of 64 wavelengths each,
+    i.e. 256-bit-wide phits signalling on both clock edges.
+    """
+
+    name: str
+    waveguides: List[Waveguide] = field(default_factory=list)
+
+    @classmethod
+    def uniform(
+        cls,
+        name: str,
+        count: int,
+        length_m: float,
+        wavelengths_per_guide: int = 64,
+        **waveguide_kwargs: float,
+    ) -> "WaveguideBundle":
+        """Create a bundle of ``count`` identical waveguides."""
+        if count < 1:
+            raise ValueError(f"bundle needs at least one waveguide, got {count}")
+        guides = [
+            Waveguide(
+                name=f"{name}[{i}]",
+                length_m=length_m,
+                wavelengths=wavelengths_per_guide,
+                **waveguide_kwargs,
+            )
+            for i in range(count)
+        ]
+        return cls(name=name, waveguides=guides)
+
+    @property
+    def count(self) -> int:
+        return len(self.waveguides)
+
+    @property
+    def total_wavelengths(self) -> int:
+        return sum(g.wavelengths for g in self.waveguides)
+
+    @property
+    def phit_bits(self) -> int:
+        """Bits transferred in parallel on one clock edge (one bit per wavelength)."""
+        return self.total_wavelengths
+
+    @property
+    def propagation_delay_s(self) -> float:
+        """Bundle delay is set by its longest member."""
+        if not self.waveguides:
+            return 0.0
+        return max(g.propagation_delay_s for g in self.waveguides)
+
+    @property
+    def worst_insertion_loss_db(self) -> float:
+        if not self.waveguides:
+            return 0.0
+        return max(g.insertion_loss_db for g in self.waveguides)
+
+    def bandwidth_bytes_per_s(
+        self,
+        rate_per_wavelength_bps: float = MODULATION_RATE_BPS,
+    ) -> float:
+        """Aggregate bundle bandwidth in bytes per second."""
+        return self.total_wavelengths * rate_per_wavelength_bps / 8.0

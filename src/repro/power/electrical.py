@@ -1,0 +1,85 @@
+"""Electrical interconnect power models.
+
+Two electrical power figures drive the paper's comparison:
+
+* the on-chip meshes dissipate **196 pJ per transaction per hop** (an
+  aggressive low-swing estimate that ignores leakage), so their power grows
+  linearly with traffic and hop count -- this is Figure 11's mesh curves;
+* off-stack electrical signalling costs about **2 mW/Gb/s** (Palmer et al.),
+  which is why a 10 TB/s electrically connected memory would need over 160 W
+  of interconnect power alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's per-transaction-per-hop mesh energy (includes router overhead).
+MESH_ENERGY_PER_HOP_J = 196e-12
+
+#: Electrical off-stack signalling power per Gb/s (Palmer et al. [25]).
+ELECTRICAL_SIGNALLING_W_PER_GBPS = 2e-3
+
+
+@dataclass(frozen=True)
+class MeshPowerModel:
+    """Dynamic power of an electrical mesh under a given traffic load."""
+
+    energy_per_hop_j: float = MESH_ENERGY_PER_HOP_J
+
+    def transaction_energy_j(self, hops: int) -> float:
+        """Energy of one message traversing ``hops`` router-to-router hops."""
+        if hops < 0:
+            raise ValueError(f"hop count must be non-negative, got {hops}")
+        return hops * self.energy_per_hop_j
+
+    def dynamic_power_w(self, hop_traversals_per_second: float) -> float:
+        """Power at a sustained rate of message-hop traversals per second."""
+        if hop_traversals_per_second < 0:
+            raise ValueError("traversal rate must be non-negative")
+        return hop_traversals_per_second * self.energy_per_hop_j
+
+    def power_for_bandwidth_w(
+        self,
+        delivered_bytes_per_s: float,
+        average_hops: float,
+        bytes_per_message: float = 72.0,
+    ) -> float:
+        """Power needed to deliver a payload bandwidth at a mean hop count.
+
+        This is the back-of-envelope form of Figure 11: messages per second
+        times hops times 196 pJ.
+        """
+        if delivered_bytes_per_s < 0 or average_hops < 0:
+            raise ValueError("bandwidth and hops must be non-negative")
+        if bytes_per_message <= 0:
+            raise ValueError("message size must be positive")
+        messages_per_s = delivered_bytes_per_s / bytes_per_message
+        return messages_per_s * average_hops * self.energy_per_hop_j
+
+
+@dataclass(frozen=True)
+class ElectricalLinkPower:
+    """Off-stack electrical signalling power at a given data rate."""
+
+    power_w_per_gbps: float = ELECTRICAL_SIGNALLING_W_PER_GBPS
+
+    def power_w(self, data_rate_gbps: float) -> float:
+        if data_rate_gbps < 0:
+            raise ValueError("data rate must be non-negative")
+        return self.power_w_per_gbps * data_rate_gbps
+
+
+def electrical_memory_interconnect_power_w(
+    memory_bandwidth_bytes_per_s: float,
+    power_w_per_gbps: float = ELECTRICAL_SIGNALLING_W_PER_GBPS,
+) -> float:
+    """Interconnect power for an electrically signalled memory system.
+
+    The paper's example: a 10 TB/s memory system at 2 mW/Gb/s would need over
+    160 W just to move the bits.
+    """
+    if memory_bandwidth_bytes_per_s < 0:
+        raise ValueError("bandwidth must be non-negative")
+    gbps = memory_bandwidth_bytes_per_s * 8.0 / 1e9
+    return ElectricalLinkPower(power_w_per_gbps).power_w(gbps)

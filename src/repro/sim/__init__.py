@@ -1,0 +1,80 @@
+"""Discrete-event simulation kernel used by every Corona subsystem.
+
+The kernel is intentionally small and dependency free.  It provides:
+
+* :mod:`repro.sim.units` -- time, frequency, bandwidth and data-size units so
+  that the rest of the code can speak in the paper's terms (5 GHz clocks,
+  TB/s, cache lines) without sprinkling conversion constants everywhere.
+* :mod:`repro.sim.engine` -- a classic event-calendar simulator built on a
+  binary heap, plus process-free helper primitives.
+* :mod:`repro.sim.resources` -- serial resources (channels, links, ports,
+  queues) that model bandwidth occupancy and back-pressure.
+* :mod:`repro.sim.stats` -- counters, histograms and time-weighted statistics
+  used by every experiment.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.resources import BoundedQueue, SerialResource, TokenPool
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    RunningStats,
+    StatGroup,
+    TimeWeightedAverage,
+)
+from repro.sim.units import (
+    BYTE,
+    CACHE_LINE_BYTES,
+    GHZ,
+    GB,
+    GBPS,
+    KB,
+    MB,
+    MHZ,
+    NS,
+    PS,
+    TB,
+    TBPS,
+    US,
+    Bandwidth,
+    Frequency,
+    Time,
+    bits_to_bytes,
+    bytes_to_bits,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "BoundedQueue",
+    "SerialResource",
+    "TokenPool",
+    "Counter",
+    "Histogram",
+    "RunningStats",
+    "StatGroup",
+    "TimeWeightedAverage",
+    "Time",
+    "Frequency",
+    "Bandwidth",
+    "NS",
+    "PS",
+    "US",
+    "GHZ",
+    "MHZ",
+    "BYTE",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "GBPS",
+    "TBPS",
+    "CACHE_LINE_BYTES",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+]

@@ -1,0 +1,280 @@
+"""Resource-occupancy primitives for bandwidth, ports and queues.
+
+The Corona network study is a contention study: requests compete for channel
+bandwidth, mesh links, memory-controller ports and DRAM banks.  Rather than
+simulating each cycle of each wire, the models reserve time on *serial
+resources*.  A serial resource maintains, per server, the set of busy
+intervals already committed; a reservation of ``duration`` seconds requested
+at time ``t`` is granted in the earliest gap of sufficient length starting at
+or after ``t``.  This captures serialization delay, queueing delay and
+utilization, and -- because reservations may *backfill* earlier idle gaps --
+it stays accurate even when reservations are requested slightly out of time
+order (for example a data-return reserved 20 ns ahead of commands that arrive
+in between).
+
+:class:`BoundedQueue` adds finite capacity (back-pressure) on top, and
+:class:`TokenPool` models a counted resource such as MSHRs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+#: Gaps shorter than this are considered zero (floating-point noise guard).
+_EPSILON = 1e-15
+
+#: Committed intervals that ended this long before the newest request time are
+#: dropped.  Future reservation requests may be out of order with respect to
+#: past ones by at most the latency of an in-flight transaction, which is far
+#: below this horizon in every Corona configuration.
+_PRUNE_HORIZON = 5e-6
+
+
+class SerialResource:
+    """A resource with a fixed number of identical servers and gap backfill.
+
+    With ``servers=1`` this is a single channel/link; with ``servers=n`` it is
+    an ``n``-ported resource (for example a DRAM die with several independent
+    banks).
+    """
+
+    def __init__(self, name: str, servers: int = 1) -> None:
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers}")
+        self.name = name
+        self.servers = servers
+        # Per server: parallel lists of interval starts and ends, sorted.
+        self._starts: List[List[float]] = [[] for _ in range(servers)]
+        self._ends: List[List[float]] = [[] for _ in range(servers)]
+        self.busy_time: float = 0.0
+        self.reservations: int = 0
+        self._high_water_request: float = 0.0
+
+    # -- internal helpers ----------------------------------------------------
+    def _prune(self, server: int, before: float) -> None:
+        ends = self._ends[server]
+        starts = self._starts[server]
+        index = bisect.bisect_right(ends, before)
+        if index:
+            del ends[:index]
+            del starts[:index]
+
+    def _find_gap(self, server: int, now: float, duration: float) -> float:
+        """Earliest start >= ``now`` of a free gap of ``duration`` on ``server``."""
+        starts = self._starts[server]
+        ends = self._ends[server]
+        candidate = now
+        # Skip intervals that end at or before the candidate start.
+        index = bisect.bisect_right(ends, candidate)
+        while index < len(starts):
+            if candidate + duration <= starts[index] + _EPSILON:
+                return candidate
+            candidate = max(candidate, ends[index])
+            index += 1
+        return candidate
+
+    def _insert(self, server: int, start: float, end: float) -> None:
+        starts = self._starts[server]
+        ends = self._ends[server]
+        index = bisect.bisect_left(starts, start)
+        # Coalesce with the previous interval when contiguous.
+        if index > 0 and ends[index - 1] >= start - _EPSILON:
+            ends[index - 1] = max(ends[index - 1], end)
+            merged_index = index - 1
+        else:
+            starts.insert(index, start)
+            ends.insert(index, end)
+            merged_index = index
+        # Coalesce with following intervals swallowed by the new one.
+        next_index = merged_index + 1
+        while next_index < len(starts) and starts[next_index] <= ends[merged_index] + _EPSILON:
+            ends[merged_index] = max(ends[merged_index], ends[next_index])
+            del starts[next_index]
+            del ends[next_index]
+
+    # -- public API ------------------------------------------------------------
+    def next_available(self, now: float) -> float:
+        """Earliest time a zero-length reservation made at ``now`` could start."""
+        return min(self._find_gap(server, now, 0.0) for server in range(self.servers))
+
+    def reserve(self, now: float, duration: float) -> float:
+        """Reserve the resource for ``duration`` seconds starting no earlier than ``now``.
+
+        Returns the time at which the reservation *ends* (i.e. when the
+        transfer completes).  The start time is ``end - duration``.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        if now < 0:
+            raise ValueError(f"time must be non-negative, got {now}")
+
+        self._high_water_request = max(self._high_water_request, now)
+        prune_before = self._high_water_request - _PRUNE_HORIZON
+
+        best_server = 0
+        best_start = None
+        for server in range(self.servers):
+            if prune_before > 0:
+                self._prune(server, prune_before)
+            start = self._find_gap(server, now, duration)
+            if best_start is None or start < best_start:
+                best_server = server
+                best_start = start
+                if start <= now + _EPSILON:
+                    break
+        end = best_start + duration
+        self._insert(best_server, best_start, end)
+        self.busy_time += duration
+        self.reservations += 1
+        return end
+
+    def queue_delay(self, now: float) -> float:
+        """How long a zero-length reservation made at ``now`` would wait."""
+        return self.next_available(now) - now
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of capacity used over ``elapsed`` seconds of simulated time."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.servers)
+
+    def reset(self) -> None:
+        self._starts = [[] for _ in range(self.servers)]
+        self._ends = [[] for _ in range(self.servers)]
+        self.busy_time = 0.0
+        self.reservations = 0
+        self._high_water_request = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SerialResource({self.name!r}, servers={self.servers})"
+
+
+class BoundedQueue:
+    """A finite-capacity FIFO used to model buffers with back-pressure.
+
+    The queue tracks occupancy as a function of time analytically: an entry
+    occupies a slot from its enqueue time until its announced departure time.
+    ``admission_time`` computes when a new entry could be admitted given the
+    capacity limit, which is how upstream senders experience back-pressure.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        # Departure times of entries currently considered "in the queue".
+        # Kept small (== capacity) so linear operations are fine.
+        self._departures: List[float] = []
+        self.total_admitted: int = 0
+        self.max_occupancy_seen: int = 0
+
+    def _expire(self, now: float) -> None:
+        if self._departures:
+            self._departures = [d for d in self._departures if d > now]
+
+    def occupancy(self, now: float) -> int:
+        """Number of entries resident at time ``now``."""
+        self._expire(now)
+        return len(self._departures)
+
+    def admission_time(self, now: float) -> float:
+        """Earliest time at which a new entry could be admitted."""
+        self._expire(now)
+        if len(self._departures) < self.capacity:
+            return now
+        # Must wait for enough departures among resident entries: the entry is
+        # admitted when the queue first has a free slot.
+        overflow = len(self._departures) - self.capacity
+        return sorted(self._departures)[overflow]
+
+    def admit(self, now: float, departure_time: float) -> float:
+        """Admit an entry that will depart at ``departure_time``.
+
+        Returns the actual admission time (>= ``now``) after back-pressure.
+        ``departure_time`` must be no earlier than the admission time.
+        """
+        admit_at = self.admission_time(now)
+        if departure_time < admit_at:
+            raise ValueError(
+                f"departure {departure_time} precedes admission {admit_at}"
+            )
+        self._departures.append(departure_time)
+        self.total_admitted += 1
+        self.max_occupancy_seen = max(self.max_occupancy_seen, len(self._departures))
+        return admit_at
+
+    def reset(self) -> None:
+        self._departures = []
+        self.total_admitted = 0
+        self.max_occupancy_seen = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundedQueue({self.name!r}, capacity={self.capacity})"
+
+
+class TokenPool:
+    """A counted resource (e.g. MSHRs): acquire blocks until a token frees up.
+
+    Like :class:`BoundedQueue`, the pool is analytic: each outstanding token is
+    represented by its release time, and acquisitions made when the pool is
+    exhausted are granted at the earliest release time.
+    """
+
+    def __init__(self, name: str, tokens: int) -> None:
+        if tokens < 1:
+            raise ValueError(f"tokens must be >= 1, got {tokens}")
+        self.name = name
+        self.tokens = tokens
+        self._releases: List[float] = []
+        self.acquisitions: int = 0
+        self.total_wait: float = 0.0
+
+    def _expire(self, now: float) -> None:
+        if self._releases:
+            self._releases = [r for r in self._releases if r > now]
+
+    def in_use(self, now: float) -> int:
+        self._expire(now)
+        return len(self._releases)
+
+    def acquire(self, now: float, release_time_hint: Optional[float] = None) -> float:
+        """Acquire a token at or after ``now``; returns the grant time.
+
+        ``release_time_hint`` may be provided when the release time is already
+        known.  If omitted, the token must be released later via
+        :meth:`release_at`.
+        """
+        self._expire(now)
+        if len(self._releases) < self.tokens:
+            grant = now
+        else:
+            overflow = len(self._releases) - self.tokens
+            grant = sorted(self._releases)[overflow]
+        self.acquisitions += 1
+        self.total_wait += grant - now
+        if release_time_hint is not None:
+            if release_time_hint < grant:
+                raise ValueError(
+                    f"release {release_time_hint} precedes grant {grant}"
+                )
+            self._releases.append(release_time_hint)
+        return grant
+
+    def release_at(self, release_time: float) -> None:
+        """Register the release time for a token acquired without a hint."""
+        self._releases.append(release_time)
+
+    def average_wait(self) -> float:
+        if self.acquisitions == 0:
+            return 0.0
+        return self.total_wait / self.acquisitions
+
+    def reset(self) -> None:
+        self._releases = []
+        self.acquisitions = 0
+        self.total_wait = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenPool({self.name!r}, tokens={self.tokens})"

@@ -1,0 +1,56 @@
+"""Workload and trace generation (Section 4 / Table 3 of the Corona paper).
+
+The paper's methodology is trace driven: a full-system simulator produced
+L2-miss traces of 1024-thread runs, and a network simulator replayed them.
+This package is the reproduction's stand-in for that first stage.  It
+provides:
+
+* :mod:`repro.trace.record` -- the L2-miss trace record format and streams.
+* :mod:`repro.trace.synthetic` -- the paper's four synthetic traffic patterns
+  (Uniform, Hot Spot, Tornado, Transpose).
+* :mod:`repro.trace.splash2` -- statistical workload models of the eleven
+  SPLASH-2 applications, calibrated to the paper's per-benchmark request
+  counts and bandwidth classes.
+* :mod:`repro.trace.io` -- compact text serialization of traces so generated
+  traces can be cached on disk and replayed.
+"""
+
+from repro.trace.record import AccessKind, TraceRecord, TraceStream, ThreadTrace
+from repro.trace.synthetic import (
+    SyntheticPattern,
+    SyntheticWorkload,
+    hot_spot_workload,
+    synthetic_workloads,
+    tornado_workload,
+    transpose_workload,
+    uniform_workload,
+)
+from repro.trace.splash2 import (
+    Splash2Profile,
+    Splash2Workload,
+    SPLASH2_PROFILES,
+    splash2_workload,
+    splash2_workloads,
+)
+from repro.trace.io import read_trace, write_trace
+
+__all__ = [
+    "AccessKind",
+    "TraceRecord",
+    "TraceStream",
+    "ThreadTrace",
+    "SyntheticPattern",
+    "SyntheticWorkload",
+    "uniform_workload",
+    "hot_spot_workload",
+    "tornado_workload",
+    "transpose_workload",
+    "synthetic_workloads",
+    "Splash2Profile",
+    "Splash2Workload",
+    "SPLASH2_PROFILES",
+    "splash2_workload",
+    "splash2_workloads",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,101 @@
+"""Trace serialization.
+
+Traces are stored as plain text with one header line and one line per record:
+
+.. code-block:: text
+
+    # corona-trace v1 name=<name> clusters=<n> threads_per_cluster=<m>
+    <thread_id> <home_cluster> <R|W> <address-hex> <gap_cycles> <size_bytes>
+
+The format is deliberately simple: it is diffable, compresses well, and can be
+produced by an external full-system simulator if real SPLASH-2 traces become
+available, in which case they drop straight into the replay engine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.trace.record import AccessKind, TraceRecord, TraceStream
+
+_HEADER_PREFIX = "# corona-trace v1"
+
+
+def write_trace(stream: TraceStream, path: Union[str, Path]) -> None:
+    """Write ``stream`` to ``path`` in the corona-trace v1 format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(
+            f"{_HEADER_PREFIX} name={stream.name!r} "
+            f"clusters={stream.num_clusters} "
+            f"threads_per_cluster={stream.threads_per_cluster}\n"
+        )
+        for record in stream.all_records():
+            handle.write(
+                f"{record.thread_id} {record.home_cluster} {record.kind.value} "
+                f"{record.address:x} {record.gap_cycles:.4f} {record.size_bytes}\n"
+            )
+
+
+def _parse_header(line: str) -> dict:
+    if not line.startswith(_HEADER_PREFIX):
+        raise ValueError(
+            f"not a corona-trace v1 file (header is {line[:40]!r}...)"
+        )
+    fields = {}
+    for token in line[len(_HEADER_PREFIX):].split():
+        if "=" not in token:
+            continue
+        key, value = token.split("=", 1)
+        fields[key] = value
+    required = {"name", "clusters", "threads_per_cluster"}
+    missing = required - set(fields)
+    if missing:
+        raise ValueError(f"trace header missing fields: {sorted(missing)}")
+    return fields
+
+
+def read_trace(path: Union[str, Path]) -> TraceStream:
+    """Read a corona-trace v1 file back into a :class:`TraceStream`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        fields = _parse_header(header)
+        name = fields["name"].strip("'\"")
+        num_clusters = int(fields["clusters"])
+        threads_per_cluster = int(fields["threads_per_cluster"])
+        stream = TraceStream(
+            name=name,
+            num_clusters=num_clusters,
+            threads_per_cluster=threads_per_cluster,
+        )
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 6:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 6 fields, got {len(parts)}"
+                )
+            thread_id = int(parts[0])
+            home_cluster = int(parts[1])
+            kind = AccessKind.from_code(parts[2])
+            address = int(parts[3], 16)
+            gap_cycles = float(parts[4])
+            size_bytes = int(parts[5])
+            cluster = thread_id // threads_per_cluster
+            stream.add(
+                TraceRecord(
+                    thread_id=thread_id,
+                    cluster_id=cluster,
+                    home_cluster=home_cluster,
+                    kind=kind,
+                    address=address,
+                    gap_cycles=gap_cycles,
+                    size_bytes=size_bytes,
+                )
+            )
+    stream.validate()
+    return stream

@@ -1,0 +1,257 @@
+"""Synthetic traffic patterns (Table 3 of the Corona paper).
+
+The paper stresses the interconnects with four classic patterns, each issuing
+1 M network requests across the 64 clusters (8x8 logical grid):
+
+* **Uniform** -- each request targets a uniformly random cluster.
+* **Hot Spot** -- every cluster targets a single cluster, so one memory
+  controller and one crossbar channel (or the mesh links feeding it) become
+  the bottleneck.
+* **Tornado** -- cluster ``(i, j)`` targets
+  ``((i + k/2 - 1) % k, (j + k/2 - 1) % k)`` where ``k`` is the network radix;
+  an adversarial pattern for meshes/tori because all traffic travels nearly
+  half way across the network.
+* **Transpose** -- cluster ``(i, j)`` targets ``(j, i)``, the classic matrix
+  transpose permutation that concentrates traffic on the mesh diagonal.
+
+Each pattern is wrapped in a :class:`SyntheticWorkload` that produces a
+:class:`~repro.trace.record.TraceStream` with per-thread gaps drawn from an
+exponential distribution, so the offered load is tunable with one intensity
+parameter.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.trace.gaps import draw_gap
+from repro.trace.record import AccessKind, TraceRecord, TraceStream
+
+#: Default request count from Table 3 of the paper.
+PAPER_SYNTHETIC_REQUESTS = 1_000_000
+
+
+class SyntheticPattern(enum.Enum):
+    """The four destination permutations used by the paper."""
+
+    UNIFORM = "uniform"
+    HOT_SPOT = "hot_spot"
+    TORNADO = "tornado"
+    TRANSPOSE = "transpose"
+
+
+def _grid_radix(num_clusters: int) -> int:
+    radix = int(round(math.sqrt(num_clusters)))
+    if radix * radix != num_clusters:
+        raise ValueError(
+            f"synthetic patterns need a square cluster count, got {num_clusters}"
+        )
+    return radix
+
+
+def _cluster_to_xy(cluster: int, radix: int) -> tuple[int, int]:
+    return cluster % radix, cluster // radix
+
+
+def _xy_to_cluster(x: int, y: int, radix: int) -> int:
+    return y * radix + x
+
+
+def tornado_destination(cluster: int, num_clusters: int) -> int:
+    """Tornado permutation destination of ``cluster``."""
+    radix = _grid_radix(num_clusters)
+    x, y = _cluster_to_xy(cluster, radix)
+    shift = radix // 2 - 1
+    return _xy_to_cluster((x + shift) % radix, (y + shift) % radix, radix)
+
+
+def transpose_destination(cluster: int, num_clusters: int) -> int:
+    """Transpose permutation destination of ``cluster``."""
+    radix = _grid_radix(num_clusters)
+    x, y = _cluster_to_xy(cluster, radix)
+    return _xy_to_cluster(y, x, radix)
+
+
+@dataclass
+class SyntheticWorkload:
+    """A synthetic traffic workload.
+
+    Parameters
+    ----------
+    name:
+        Workload name as it appears in the paper's figures.
+    pattern:
+        Destination permutation.
+    num_requests:
+        Total L2 misses across all threads (paper: 1 M).
+    num_clusters, threads_per_cluster:
+        System shape; 64 clusters x 16 threads = 1024 threads by default.
+    mean_gap_cycles:
+        Mean compute gap between consecutive misses of one thread, in 5 GHz
+        core cycles.  Small gaps mean high offered load.
+    write_fraction:
+        Fraction of misses that are writes.
+    window:
+        Maximum outstanding misses per thread during replay (memory-level
+        parallelism the in-order multithreaded core can sustain).
+    hot_cluster:
+        Destination cluster for the Hot Spot pattern.
+    """
+
+    name: str
+    pattern: SyntheticPattern
+    num_requests: int = PAPER_SYNTHETIC_REQUESTS
+    num_clusters: int = 64
+    threads_per_cluster: int = 16
+    mean_gap_cycles: float = 40.0
+    write_fraction: float = 0.3
+    window: int = 8
+    hot_cluster: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError(
+                f"request count must be >= 1, got {self.num_requests}"
+            )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(
+                f"write fraction must be in [0, 1], got {self.write_fraction}"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.mean_gap_cycles < 0:
+            raise ValueError(
+                f"mean gap must be non-negative, got {self.mean_gap_cycles}"
+            )
+
+    @property
+    def is_synthetic(self) -> bool:
+        return True
+
+    def destination(self, cluster: int, rng: random.Random) -> int:
+        """Home cluster for a request issued by ``cluster``."""
+        if self.pattern is SyntheticPattern.UNIFORM:
+            return rng.randrange(self.num_clusters)
+        if self.pattern is SyntheticPattern.HOT_SPOT:
+            return self.hot_cluster
+        if self.pattern is SyntheticPattern.TORNADO:
+            return tornado_destination(cluster, self.num_clusters)
+        if self.pattern is SyntheticPattern.TRANSPOSE:
+            return transpose_destination(cluster, self.num_clusters)
+        raise ValueError(f"unknown pattern {self.pattern}")
+
+    def generate(
+        self, seed: int = 1, num_requests: Optional[int] = None
+    ) -> TraceStream:
+        """Generate the trace.
+
+        ``num_requests`` overrides the configured total, which is how the
+        harness scales the paper's 1 M-request runs down to something a pure
+        Python replay can finish quickly.
+        """
+        total = num_requests if num_requests is not None else self.num_requests
+        rng = random.Random(seed)
+        stream = TraceStream(
+            name=self.name,
+            num_clusters=self.num_clusters,
+            threads_per_cluster=self.threads_per_cluster,
+            description=self.description or f"synthetic {self.pattern.value}",
+        )
+        total_threads = self.num_clusters * self.threads_per_cluster
+        base, remainder = divmod(total, total_threads)
+        # Threads of a real application are mid-execution when a trace window
+        # opens; staggering their first miss avoids an artificial thundering
+        # herd at t = 0 that no steady-state system would see.
+        stagger_cycles = 8.0 * self.mean_gap_cycles
+        line_counter = 0
+        for thread_id in range(total_threads):
+            cluster = thread_id // self.threads_per_cluster
+            count = base + (1 if thread_id < remainder else 0)
+            for index in range(count):
+                gap = draw_gap(rng, self.mean_gap_cycles)
+                if index == 0 and stagger_cycles > 0:
+                    gap += rng.uniform(0.0, stagger_cycles)
+                kind = (
+                    AccessKind.WRITE
+                    if rng.random() < self.write_fraction
+                    else AccessKind.READ
+                )
+                home = self.destination(cluster, rng)
+                # Synthesize an address in the home cluster's region so the
+                # cache/coherence substrate can consume the same traces.
+                address = (home << 26) | ((line_counter & 0xFFFFF) << 6)
+                line_counter += 1
+                stream.add(
+                    TraceRecord(
+                        thread_id=thread_id,
+                        cluster_id=cluster,
+                        home_cluster=home,
+                        kind=kind,
+                        address=address,
+                        gap_cycles=gap,
+                    )
+                )
+        return stream
+
+
+def uniform_workload(**overrides) -> SyntheticWorkload:
+    """The Uniform random pattern (Table 3)."""
+    params: Dict = dict(
+        name="Uniform",
+        pattern=SyntheticPattern.UNIFORM,
+        mean_gap_cycles=40.0,
+        description="Uniform random destinations, 1 M requests",
+    )
+    params.update(overrides)
+    return SyntheticWorkload(**params)
+
+
+def hot_spot_workload(**overrides) -> SyntheticWorkload:
+    """The Hot Spot pattern: all clusters target one cluster (Table 3)."""
+    params: Dict = dict(
+        name="Hot Spot",
+        pattern=SyntheticPattern.HOT_SPOT,
+        mean_gap_cycles=40.0,
+        description="All clusters to one cluster, 1 M requests",
+    )
+    params.update(overrides)
+    return SyntheticWorkload(**params)
+
+
+def tornado_workload(**overrides) -> SyntheticWorkload:
+    """The Tornado adversarial permutation (Table 3)."""
+    params: Dict = dict(
+        name="Tornado",
+        pattern=SyntheticPattern.TORNADO,
+        mean_gap_cycles=40.0,
+        description="Tornado permutation, 1 M requests",
+    )
+    params.update(overrides)
+    return SyntheticWorkload(**params)
+
+
+def transpose_workload(**overrides) -> SyntheticWorkload:
+    """The Transpose permutation (Table 3)."""
+    params: Dict = dict(
+        name="Transpose",
+        pattern=SyntheticPattern.TRANSPOSE,
+        mean_gap_cycles=40.0,
+        description="Transpose permutation, 1 M requests",
+    )
+    params.update(overrides)
+    return SyntheticWorkload(**params)
+
+
+def synthetic_workloads(**overrides) -> List[SyntheticWorkload]:
+    """The four synthetic workloads in the order the paper plots them."""
+    return [
+        uniform_workload(**overrides),
+        hot_spot_workload(**overrides),
+        tornado_workload(**overrides),
+        transpose_workload(**overrides),
+    ]

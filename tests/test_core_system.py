@@ -1,0 +1,217 @@
+"""Integration tests for the trace-driven system simulator."""
+
+import pytest
+
+from repro.core.configs import configuration_by_name
+from repro.core.system import SystemSimulator, simulate_workload
+from repro.trace.record import AccessKind, TraceRecord, TraceStream
+
+
+def _single_request_trace(num_clusters=16, src=0, home=5, is_write=False):
+    trace = TraceStream("single", num_clusters=num_clusters, threads_per_cluster=2)
+    trace.add(
+        TraceRecord(
+            thread_id=src * 2,
+            cluster_id=src,
+            home_cluster=home,
+            kind=AccessKind.WRITE if is_write else AccessKind.READ,
+            address=(home << 26) | 0x40,
+            gap_cycles=10.0,
+        )
+    )
+    return trace
+
+
+class TestSingleTransaction:
+    def test_read_latency_breakdown_on_corona(self, small_config):
+        simulator = SystemSimulator(
+            configuration_by_name("XBar/OCM"), corona_config=small_config
+        )
+        result = simulator.run(_single_request_trace())
+        assert result.num_requests == 1
+        # One uncontested read: ~2 ns gap + network + ~22 ns memory.
+        assert 20e-9 < result.average_latency_s < 60e-9
+        assert result.execution_time_s > result.average_latency_s
+
+    def test_read_latency_on_baseline_is_higher(self, small_config):
+        corona = SystemSimulator(
+            configuration_by_name("XBar/OCM"), corona_config=small_config
+        ).run(_single_request_trace())
+        baseline = SystemSimulator(
+            configuration_by_name("LMesh/ECM"), corona_config=small_config
+        ).run(_single_request_trace())
+        assert baseline.average_latency_s > corona.average_latency_s
+
+    def test_local_request_skips_network(self, small_config):
+        simulator = SystemSimulator(
+            configuration_by_name("XBar/OCM"), corona_config=small_config
+        )
+        result = simulator.run(_single_request_trace(src=3, home=3))
+        assert result.network_messages == 0
+        assert simulator.stats.network_messages == 0
+
+    def test_write_transaction_completes(self, small_config):
+        simulator = SystemSimulator(
+            configuration_by_name("HMesh/OCM"), corona_config=small_config
+        )
+        result = simulator.run(_single_request_trace(is_write=True))
+        assert result.num_requests == 1
+        assert simulator.stats.writes == 1
+
+    def test_memory_bytes_counted(self, small_config):
+        simulator = SystemSimulator(
+            configuration_by_name("XBar/OCM"), corona_config=small_config
+        )
+        result = simulator.run(_single_request_trace())
+        assert result.memory_bytes == 64
+
+
+class TestWorkloadReplay:
+    def test_all_requests_complete(self, small_config, small_uniform_workload):
+        result = simulate_workload(
+            configuration_by_name("XBar/OCM"),
+            small_uniform_workload,
+            num_requests=2000,
+            corona_config=small_config,
+        )
+        assert result.num_requests == 2000
+        assert result.execution_time_s > 0
+        assert result.achieved_bandwidth_bytes_per_s > 0
+
+    def test_every_configuration_runs(
+        self, small_config, small_uniform_workload, any_configuration
+    ):
+        result = simulate_workload(
+            any_configuration,
+            small_uniform_workload,
+            num_requests=1000,
+            corona_config=small_config,
+        )
+        assert result.configuration == any_configuration.name
+        assert result.num_requests == 1000
+        assert result.average_latency_s > 0
+
+    def test_corona_outperforms_baseline_on_uniform(
+        self, small_config, small_uniform_workload
+    ):
+        corona = simulate_workload(
+            configuration_by_name("XBar/OCM"),
+            small_uniform_workload,
+            num_requests=3000,
+            corona_config=small_config,
+        )
+        baseline = simulate_workload(
+            configuration_by_name("LMesh/ECM"),
+            small_uniform_workload,
+            num_requests=3000,
+            corona_config=small_config,
+        )
+        assert corona.execution_time_s < baseline.execution_time_s
+        assert corona.average_latency_s < baseline.average_latency_s
+        assert (
+            corona.achieved_bandwidth_bytes_per_s
+            > baseline.achieved_bandwidth_bytes_per_s
+        )
+
+    def test_splash_workload_runs(self, small_config, small_splash_workload):
+        result = simulate_workload(
+            configuration_by_name("HMesh/OCM"),
+            small_splash_workload,
+            num_requests=2000,
+            corona_config=small_config,
+        )
+        assert result.num_requests == 2000
+        assert not result.is_synthetic
+
+    def test_deterministic_replay(self, small_config, small_uniform_workload):
+        first = simulate_workload(
+            configuration_by_name("XBar/OCM"),
+            small_uniform_workload,
+            num_requests=1500,
+            corona_config=small_config,
+            seed=11,
+        )
+        second = simulate_workload(
+            configuration_by_name("XBar/OCM"),
+            small_uniform_workload,
+            num_requests=1500,
+            corona_config=small_config,
+            seed=11,
+        )
+        assert first.execution_time_s == pytest.approx(second.execution_time_s)
+        assert first.average_latency_s == pytest.approx(second.average_latency_s)
+
+    def test_network_power_accounts_static_for_crossbar(
+        self, small_config, small_uniform_workload
+    ):
+        corona = simulate_workload(
+            configuration_by_name("XBar/OCM"),
+            small_uniform_workload,
+            num_requests=1000,
+            corona_config=small_config,
+        )
+        assert corona.network_static_power_w == pytest.approx(26.0)
+        assert corona.network_power_w >= 26.0
+
+    def test_mesh_power_is_purely_dynamic(
+        self, small_config, small_uniform_workload
+    ):
+        baseline = simulate_workload(
+            configuration_by_name("LMesh/ECM"),
+            small_uniform_workload,
+            num_requests=1000,
+            corona_config=small_config,
+        )
+        assert baseline.network_static_power_w == 0.0
+        assert baseline.network_dynamic_power_w > 0.0
+
+    def test_window_depth_improves_throughput(self, small_config, small_uniform_workload):
+        narrow = simulate_workload(
+            configuration_by_name("XBar/OCM"),
+            small_uniform_workload,
+            num_requests=2000,
+            corona_config=small_config,
+            window_depth=1,
+        )
+        wide = simulate_workload(
+            configuration_by_name("XBar/OCM"),
+            small_uniform_workload,
+            num_requests=2000,
+            corona_config=small_config,
+            window_depth=8,
+        )
+        assert wide.execution_time_s < narrow.execution_time_s
+
+    def test_rejects_bad_window(self, small_config):
+        with pytest.raises(ValueError):
+            SystemSimulator(
+                configuration_by_name("XBar/OCM"),
+                corona_config=small_config,
+                window_depth=0,
+            )
+
+    def test_stats_conservation(self, small_config, small_uniform_workload):
+        simulator = SystemSimulator(
+            configuration_by_name("XBar/OCM"),
+            corona_config=small_config,
+            window_depth=4,
+        )
+        trace = small_uniform_workload.generate(seed=1, num_requests=2000)
+        result = simulator.run(trace)
+        stats = simulator.stats
+        assert stats.requests == 2000
+        assert stats.reads + stats.writes == 2000
+        assert stats.memory_bytes == pytest.approx(2000 * 64)
+        assert result.memory_bytes == pytest.approx(stats.memory_bytes)
+        # Every remote transaction contributes exactly two network messages.
+        remote = stats.network_messages // 2
+        assert simulator.network.messages_sent == 2 * remote
+
+    def test_latency_never_below_memory_floor(self, small_config, small_uniform_workload):
+        simulator = SystemSimulator(
+            configuration_by_name("XBar/OCM"), corona_config=small_config
+        )
+        trace = small_uniform_workload.generate(seed=1, num_requests=1000)
+        simulator.run(trace)
+        # No transaction can complete faster than the 20 ns DRAM access.
+        assert simulator.stats.latency.minimum >= 20e-9

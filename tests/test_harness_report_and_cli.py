@@ -1,0 +1,186 @@
+"""Tests for the markdown report, the sensitivity sweeps, the address-level
+workloads and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.experiments import EvaluationMatrix, ExperimentScale
+from repro.harness.report import ReproductionReport, build_report
+from repro.harness.sensitivity import (
+    SweepPoint,
+    channel_bandwidth_sensitivity,
+    format_sweep,
+    required_laser_power_sensitivity,
+    ring_through_loss_sensitivity,
+    waveguide_loss_sensitivity,
+    window_depth_sensitivity,
+)
+from repro.trace.address import (
+    AccessPattern,
+    AddressWorkload,
+    random_shared_workload,
+    resident_workload,
+    streaming_workload,
+)
+
+
+def _tiny_matrix():
+    return EvaluationMatrix(
+        scale=ExperimentScale(
+            synthetic_requests=600,
+            splash_fraction=1e-6,
+            splash_min_requests=600,
+            splash_max_requests=600,
+        ),
+        configuration_names=["LMesh/ECM", "XBar/OCM"],
+        include_splash=False,
+    )
+
+
+class TestReport:
+    def test_build_report_and_render(self):
+        report = build_report(_tiny_matrix())
+        markdown = report.to_markdown()
+        assert "# Corona reproduction report" in markdown
+        assert "Figure 8" in markdown and "Figure 11" in markdown
+        assert "Table 1" in markdown
+        assert "| Workload |" in markdown
+        assert "XBar/OCM" in markdown
+
+    def test_report_summary_and_write(self, tmp_path):
+        report = build_report(_tiny_matrix())
+        summary = report.summary()
+        assert "corona_over_baseline_synthetic" in summary
+        assert summary["corona_over_baseline_synthetic"] > 0
+        path = report.write(tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Corona reproduction report")
+
+
+class TestSensitivity:
+    def test_waveguide_loss_sweep_shows_feasibility_cliff(self):
+        points = waveguide_loss_sensitivity()
+        assert points[0].feasible
+        assert not points[-1].feasible
+        margins = [p.metric for p in points]
+        assert margins == sorted(margins, reverse=True)
+
+    def test_ring_loss_sweep_monotone(self):
+        points = ring_through_loss_sensitivity()
+        margins = [p.metric for p in points]
+        assert margins == sorted(margins, reverse=True)
+        assert points[0].feasible
+
+    def test_laser_power_grows_with_loss(self):
+        points = required_laser_power_sensitivity()
+        powers = [p.metric for p in points]
+        assert powers == sorted(powers)
+
+    def test_window_sweep_monotone_nondecreasing(self):
+        points = window_depth_sensitivity(num_requests=1200, depths=(1, 4, 8))
+        values = [p.metric for p in points]
+        assert values[1] > values[0]
+        assert values[2] >= values[1] * 0.95
+
+    def test_channel_bandwidth_sweep(self):
+        points = channel_bandwidth_sensitivity(
+            num_requests=1200, channel_bandwidths_bytes_per_s=(80e9, 320e9)
+        )
+        assert points[1].metric >= points[0].metric
+
+    def test_format_sweep(self):
+        text = format_sweep(
+            "demo", [SweepPoint(1.0, 2.0), SweepPoint(2.0, 1.0, feasible=False)],
+            "x", "y",
+        )
+        assert "demo" in text and "NO" in text
+
+
+class TestAddressWorkloads:
+    def test_streaming_misses_heavily(self):
+        workload = streaming_workload(accesses_per_thread=400, threads_per_cluster=4)
+        trace, hierarchies = workload.generate(seed=1, clusters=2)
+        assert trace.total_requests > 0
+        assert hierarchies[0].l2_miss_rate() > 0.5
+
+    def test_resident_workload_rarely_misses(self):
+        workload = resident_workload(accesses_per_thread=400, threads_per_cluster=4)
+        trace, hierarchies = workload.generate(seed=1, clusters=1)
+        streaming = streaming_workload(accesses_per_thread=400, threads_per_cluster=4)
+        streaming_trace, _ = streaming.generate(seed=1, clusters=1)
+        assert trace.total_requests < streaming_trace.total_requests
+
+    def test_random_shared_spreads_homes(self):
+        workload = random_shared_workload(
+            accesses_per_thread=300, threads_per_cluster=4
+        )
+        trace, _ = workload.generate(seed=1, clusters=2)
+        assert len(trace.destination_histogram()) > 8
+
+    def test_generated_trace_is_replayable(self, small_config):
+        from repro.core.configs import configuration_by_name
+        from repro.core.system import SystemSimulator
+
+        workload = streaming_workload(
+            accesses_per_thread=200,
+            threads_per_cluster=2,
+            num_clusters=16,
+        )
+        trace, _ = workload.generate(seed=1, clusters=4)
+        result = SystemSimulator(
+            configuration_by_name("XBar/OCM"), corona_config=small_config
+        ).run(trace)
+        assert result.num_requests == trace.total_requests
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AddressWorkload(name="x", pattern=AccessPattern.STREAMING,
+                            accesses_per_thread=0)
+        with pytest.raises(ValueError):
+            streaming_workload().generate(clusters=0)
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["tables"])
+        assert args.command == "tables"
+
+    def test_tables_command(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 4" in out
+
+    def test_inventory_command(self, capsys):
+        assert main(["inventory", "--clusters", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Crossbar" in out
+
+    def test_power_command(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "penryn" in out and "optical" in out
+
+    def test_sensitivity_command(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "waveguide loss" in out
+
+    def test_simulate_command(self, capsys):
+        code = main([
+            "simulate", "Uniform", "--requests", "800",
+            "--configurations", "LMesh/ECM", "XBar/OCM",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "XBar/OCM" in out
+
+    def test_simulate_splash_workload(self, capsys):
+        assert main([
+            "simulate", "Barnes", "--requests", "800",
+            "--configurations", "XBar/OCM",
+        ]) == 0
+
+    def test_simulate_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "NotAWorkload"])

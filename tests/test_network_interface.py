@@ -1,0 +1,98 @@
+"""Tests for network interfaces and the inter-stack fabric."""
+
+import pytest
+
+from repro.network.interface import (
+    FIBER_LIGHT_SPEED_M_PER_S,
+    MultiStackFabric,
+    NetworkInterface,
+)
+
+
+class TestNetworkInterface:
+    def test_bandwidth_matches_ocm_link(self):
+        # 64 wavelengths at 10 Gb/s = 80 GB/s, the same building block as the
+        # memory links.
+        assert NetworkInterface(cluster_id=0).bandwidth_bytes_per_s == pytest.approx(80e9)
+
+    def test_fiber_latency_scales_with_length(self):
+        short = NetworkInterface(cluster_id=0, fiber_length_m=1.0)
+        long = NetworkInterface(cluster_id=0, fiber_length_m=10.0)
+        assert long.fiber_latency_s == pytest.approx(10 * short.fiber_latency_s)
+        assert short.fiber_latency_s == pytest.approx(1.0 / FIBER_LIGHT_SPEED_M_PER_S)
+
+    def test_send_includes_serialization_and_flight(self):
+        interface = NetworkInterface(cluster_id=0, fiber_length_m=2.04)
+        arrival = interface.send(0.0, 80)
+        assert arrival == pytest.approx(1e-9 + 1e-8)
+
+    def test_back_to_back_sends_serialize(self):
+        interface = NetworkInterface(cluster_id=0)
+        first = interface.send(0.0, 8000)
+        second = interface.send(0.0, 8000)
+        assert second > first
+
+    def test_energy_and_byte_accounting(self):
+        interface = NetworkInterface(cluster_id=0)
+        interface.send(0.0, 64)
+        interface.receive(0.0, 64)
+        assert interface.bytes_sent == 64
+        assert interface.bytes_received == 64
+        assert interface.energy_j == pytest.approx(64 * 8 * 100e-15)
+
+    def test_utilization(self):
+        interface = NetworkInterface(cluster_id=0)
+        interface.send(0.0, 80e9 * 1e-9)  # 1 ns of egress occupancy
+        assert interface.utilization(1e-6) == pytest.approx(0.5e-3, rel=0.01)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            NetworkInterface(cluster_id=0).send(0.0, -1)
+
+
+class TestMultiStackFabric:
+    def test_fabric_builds_all_interfaces(self):
+        fabric = MultiStackFabric(num_stacks=2, clusters_per_stack=4)
+        assert len(fabric.interfaces) == 8
+        assert fabric.aggregate_bandwidth_bytes_per_s == pytest.approx(8 * 80e9)
+
+    def test_remote_transfer_completes_after_penalty(self):
+        fabric = MultiStackFabric(num_stacks=2, clusters_per_stack=4)
+        done = fabric.remote_transfer(0, 0, 1, 2, size_bytes=72, now=0.0)
+        assert done == pytest.approx(fabric.remote_access_penalty_s(72))
+        assert fabric.remote_transfers == 1
+
+    def test_same_stack_transfer_rejected(self):
+        fabric = MultiStackFabric(num_stacks=2, clusters_per_stack=4)
+        with pytest.raises(ValueError):
+            fabric.remote_transfer(0, 0, 0, 1, size_bytes=72, now=0.0)
+
+    def test_remote_penalty_small_relative_to_memory_latency(self):
+        # A 1 m fiber hop costs a few ns -- comparable to the on-stack
+        # interconnect, far below DRAM latency, which is the paper's argument
+        # for near-uniform latency across larger systems.
+        fabric = MultiStackFabric(num_stacks=2, clusters_per_stack=4)
+        assert fabric.remote_access_penalty_s() < 10e-9
+
+    def test_contention_on_one_interface(self):
+        fabric = MultiStackFabric(num_stacks=2, clusters_per_stack=2)
+        completions = [
+            fabric.remote_transfer(0, 0, 1, 1, size_bytes=7200, now=0.0)
+            for _ in range(10)
+        ]
+        assert completions == sorted(completions)
+        assert completions[-1] > completions[0]
+
+    def test_energy_accumulates(self):
+        fabric = MultiStackFabric(num_stacks=2, clusters_per_stack=2)
+        fabric.remote_transfer(0, 0, 1, 0, size_bytes=64, now=0.0)
+        assert fabric.total_energy_j() > 0
+
+    def test_unknown_interface_rejected(self):
+        fabric = MultiStackFabric(num_stacks=2, clusters_per_stack=2)
+        with pytest.raises(ValueError):
+            fabric.interface(3, 0)
+
+    def test_single_stack_rejected(self):
+        with pytest.raises(ValueError):
+            MultiStackFabric(num_stacks=1)

@@ -1,0 +1,188 @@
+"""Tests for DWDM channels, loss/power budgets and the Table 2 inventory."""
+
+import pytest
+
+from repro.photonics.dwdm import (
+    DwdmChannel,
+    WavelengthComb,
+    corona_crossbar_channel,
+    corona_memory_link,
+)
+from repro.photonics.inventory import corona_inventory
+from repro.photonics.power_budget import (
+    LossBudget,
+    LossElement,
+    PowerBudget,
+    crossbar_worst_case_budget,
+)
+from repro.photonics.waveguide import WaveguideBundle
+
+
+class TestWavelengthComb:
+    def test_total_bandwidth(self):
+        comb = WavelengthComb(num_wavelengths=64, spacing_hz=80e9)
+        assert comb.total_bandwidth_hz == pytest.approx(64 * 80e9)
+
+    def test_indices(self):
+        assert list(WavelengthComb(num_wavelengths=4).indices()) == [0, 1, 2, 3]
+
+    def test_rejects_zero_wavelengths(self):
+        with pytest.raises(ValueError):
+            WavelengthComb(num_wavelengths=0)
+
+
+class TestDwdmChannel:
+    def test_corona_crossbar_channel_bandwidth(self):
+        channel = corona_crossbar_channel("ch0")
+        # 256 wavelengths at 10 Gb/s = 2.56 Tb/s = 320 GB/s.
+        assert channel.bandwidth_bytes_per_s == pytest.approx(320e9)
+        assert channel.phit_bits == 256
+
+    def test_cache_line_serialization_is_one_clock(self):
+        channel = corona_crossbar_channel("ch0")
+        assert channel.serialization_time_s(64) == pytest.approx(0.2e-9)
+
+    def test_memory_link_bandwidth(self):
+        link = corona_memory_link("mem0")
+        # 64 wavelengths at 10 Gb/s = 80 GB/s per link; a controller uses two.
+        assert link.bandwidth_bytes_per_s == pytest.approx(80e9)
+
+    def test_ring_counts_match_width(self):
+        channel = corona_crossbar_channel("ch0")
+        assert channel.total_rings == 2 * 256
+
+    def test_transfer_latency_includes_propagation(self):
+        channel = corona_crossbar_channel("ch0", length_m=0.08)
+        latency = channel.transfer_latency_s(64)
+        assert latency > channel.serialization_time_s(64)
+
+    def test_transfer_energy_positive_and_linear(self):
+        channel = corona_crossbar_channel("ch0")
+        assert channel.transfer_energy_j(128) == pytest.approx(
+            2 * channel.transfer_energy_j(64)
+        )
+
+    def test_mismatched_ring_count_rejected(self):
+        bundle = WaveguideBundle.uniform("b", count=1, length_m=0.01)
+        from repro.photonics.ring import Modulator
+
+        with pytest.raises(ValueError):
+            DwdmChannel(
+                name="bad",
+                bundle=bundle,
+                modulators=[Modulator(wavelength_index=0)],
+            )
+
+    def test_serialization_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            corona_crossbar_channel("ch0").serialization_time_s(-1)
+
+
+class TestLossBudget:
+    def test_total_is_sum_of_elements(self):
+        budget = LossBudget("path")
+        budget.add("a", 1.0).add("b", 0.5, count=4)
+        assert budget.total_db == pytest.approx(3.0)
+
+    def test_transmitted_fraction(self):
+        budget = LossBudget("path")
+        budget.add("a", 10.0)
+        assert budget.transmitted_fraction == pytest.approx(0.1)
+
+    def test_element_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            LossElement("x", loss_db=-1.0)
+
+    def test_report_mentions_every_element(self):
+        budget = LossBudget("path").add("coupler", 1.0).add("splitter", 3.0)
+        report = budget.report()
+        assert "coupler" in report and "splitter" in report and "TOTAL" in report
+
+
+class TestPowerBudget:
+    def test_budget_closes_with_enough_laser_power(self):
+        budget = PowerBudget(
+            loss_budget=LossBudget("p").add("path", 10.0),
+            detector_sensitivity_dbm=-20.0,
+            laser_power_per_wavelength_dbm=0.0,
+            margin_db=3.0,
+        )
+        assert budget.closes
+        assert budget.margin_achieved_db == pytest.approx(10.0)
+
+    def test_budget_fails_with_too_much_loss(self):
+        budget = PowerBudget(
+            loss_budget=LossBudget("p").add("path", 25.0),
+            detector_sensitivity_dbm=-20.0,
+            laser_power_per_wavelength_dbm=0.0,
+        )
+        assert not budget.closes
+
+    def test_required_laser_power(self):
+        budget = PowerBudget(
+            loss_budget=LossBudget("p").add("path", 10.0),
+            detector_sensitivity_dbm=-20.0,
+            margin_db=3.0,
+        )
+        assert budget.required_laser_power_dbm == pytest.approx(-7.0)
+
+    def test_dbm_watt_roundtrip(self):
+        assert PowerBudget.watts_to_dbm(
+            PowerBudget.dbm_to_watts(3.2)
+        ) == pytest.approx(3.2)
+
+    def test_crossbar_worst_case_budget_closes_with_projected_devices(self):
+        budget = PowerBudget(
+            loss_budget=crossbar_worst_case_budget(),
+            detector_sensitivity_dbm=-20.0,
+            laser_power_per_wavelength_dbm=0.0,
+        )
+        assert budget.closes
+
+    def test_report_states_closure(self):
+        budget = PowerBudget(loss_budget=LossBudget("p").add("x", 1.0))
+        assert "CLOSES" in budget.report()
+
+
+class TestInventory:
+    def test_table2_totals(self):
+        inventory = corona_inventory()
+        assert inventory.total_waveguides == 388
+        assert inventory.total_ring_resonators == pytest.approx(1_081_408)
+
+    def test_table2_crossbar_row(self):
+        by_name = corona_inventory().by_name()
+        assert by_name["Crossbar"].waveguides == 256
+        assert by_name["Crossbar"].ring_resonators == 1024 * 1024
+
+    def test_table2_memory_row(self):
+        by_name = corona_inventory().by_name()
+        assert by_name["Memory"].waveguides == 128
+        assert by_name["Memory"].ring_resonators == 16 * 1024
+
+    def test_table2_broadcast_and_arbitration_rows(self):
+        by_name = corona_inventory().by_name()
+        assert by_name["Broadcast"].ring_resonators == 8 * 1024
+        assert by_name["Arbitration"].ring_resonators == 8 * 1024
+        assert by_name["Arbitration"].waveguides == 2
+
+    def test_table2_clock_row(self):
+        by_name = corona_inventory().by_name()
+        assert by_name["Clock"].waveguides == 1
+        assert by_name["Clock"].ring_resonators == 64
+
+    def test_inventory_scales_with_cluster_count(self):
+        small = corona_inventory(clusters=16)
+        assert small.by_name()["Crossbar"].ring_resonators == 16 * 16 * 256
+
+    def test_as_rows_ends_with_total(self):
+        rows = corona_inventory().as_rows()
+        assert rows[-1][0] == "Total"
+
+    def test_report_is_renderable(self):
+        report = corona_inventory().report()
+        assert "Crossbar" in report and "Total" in report
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            corona_inventory(clusters=0)

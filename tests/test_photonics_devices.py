@@ -1,0 +1,260 @@
+"""Tests for photonic device models: constants, waveguides, rings, lasers,
+splitters."""
+
+import math
+
+import pytest
+
+from repro.photonics import constants
+from repro.photonics.laser import ModeLockedLaser, lasers_required
+from repro.photonics.ring import (
+    Detector,
+    Injector,
+    Modulator,
+    RingResonator,
+    RingRole,
+    ring_array,
+)
+from repro.photonics.splitter import (
+    BroadbandSplitter,
+    StarCoupler,
+    splitter_chain_losses,
+)
+from repro.photonics.waveguide import Waveguide, WaveguideBundle
+
+
+class TestConstants:
+    def test_waveguide_speed_is_about_2cm_per_clock(self):
+        # The paper quotes ~2 cm of waveguide per 5 GHz clock.
+        distance_per_clock = constants.LIGHT_SPEED_WAVEGUIDE_M_PER_S / 5e9
+        assert distance_per_clock == pytest.approx(0.02, rel=0.05)
+
+    def test_db_fraction_roundtrip(self):
+        assert constants.fraction_to_db(
+            constants.db_to_fraction(3.0)
+        ) == pytest.approx(3.0)
+
+    def test_3db_is_half_power(self):
+        assert constants.db_to_fraction(3.0103) == pytest.approx(0.5, rel=1e-3)
+
+    def test_fraction_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            constants.fraction_to_db(0.0)
+
+    def test_propagation_delay(self):
+        delay = constants.propagation_delay(0.02)
+        assert delay == pytest.approx(0.2e-9, rel=0.05)
+
+    def test_propagation_delay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            constants.propagation_delay(-1.0)
+
+    def test_operating_wavelength_inside_ge_window(self):
+        low, high = constants.GE_ABSORPTION_WINDOW_M
+        assert low <= constants.OPERATING_WAVELENGTH_M <= high
+
+
+class TestWaveguide:
+    def test_propagation_loss_scales_with_length(self):
+        short = Waveguide("short", length_m=0.01)
+        long = Waveguide("long", length_m=0.02)
+        assert long.propagation_loss_db == pytest.approx(2 * short.propagation_loss_db)
+
+    def test_insertion_loss_includes_ring_passes(self):
+        guide = Waveguide("g", length_m=0.0, ring_passes=100, ring_through_loss_db=0.01)
+        assert guide.insertion_loss_db == pytest.approx(1.0)
+
+    def test_delay_cycles_at_5ghz(self):
+        guide = Waveguide("g", length_m=0.16)
+        assert guide.delay_cycles(5e9) == pytest.approx(8.0, rel=0.05)
+
+    def test_data_rate(self):
+        guide = Waveguide("g", length_m=0.01, wavelengths=64)
+        assert guide.data_rate_bps() == pytest.approx(640e9)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            Waveguide("g", length_m=-1.0)
+
+    def test_rejects_zero_wavelengths(self):
+        with pytest.raises(ValueError):
+            Waveguide("g", length_m=0.01, wavelengths=0)
+
+
+class TestWaveguideBundle:
+    def test_corona_channel_is_256_bits_wide(self):
+        bundle = WaveguideBundle.uniform("ch", count=4, length_m=0.08)
+        assert bundle.phit_bits == 256
+
+    def test_corona_channel_bandwidth_is_320_gbytes(self):
+        bundle = WaveguideBundle.uniform("ch", count=4, length_m=0.08)
+        assert bundle.bandwidth_bytes_per_s() == pytest.approx(320e9)
+
+    def test_delay_is_longest_member(self):
+        fast = Waveguide("a", length_m=0.01)
+        slow = Waveguide("b", length_m=0.05)
+        bundle = WaveguideBundle("mixed", [fast, slow])
+        assert bundle.propagation_delay_s == pytest.approx(slow.propagation_delay_s)
+
+    def test_rejects_empty_uniform(self):
+        with pytest.raises(ValueError):
+            WaveguideBundle.uniform("ch", count=0, length_m=0.01)
+
+
+class TestRingResonator:
+    def test_switching_energy_charged_once_per_transition(self):
+        ring = RingResonator(wavelength_index=0)
+        assert ring.set_resonance(True) > 0
+        assert ring.set_resonance(True) == 0.0
+        assert ring.set_resonance(False) > 0
+        assert ring.switch_count == 2
+
+    def test_off_resonance_passes_all_wavelengths(self):
+        ring = RingResonator(wavelength_index=3)
+        assert ring.passes_wavelength(3)
+        assert ring.passes_wavelength(5)
+
+    def test_on_resonance_blocks_only_its_wavelength(self):
+        ring = RingResonator(wavelength_index=3)
+        ring.set_resonance(True)
+        assert not ring.passes_wavelength(3)
+        assert ring.passes_wavelength(4)
+
+    def test_loss_for_resonant_wavelength(self):
+        ring = RingResonator(wavelength_index=0, through_loss_db=0.01, drop_loss_db=0.5)
+        assert ring.loss_for(1) == 0.01
+        ring.set_resonance(True)
+        assert ring.loss_for(0) == 0.5
+
+    def test_rejects_negative_wavelength_index(self):
+        with pytest.raises(ValueError):
+            RingResonator(wavelength_index=-1)
+
+
+class TestModulator:
+    def test_modulation_energy_scales_with_bits(self):
+        modulator = Modulator(wavelength_index=0)
+        one = modulator.modulate(1000)
+        two = modulator.modulate(2000)
+        assert two == pytest.approx(2 * one)
+        assert modulator.bits_modulated == 3000
+
+    def test_modulation_time_at_10gbps(self):
+        modulator = Modulator(wavelength_index=0)
+        assert modulator.modulation_time(10) == pytest.approx(1e-9)
+
+    def test_rejects_bad_toggle_probability(self):
+        with pytest.raises(ValueError):
+            Modulator(wavelength_index=0).modulate(10, toggle_probability=1.5)
+
+
+class TestInjectorDetector:
+    def test_injector_divert_release(self):
+        injector = Injector(wavelength_index=0)
+        injector.divert()
+        assert injector.diverting
+        injector.release()
+        assert not injector.diverting
+
+    def test_detector_counts_bits_and_energy(self):
+        detector = Detector(wavelength_index=0)
+        energy = detector.detect(800)
+        assert detector.bits_detected == 800
+        assert energy == pytest.approx(800 * detector.receiver_energy_per_bit_j)
+
+    def test_detector_small_capacitance(self):
+        # ~1 fF detectors are what remove the need for TIAs.
+        assert Detector(wavelength_index=0).capacitance_f == pytest.approx(1e-15)
+
+    def test_detector_effective_absorption_grows_with_passes(self):
+        detector = Detector(wavelength_index=0)
+        few = detector.effective_absorption(10)
+        many = detector.effective_absorption(200)
+        assert 0 < few < many < 1
+
+    def test_ring_array_assigns_consecutive_wavelengths(self):
+        rings = ring_array(64, RingRole.DETECTOR)
+        assert [r.wavelength_index for r in rings] == list(range(64))
+        assert all(isinstance(r, Detector) for r in rings)
+
+    def test_ring_array_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            ring_array(0, RingRole.MODULATOR)
+
+
+class TestLaser:
+    def test_comb_has_requested_wavelength_count(self):
+        laser = ModeLockedLaser(num_wavelengths=64)
+        wavelengths = [laser.wavelength_m(i) for i in range(64)]
+        assert len(set(wavelengths)) == 64
+
+    def test_wavelengths_decrease_with_frequency_index(self):
+        laser = ModeLockedLaser(num_wavelengths=8)
+        assert laser.wavelength_m(0) > laser.wavelength_m(7)
+
+    def test_wavelengths_near_operating_point(self):
+        laser = ModeLockedLaser()
+        for index in (0, 31, 63):
+            assert laser.wavelength_m(index) == pytest.approx(1.3e-6, rel=0.02)
+
+    def test_electrical_power_includes_efficiency(self):
+        laser = ModeLockedLaser(power_per_wavelength_w=1e-3, wall_plug_efficiency=0.1)
+        assert laser.electrical_power_w == pytest.approx(laser.total_optical_power_w / 0.1)
+
+    def test_detector_power_after_loss(self):
+        laser = ModeLockedLaser(power_per_wavelength_w=1e-3)
+        assert laser.detector_power_w(10.0) == pytest.approx(1e-4)
+
+    def test_required_power_for_sensitivity(self):
+        laser = ModeLockedLaser()
+        required = laser.required_power_per_wavelength_w(1e-5, path_loss_db=20.0)
+        assert required == pytest.approx(1e-3)
+
+    def test_wavelength_index_bounds(self):
+        laser = ModeLockedLaser(num_wavelengths=4)
+        with pytest.raises(ValueError):
+            laser.wavelength_m(4)
+
+    def test_lasers_required(self):
+        assert lasers_required(64) == 1
+        assert lasers_required(65) == 2
+        assert lasers_required(0) == 0
+
+
+class TestSplitters:
+    def test_even_splitter_tap_loss_is_3db(self):
+        splitter = BroadbandSplitter("s", tap_fraction=0.5, excess_loss_db=0.0)
+        assert splitter.tap_loss_db == pytest.approx(3.0103, rel=1e-3)
+
+    def test_split_power_conserves_energy_minus_excess(self):
+        splitter = BroadbandSplitter("s", tap_fraction=0.3, excess_loss_db=0.0)
+        tap, through = splitter.split_power(1.0)
+        assert tap + through == pytest.approx(1.0)
+        assert tap == pytest.approx(0.3)
+
+    def test_rejects_bad_tap_fraction(self):
+        with pytest.raises(ValueError):
+            BroadbandSplitter("s", tap_fraction=1.0)
+
+    def test_star_coupler_output_power(self):
+        coupler = StarCoupler("c", outputs=64, excess_loss_db=0.0)
+        assert coupler.output_power_w(1.0) == pytest.approx(1.0 / 64.0)
+
+    def test_star_coupler_loss_for_64_outputs(self):
+        coupler = StarCoupler("c", outputs=64, excess_loss_db=1.0)
+        assert coupler.per_output_loss_db == pytest.approx(19.06, rel=1e-2)
+
+    def test_splitter_chain_covers_all_taps(self):
+        losses = splitter_chain_losses(64)
+        assert len(losses) == 64
+        assert all(loss >= 0 for loss in losses)
+
+    def test_graded_chain_keeps_losses_similar(self):
+        # With per-tap graded fractions, first and last listeners should see
+        # losses within a few dB of each other.
+        losses = splitter_chain_losses(16, excess_loss_db=0.0)
+        assert max(losses) - min(losses) < 3.0
+
+    def test_splitter_chain_rejects_zero_taps(self):
+        with pytest.raises(ValueError):
+            splitter_chain_losses(0)

@@ -1,0 +1,150 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_starts_empty(self):
+        assert len(EventQueue()) == 0
+
+    def test_push_and_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(3.0, order.append, ("c",))
+        queue.push(1.0, order.append, ("a",))
+        queue.push(2.0, order.append, ("b",))
+        while (event := queue.pop()) is not None:
+            event.callback(*event.args)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_processed_in_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None, ())
+        second = queue.push(1.0, lambda: None, ())
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, ())
+        keeper = queue.push(2.0, lambda: None, ())
+        event.cancel()
+        assert queue.pop() is keeper
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None, ())
+        queue.push(2.0, lambda: None, ())
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulator:
+    def test_now_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_run_executes_events_and_advances_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1e-9, seen.append, "first")
+        sim.schedule(3e-9, seen.append, "second")
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == pytest.approx(3e-9)
+        assert sim.events_executed == 2
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 5:
+                sim.schedule(1e-9, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 1)
+        sim.run()
+        assert seen == [1, 2, 3, 4, 5]
+        assert sim.now == pytest.approx(4e-9)
+
+    def test_schedule_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1e-9, lambda: None)
+
+    def test_schedule_at_rejects_past_times(self):
+        sim = Simulator()
+        sim.schedule(5e-9, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1e-9, lambda: None)
+
+    def test_run_until_stops_at_bound(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1e-9, seen.append, "early")
+        sim.schedule(10e-9, seen.append, "late")
+        sim.run(until=5e-9)
+        assert seen == ["early"]
+        assert sim.now == pytest.approx(5e-9)
+        assert sim.pending_events() == 1
+
+    def test_run_resumes_after_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1e-9, seen.append, "early")
+        sim.schedule(10e-9, seen.append, "late")
+        sim.run(until=5e-9)
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i * 1e-9, lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_executed == 4
+        assert sim.pending_events() == 6
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        seen = []
+
+        def stopper():
+            seen.append("stop")
+            sim.stop()
+
+        sim.schedule(1e-9, stopper)
+        sim.schedule(2e-9, seen.append, "after")
+        sim.run()
+        assert seen == ["stop"]
+        sim.run()
+        assert seen == ["stop", "after"]
+
+    def test_cancel_prevents_execution(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1e-9, seen.append, "cancelled")
+        sim.schedule(2e-9, seen.append, "kept")
+        sim.cancel(event)
+        sim.run()
+        assert seen == ["kept"]
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1e-9, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        sim.run()
+        assert sim.events_executed == 0
+
+    def test_deterministic_order_for_simultaneous_events(self):
+        sim = Simulator()
+        seen = []
+        for label in range(20):
+            sim.schedule(1e-9, seen.append, label)
+        sim.run()
+        assert seen == list(range(20))

@@ -1,0 +1,186 @@
+"""Tests for statistics accumulators."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    RunningStats,
+    StatGroup,
+    TimeWeightedAverage,
+    geometric_mean,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0.0
+
+    def test_add(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        counter = Counter("x")
+        counter.add(5)
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestRunningStats:
+    def test_mean_and_std(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.138, rel=1e-3)
+
+    def test_min_max_total(self):
+        stats = RunningStats()
+        stats.extend([3.0, 1.0, 2.0])
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.total == pytest.approx(6.0)
+
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_single_value_has_zero_variance(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.variance == 0.0
+
+    def test_merge_matches_single_pass(self):
+        values = [float(i) for i in range(100)]
+        left, right, combined = RunningStats(), RunningStats(), RunningStats()
+        left.extend(values[:37])
+        right.extend(values[37:])
+        combined.extend(values)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+
+    def test_merge_into_empty(self):
+        empty, filled = RunningStats(), RunningStats()
+        filled.extend([1.0, 2.0, 3.0])
+        empty.merge(filled)
+        assert empty.mean == pytest.approx(2.0)
+
+    def test_merge_with_empty_is_noop(self):
+        filled, empty = RunningStats(), RunningStats()
+        filled.extend([1.0, 2.0])
+        filled.merge(empty)
+        assert filled.count == 2
+
+
+class TestHistogram:
+    def test_binning(self):
+        hist = Histogram("lat", lower=0.0, upper=10.0, bins=10)
+        for value in [0.5, 1.5, 1.6, 9.9]:
+            hist.add(value)
+        assert hist.counts[0] == 1
+        assert hist.counts[1] == 2
+        assert hist.counts[9] == 1
+
+    def test_overflow_underflow(self):
+        hist = Histogram("lat", lower=0.0, upper=10.0, bins=5)
+        hist.add(-1.0)
+        hist.add(100.0)
+        assert hist.underflow == 1
+        assert hist.overflow == 1
+        assert hist.samples == 2
+
+    def test_percentile(self):
+        hist = Histogram("lat", lower=0.0, upper=100.0, bins=100)
+        for value in range(100):
+            hist.add(value + 0.5)
+        assert hist.percentile(0.5) == pytest.approx(49.5, abs=1.0)
+        assert hist.percentile(0.99) == pytest.approx(98.5, abs=1.0)
+
+    def test_percentile_empty(self):
+        hist = Histogram("lat", lower=0.0, upper=10.0)
+        assert hist.percentile(0.5) == 0.0
+
+    def test_percentile_rejects_bad_fraction(self):
+        hist = Histogram("lat", lower=0.0, upper=10.0)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+
+    def test_bin_edges(self):
+        hist = Histogram("lat", lower=0.0, upper=4.0, bins=4)
+        assert hist.bin_edges()[0] == (0.0, 1.0)
+        assert hist.bin_edges()[-1] == (3.0, 4.0)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("x", lower=1.0, upper=1.0)
+
+
+class TestTimeWeightedAverage:
+    def test_constant_signal(self):
+        signal = TimeWeightedAverage()
+        signal.update(0.0, 5.0)
+        signal.finalize(10.0)
+        assert signal.average == pytest.approx(5.0)
+
+    def test_step_signal(self):
+        signal = TimeWeightedAverage()
+        signal.update(0.0, 0.0)
+        signal.update(5.0, 10.0)
+        signal.finalize(10.0)
+        assert signal.average == pytest.approx(5.0)
+
+    def test_rejects_time_going_backwards(self):
+        signal = TimeWeightedAverage()
+        signal.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            signal.update(4.0, 2.0)
+
+
+class TestStatGroup:
+    def test_counters_created_on_demand(self):
+        group = StatGroup("net")
+        group.counter("messages").add(3)
+        assert group.counters["messages"].value == 3
+
+    def test_report_contains_all_statistics(self):
+        group = StatGroup("net")
+        group.counter("messages").add(2)
+        group.distribution("latency").extend([1.0, 2.0])
+        group.histogram("lat", 0, 10).add(5.0)
+        report = group.report()
+        assert "messages" in report
+        assert "latency" in report
+        assert "net" in report
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 8.0]) == pytest.approx(math.sqrt(8.0))
+
+    def test_identity(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_paper_style_speedups(self):
+        # Geometric mean is what the paper uses for its 3.28x claim.
+        assert geometric_mean([2.0, 4.0]) == pytest.approx(2.828, rel=1e-3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

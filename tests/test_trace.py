@@ -1,0 +1,301 @@
+"""Tests for trace records, synthetic workloads, SPLASH-2 models and trace I/O."""
+
+import math
+
+import pytest
+
+from repro.trace.gaps import draw_gap
+from repro.trace.io import read_trace, write_trace
+from repro.trace.record import AccessKind, TraceRecord, TraceStream, merge_streams
+from repro.trace.splash2 import (
+    SPLASH2_ORDER,
+    SPLASH2_PROFILES,
+    splash2_workload,
+    splash2_workloads,
+)
+from repro.trace.synthetic import (
+    SyntheticPattern,
+    hot_spot_workload,
+    synthetic_workloads,
+    tornado_destination,
+    tornado_workload,
+    transpose_destination,
+    transpose_workload,
+    uniform_workload,
+)
+
+import random
+
+
+class TestTraceRecord:
+    def test_valid_record(self):
+        record = TraceRecord(
+            thread_id=0,
+            cluster_id=0,
+            home_cluster=5,
+            kind=AccessKind.READ,
+            address=0x1000,
+            gap_cycles=10.0,
+        )
+        assert record.size_bytes == 64
+        assert not record.is_write
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0, 0, 0, AccessKind.READ, 0, gap_cycles=-1.0)
+
+    def test_access_kind_codes(self):
+        assert AccessKind.from_code("R") is AccessKind.READ
+        assert AccessKind.from_code("W") is AccessKind.WRITE
+        with pytest.raises(ValueError):
+            AccessKind.from_code("X")
+
+
+class TestTraceStream:
+    def _record(self, thread_id, home=0, kind=AccessKind.READ):
+        return TraceRecord(
+            thread_id=thread_id,
+            cluster_id=thread_id // 16,
+            home_cluster=home,
+            kind=kind,
+            address=0x40 * thread_id,
+            gap_cycles=5.0,
+        )
+
+    def test_threads_created_lazily(self):
+        stream = TraceStream("t", num_clusters=64, threads_per_cluster=16)
+        stream.add(self._record(17))
+        assert stream.threads[17].cluster_id == 1
+        assert stream.total_requests == 1
+
+    def test_destination_histogram(self):
+        stream = TraceStream("t", num_clusters=64, threads_per_cluster=16)
+        stream.add(self._record(0, home=3))
+        stream.add(self._record(1, home=3))
+        stream.add(self._record(2, home=9))
+        assert stream.destination_histogram() == {3: 2, 9: 1}
+
+    def test_read_fraction(self):
+        stream = TraceStream("t", num_clusters=64, threads_per_cluster=16)
+        stream.add(self._record(0, kind=AccessKind.READ))
+        stream.add(self._record(1, kind=AccessKind.WRITE))
+        assert stream.read_fraction() == pytest.approx(0.5)
+
+    def test_validate_passes_for_consistent_stream(self):
+        stream = TraceStream("t", num_clusters=64, threads_per_cluster=16)
+        stream.add(self._record(0))
+        stream.validate()
+
+    def test_thread_beyond_cluster_count_rejected(self):
+        stream = TraceStream("t", num_clusters=2, threads_per_cluster=2)
+        with pytest.raises(ValueError):
+            stream.thread(10)
+
+    def test_merge_streams(self):
+        a = TraceStream("a", num_clusters=64, threads_per_cluster=16)
+        b = TraceStream("b", num_clusters=64, threads_per_cluster=16)
+        a.add(self._record(0))
+        b.add(self._record(0))
+        merged = merge_streams("ab", [a, b])
+        assert merged.total_requests == 2
+
+    def test_merge_rejects_mismatched_shapes(self):
+        a = TraceStream("a", num_clusters=64, threads_per_cluster=16)
+        b = TraceStream("b", num_clusters=16, threads_per_cluster=16)
+        with pytest.raises(ValueError):
+            merge_streams("ab", [a, b])
+
+
+class TestGapDistribution:
+    def test_mean_is_preserved(self):
+        rng = random.Random(7)
+        samples = [draw_gap(rng, 100.0) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_zero_mean_gives_zero(self):
+        assert draw_gap(random.Random(1), 0.0) == 0.0
+
+    def test_rejects_negative_mean(self):
+        with pytest.raises(ValueError):
+            draw_gap(random.Random(1), -1.0)
+
+
+class TestSyntheticPatterns:
+    def test_tornado_destination_shifts_by_half_radix(self):
+        # Cluster (0, 0) -> (3, 3) on an 8x8 grid.
+        assert tornado_destination(0, 64) == 3 * 8 + 3
+
+    def test_transpose_destination(self):
+        # Cluster (1, 2) (= id 17) -> (2, 1) (= id 10).
+        assert transpose_destination(17, 64) == 10
+
+    def test_transpose_is_involution(self):
+        for cluster in range(64):
+            assert transpose_destination(transpose_destination(cluster, 64), 64) == cluster
+
+    def test_tornado_is_permutation(self):
+        destinations = {tornado_destination(c, 64) for c in range(64)}
+        assert destinations == set(range(64))
+
+    def test_patterns_need_square_cluster_count(self):
+        with pytest.raises(ValueError):
+            tornado_destination(0, 60)
+
+
+class TestSyntheticWorkloads:
+    def test_four_workloads_in_paper_order(self):
+        names = [w.name for w in synthetic_workloads()]
+        assert names == ["Uniform", "Hot Spot", "Tornado", "Transpose"]
+
+    def test_paper_request_counts(self):
+        assert all(w.num_requests == 1_000_000 for w in synthetic_workloads())
+
+    def test_generation_respects_request_count(self):
+        trace = uniform_workload().generate(seed=1, num_requests=4096)
+        assert trace.total_requests == 4096
+        trace.validate()
+
+    def test_every_thread_gets_requests(self):
+        trace = uniform_workload().generate(seed=1, num_requests=2048)
+        assert len(trace.threads) == 1024
+        assert all(len(t) == 2 for t in trace.threads.values())
+
+    def test_hot_spot_targets_single_cluster(self):
+        trace = hot_spot_workload(hot_cluster=7).generate(seed=1, num_requests=2048)
+        assert set(trace.destination_histogram()) == {7}
+
+    def test_uniform_spreads_destinations(self):
+        trace = uniform_workload().generate(seed=1, num_requests=8192)
+        histogram = trace.destination_histogram()
+        assert len(histogram) == 64
+        assert max(histogram.values()) < 4 * min(histogram.values())
+
+    def test_transpose_trace_destinations_match_permutation(self):
+        trace = transpose_workload().generate(seed=1, num_requests=2048)
+        for record in trace.all_records():
+            assert record.home_cluster == transpose_destination(record.cluster_id, 64)
+
+    def test_write_fraction_controls_mix(self):
+        trace = uniform_workload(write_fraction=0.0).generate(seed=1, num_requests=2048)
+        assert trace.read_fraction() == 1.0
+
+    def test_seed_determinism(self):
+        first = uniform_workload().generate(seed=5, num_requests=1024)
+        second = uniform_workload().generate(seed=5, num_requests=1024)
+        assert [r.address for r in first.all_records()] == [
+            r.address for r in second.all_records()
+        ]
+
+    def test_different_seeds_differ(self):
+        first = uniform_workload().generate(seed=5, num_requests=1024)
+        second = uniform_workload().generate(seed=6, num_requests=1024)
+        assert [r.home_cluster for r in first.all_records()] != [
+            r.home_cluster for r in second.all_records()
+        ]
+
+    def test_small_system_shape(self):
+        workload = uniform_workload(num_clusters=16, threads_per_cluster=2)
+        trace = workload.generate(seed=1, num_requests=512)
+        assert trace.num_clusters == 16
+        assert max(r.home_cluster for r in trace.all_records()) < 16
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            uniform_workload(window=0)
+
+
+class TestSplash2Workloads:
+    def test_eleven_benchmarks_in_order(self):
+        assert len(SPLASH2_ORDER) == 11
+        assert [w.name for w in splash2_workloads()] == SPLASH2_ORDER
+
+    def test_paper_request_counts_match_table3(self):
+        assert SPLASH2_PROFILES["FFT"].paper_requests == 176_000_000
+        assert SPLASH2_PROFILES["Ocean"].paper_requests == 240_000_000
+        assert SPLASH2_PROFILES["Cholesky"].paper_requests == 600_000
+
+    def test_bandwidth_classes(self):
+        # Low-bandwidth group demands less than ECM's 0.96 TB/s.
+        for name in ("Barnes", "Radiosity", "Volrend", "Water-Sp"):
+            assert SPLASH2_PROFILES[name].demand_bandwidth_tbps() < 0.5
+        # High-bandwidth group demands several TB/s.
+        for name in ("FFT", "Radix", "Ocean"):
+            assert SPLASH2_PROFILES[name].demand_bandwidth_tbps() > 2.0
+        # FMM sits just above what ECM provides.
+        assert 0.96 < SPLASH2_PROFILES["FMM"].demand_bandwidth_tbps() < 2.5
+
+    def test_bursty_benchmarks_have_burst_parameters(self):
+        for name in ("LU", "Raytrace"):
+            profile = SPLASH2_PROFILES[name]
+            assert profile.burst_period > 0
+            assert profile.burst_length > 0
+
+    def test_generation_shape(self):
+        trace = splash2_workload("Barnes").generate(seed=1, num_requests=4096)
+        assert trace.total_requests == 4096
+        trace.validate()
+
+    def test_locality_fraction_reflected_in_destinations(self):
+        workload = splash2_workload("Water-Sp")
+        trace = workload.generate(seed=1, num_requests=16384)
+        local = sum(
+            1 for r in trace.all_records() if r.home_cluster == r.cluster_id
+        )
+        fraction = local / trace.total_requests
+        expected = workload.profile.local_fraction
+        assert fraction == pytest.approx(expected + (1 - expected) / 64, abs=0.05)
+
+    def test_burst_concentration_creates_hot_destinations(self):
+        trace = splash2_workload("LU").generate(seed=1, num_requests=30000)
+        histogram = trace.destination_histogram()
+        hottest = max(histogram.values())
+        coolest = min(histogram.values())
+        assert hottest > 3 * coolest
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            splash2_workload("NotABenchmark")
+
+    def test_default_request_count_is_paper_count(self):
+        assert splash2_workload("FFT").num_requests == 176_000_000
+
+    def test_windows_reflect_memory_level_parallelism(self):
+        assert splash2_workload("FFT").window > splash2_workload("Barnes").window
+
+
+class TestTraceIo:
+    def test_roundtrip(self, tmp_path):
+        trace = uniform_workload().generate(seed=3, num_requests=1024)
+        path = tmp_path / "uniform.trace"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.total_requests == trace.total_requests
+        assert loaded.num_clusters == trace.num_clusters
+        original = list(trace.all_records())
+        restored = list(loaded.all_records())
+        assert [r.address for r in original] == [r.address for r in restored]
+        assert [r.kind for r in original] == [r.kind for r in restored]
+        assert [r.home_cluster for r in original] == [r.home_cluster for r in restored]
+
+    def test_gap_precision_preserved_to_4_decimals(self, tmp_path):
+        trace = uniform_workload().generate(seed=3, num_requests=256)
+        path = tmp_path / "t.trace"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        for original, restored in zip(trace.all_records(), loaded.all_records()):
+            assert restored.gap_cycles == pytest.approx(original.gap_cycles, abs=1e-3)
+
+    def test_reject_non_trace_file(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("this is not a trace\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_reject_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            "# corona-trace v1 name='x' clusters=64 threads_per_cluster=16\n"
+            "0 1 R deadbeef\n"
+        )
+        with pytest.raises(ValueError):
+            read_trace(path)
