@@ -2,16 +2,21 @@
 
 The figure benchmarks (Figures 8-11) all consume the same evaluation matrix,
 so it is run exactly once per benchmark session at the quick scale and shared
-through a session-scoped fixture.  Table benchmarks and micro-benchmarks do
+through a session-scoped fixture.  The matrix is fanned across worker
+processes (``REPRO_BENCH_JOBS`` processes; default: every available CPU),
+which divides its wall-clock by the core count while producing results
+bit-identical to the serial runner.  Table benchmarks and micro-benchmarks do
 not need it and stay fast.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.harness.experiments import quick_matrix
-from repro.harness.runner import EvaluationRunner
+from repro.harness.parallel import ParallelEvaluationRunner
 
 
 @pytest.fixture(scope="session")
@@ -22,8 +27,14 @@ def evaluation_matrix():
 
 @pytest.fixture(scope="session")
 def evaluation_results(evaluation_matrix):
-    """Results of running the full matrix once (shared by all figure benches)."""
-    runner = EvaluationRunner(matrix=evaluation_matrix)
+    """Results of running the full matrix once (shared by all figure benches).
+
+    ``REPRO_BENCH_JOBS`` overrides the worker count (0 = all CPUs, 1 =
+    serial in-process); either way the results match the serial runner
+    bit for bit.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+    runner = ParallelEvaluationRunner(matrix=evaluation_matrix, jobs=jobs)
     runner.run()
     return runner.results
 

@@ -1,0 +1,1 @@
+"""Repository tooling scripts (runnable via ``python -m scripts.<name>``)."""

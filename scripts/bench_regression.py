@@ -1,0 +1,198 @@
+"""Replay-performance regression tracker.
+
+Runs the replay micro-benchmarks (single-run events/sec on each interconnect
+family) and the reduced evaluation-matrix comparison (serial vs parallel
+wall-clock), writes the numbers to ``BENCH_replay.json`` at the repository
+root, and -- when a committed baseline exists -- **fails (exit 1) if any
+throughput metric regressed by more than 20%**.
+
+Usage::
+
+    python -m scripts.bench_regression                 # measure + compare
+    python -m scripts.bench_regression --update-baseline
+    python -m scripts.bench_regression --output /tmp/bench.json
+
+The baseline is machine-specific (wall-clock numbers move between hosts), so
+re-baseline with ``--update-baseline`` when the hardware changes; the
+``history`` list in the JSON keeps the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.configs import configuration_by_name  # noqa: E402
+from repro.core.system import SystemSimulator  # noqa: E402
+from repro.harness.experiments import EvaluationMatrix, ExperimentScale  # noqa: E402
+from repro.harness.parallel import (  # noqa: E402
+    ParallelEvaluationRunner,
+    available_cpus,
+)
+from repro.harness.runner import EvaluationRunner  # noqa: E402
+from repro.trace.synthetic import uniform_workload  # noqa: E402
+
+DEFAULT_BENCH_PATH = REPO_ROOT / "BENCH_replay.json"
+
+#: Allowed slowdown before the script fails (fraction of the baseline).
+REGRESSION_TOLERANCE = 0.20
+
+#: Replay micro-benchmark: requests per single run.
+REPLAY_REQUESTS = 5_000
+
+#: Reduced matrix mirroring benchmarks/bench_parallel_runner.py.
+MATRIX_SCALE = ExperimentScale(synthetic_requests=3_000)
+MATRIX_CONFIGURATIONS = ("LMesh/ECM", "XBar/OCM")
+
+
+def _replay_best_seconds(configuration_name: str, trace, window: int, rounds: int):
+    best = float("inf")
+    events = 0
+    for _ in range(rounds):
+        simulator = SystemSimulator(
+            configuration_by_name(configuration_name), window_depth=window
+        )
+        started = time.perf_counter()
+        simulator.run(trace)
+        best = min(best, time.perf_counter() - started)
+        events = simulator._simulator.events_executed
+    return best, events
+
+
+def _matrix() -> EvaluationMatrix:
+    return EvaluationMatrix(
+        scale=MATRIX_SCALE,
+        configuration_names=list(MATRIX_CONFIGURATIONS),
+        include_splash=False,
+    )
+
+
+def measure(rounds: int = 3) -> Dict[str, float]:
+    """Collect every tracked metric; higher is better for ``*_per_s``."""
+    workload = uniform_workload()
+    trace = workload.generate(seed=1, num_requests=REPLAY_REQUESTS)
+    metrics: Dict[str, float] = {}
+
+    for label, configuration in (
+        ("xbar_ocm", "XBar/OCM"),
+        ("lmesh_ecm", "LMesh/ECM"),
+        ("hmesh_ocm", "HMesh/OCM"),
+    ):
+        seconds, events = _replay_best_seconds(
+            configuration, trace, workload.window, rounds
+        )
+        metrics[f"replay_{label}_events_per_s"] = events / seconds
+        metrics[f"replay_{label}_requests_per_s"] = REPLAY_REQUESTS / seconds
+
+    started = time.perf_counter()
+    EvaluationRunner(matrix=_matrix()).run()
+    serial_seconds = time.perf_counter() - started
+    metrics["matrix_serial_seconds"] = serial_seconds
+    metrics["matrix_serial_pairs_per_s"] = 8 / serial_seconds
+
+    jobs = min(4, available_cpus())
+    started = time.perf_counter()
+    ParallelEvaluationRunner(matrix=_matrix(), jobs=jobs).run()
+    parallel_seconds = time.perf_counter() - started
+    metrics["matrix_parallel_seconds"] = parallel_seconds
+    metrics["matrix_parallel_jobs"] = jobs
+    metrics["matrix_parallel_pairs_per_s"] = 8 / parallel_seconds
+    return metrics
+
+
+def compare(baseline: Dict[str, float], current: Dict[str, float]):
+    """Return (ok, lines): throughput metrics may not drop >20%."""
+    lines = []
+    ok = True
+    for key in sorted(current):
+        if not key.endswith("_per_s"):
+            continue
+        new = current[key]
+        old = baseline.get(key)
+        if not old:
+            lines.append(f"  {key:<38} {new:14,.0f}  (no baseline)")
+            continue
+        ratio = new / old
+        flag = ""
+        if ratio < 1.0 - REGRESSION_TOLERANCE:
+            ok = False
+            flag = "  REGRESSION"
+        lines.append(
+            f"  {key:<38} {new:14,.0f}  vs {old:14,.0f}  ({ratio:5.2f}x){flag}"
+        )
+    return ok, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_BENCH_PATH,
+        help="benchmark JSON path (default: BENCH_replay.json at the repo root)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="overwrite the baseline with this run instead of comparing",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    print(f"measuring replay throughput ({args.rounds} rounds per config)...")
+    current = measure(rounds=args.rounds)
+    for key in sorted(current):
+        print(f"  {key:<38} {current[key]:14,.2f}")
+
+    existing = None
+    if args.output.exists():
+        existing = json.loads(args.output.read_text())
+
+    snapshot = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "metrics": current,
+    }
+
+    if existing is not None and not args.update_baseline:
+        print("\ncomparing against committed baseline:")
+        ok, lines = compare(existing["metrics"], current)
+        print("\n".join(lines))
+        if not ok:
+            print(
+                f"\nFAIL: throughput regressed more than "
+                f"{REGRESSION_TOLERANCE:.0%} vs {args.output}"
+            )
+            return 1
+        print("\nOK: no throughput regression beyond tolerance")
+        return 0
+
+    history = []
+    if existing is not None:
+        history = existing.get("history", [])
+        history.append(
+            {
+                "timestamp": existing.get("timestamp"),
+                "metrics": existing.get("metrics"),
+            }
+        )
+        history = history[-10:]
+    snapshot["history"] = history
+    args.output.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"\nbaseline written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

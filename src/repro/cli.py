@@ -131,7 +131,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     ]
     matrix = EvaluationMatrix(scale=scale, include_splash=not args.skip_splash)
     progress = print if args.verbose else None
-    report = build_report(matrix, progress=progress)
+    report = build_report(matrix, progress=progress, jobs=args.jobs)
     if args.output:
         path = report.write(args.output)
         print(f"report written to {path}")
@@ -205,12 +205,31 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(handler=_cmd_simulate)
 
     evaluate = subparsers.add_parser(
-        "evaluate", help="run the full matrix and emit a markdown report"
+        "evaluate",
+        help="run the full matrix and emit a markdown report",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "performance:\n"
+            "  The 75 (configuration, workload) pairs are independent, so\n"
+            "  --jobs N fans them across N worker processes and divides the\n"
+            "  matrix wall-clock by roughly N on a multicore host.  Traces\n"
+            "  are generated once per workload in the parent and shipped to\n"
+            "  the workers, and the results are bit-identical to a serial\n"
+            "  run (--jobs 1).  --jobs 0 uses every available CPU.  See\n"
+            "  scripts/bench_regression.py for the tracked replay-throughput\n"
+            "  and matrix wall-clock numbers (BENCH_replay.json)."
+        ),
     )
     evaluate.add_argument("--scale", choices=("quick", "default", "full"), default="quick")
     evaluate.add_argument("--skip-splash", action="store_true")
     evaluate.add_argument("--output", help="write the report to this path")
     evaluate.add_argument("--verbose", action="store_true")
+    evaluate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the matrix (1 = serial, 0 = all CPUs)",
+    )
     evaluate.set_defaults(handler=_cmd_evaluate)
 
     sensitivity = subparsers.add_parser(

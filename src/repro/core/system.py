@@ -16,11 +16,24 @@ order.  Threads issue their misses in program order subject to their compute
 gaps and a bounded window of outstanding misses; this is what converts
 interconnect and memory latency into execution time, and execution time for
 the fixed number of trace requests is the performance metric behind Figure 8.
+
+Performance notes
+-----------------
+The four stage handlers execute once per miss and dominate the replay's
+wall-clock cost, so everything invariant across records is hoisted out of
+them at ``run`` time: the core clock, each cluster's hub and its forwarding
+latency, and the home-cluster memory controllers.  Request/response
+:class:`Message` objects are preallocated per type and reused (the
+interconnect models read but never retain them), and misses homed at the
+issuing cluster skip both the message and the :class:`TransferResult`
+entirely.
 """
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
+from heapq import heappop, heappush, nsmallest
 from typing import Dict, List, Optional
 
 from repro.core.config import CoronaConfig, CORONA_DEFAULT
@@ -32,32 +45,43 @@ from repro.network.message import Message, MessageType
 from repro.network.topology import Interconnect, TransferResult
 from repro.sim.engine import Simulator
 from repro.sim.stats import Histogram, RunningStats
-from repro.trace.record import TraceRecord, TraceStream
+from repro.trace.record import AccessKind, TraceRecord, TraceStream
+
+_WRITE = AccessKind.WRITE
 
 
-@dataclass
 class TransactionStats:
-    """Aggregate statistics over all replayed L2-miss transactions."""
+    """Aggregate statistics over all replayed L2-miss transactions.
 
-    latency: RunningStats = field(default_factory=lambda: RunningStats("latency"))
-    queueing: RunningStats = field(default_factory=lambda: RunningStats("queueing"))
-    network_latency: RunningStats = field(
-        default_factory=lambda: RunningStats("network-latency")
+    The hot path (:meth:`record`, once per miss) only appends raw samples and
+    bumps plain counters; the :class:`RunningStats` accumulators and the
+    latency :class:`Histogram` exposed as properties are materialized lazily
+    from the samples on first access (and cached until the next record).
+    The histogram auto-expands, so its percentiles are order-independent and
+    never clamp at the initial 2000 ns range.
+    """
+
+    __slots__ = (
+        "_samples",
+        "_derived",
+        "requests",
+        "reads",
+        "writes",
+        "memory_bytes",
+        "network_hops",
+        "network_messages",
     )
-    memory_latency: RunningStats = field(
-        default_factory=lambda: RunningStats("memory-latency")
-    )
-    latency_histogram: Histogram = field(
-        default_factory=lambda: Histogram(
-            "latency-ns", lower=0.0, upper=2000.0, bins=200
-        )
-    )
-    requests: int = 0
-    reads: int = 0
-    writes: int = 0
-    memory_bytes: float = 0.0
-    network_hops: int = 0
-    network_messages: int = 0
+
+    def __init__(self) -> None:
+        #: One (latency, queueing, network, memory) tuple per transaction.
+        self._samples: List[tuple] = []
+        self._derived: Dict[str, object] = {}
+        self.requests = 0
+        self.reads = 0
+        self.writes = 0
+        self.memory_bytes = 0.0
+        self.network_hops = 0
+        self.network_messages = 0
 
     def record(
         self,
@@ -70,11 +94,9 @@ class TransactionStats:
         hops: int,
         messages: int,
     ) -> None:
-        self.latency.add(latency_s)
-        self.queueing.add(queueing_s)
-        self.network_latency.add(network_s)
-        self.memory_latency.add(memory_s)
-        self.latency_histogram.add(latency_s * 1e9)
+        if self._derived:
+            self._derived.clear()
+        self._samples.append((latency_s, queueing_s, network_s, memory_s))
         self.requests += 1
         if is_write:
             self.writes += 1
@@ -84,34 +106,75 @@ class TransactionStats:
         self.network_hops += hops
         self.network_messages += messages
 
+    def _running(self, key: str, column: int) -> RunningStats:
+        stats = self._derived.get(key)
+        if stats is None:
+            stats = RunningStats(key)
+            stats.extend(sample[column] for sample in self._samples)
+            self._derived[key] = stats
+        return stats
 
-def _local_transfer(now: float) -> TransferResult:
-    """A zero-cost transfer result for misses homed at the issuing cluster."""
-    return TransferResult(
-        arrival_time=now,
-        queueing_delay=0.0,
-        serialization_delay=0.0,
-        propagation_delay=0.0,
-        hops=0,
-        dynamic_energy_j=0.0,
+    @property
+    def latency(self) -> RunningStats:
+        return self._running("latency", 0)
+
+    @property
+    def queueing(self) -> RunningStats:
+        return self._running("queueing", 1)
+
+    @property
+    def network_latency(self) -> RunningStats:
+        return self._running("network-latency", 2)
+
+    @property
+    def memory_latency(self) -> RunningStats:
+        return self._running("memory-latency", 3)
+
+    @property
+    def latency_histogram(self) -> Histogram:
+        histogram = self._derived.get("histogram")
+        if histogram is None:
+            histogram = Histogram(
+                "latency-ns", lower=0.0, upper=2000.0, bins=200, auto_expand=True
+            )
+            add = histogram.add
+            for sample in self._samples:
+                add(sample[0] * 1e9)
+            self._derived["histogram"] = histogram
+        return histogram
+
+
+class _Transaction:
+    """In-flight state of one L2-miss transaction.
+
+    ``request_result``/``response_result`` stay ``None`` for misses homed at
+    the issuing cluster: a local miss never touches the interconnect, so no
+    :class:`TransferResult` is materialized for it.
+    """
+
+    __slots__ = (
+        "record",
+        "index",
+        "issue_time",
+        "mshr_wait",
+        "request_result",
+        "memory_queueing",
+        "memory_latency",
+        "response_result",
     )
 
-
-@dataclass
-class _Transaction:
-    """In-flight state of one L2-miss transaction."""
-
-    record: TraceRecord
-    index: int
-    issue_time: float
-    mshr_wait: float = 0.0
-    request_result: Optional[TransferResult] = None
-    memory_queueing: float = 0.0
-    memory_latency: float = 0.0
-    response_result: Optional[TransferResult] = None
+    def __init__(self, record: TraceRecord, index: int, issue_time: float) -> None:
+        self.record = record
+        self.index = index
+        self.issue_time = issue_time
+        self.mshr_wait = 0.0
+        self.request_result: Optional[TransferResult] = None
+        self.memory_queueing = 0.0
+        self.memory_latency = 0.0
+        self.response_result: Optional[TransferResult] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _ThreadState:
     """Replay bookkeeping for one hardware thread."""
 
@@ -121,8 +184,11 @@ class _ThreadState:
     window: int
     next_index: int = 0
     issue_scheduled: bool = False
-    issue_times: List[float] = field(default_factory=list)
+    #: Issue time of the most recently issued miss (gap accounting).
+    last_issue_time: float = 0.0
     completions: List[Optional[float]] = field(default_factory=list)
+    #: The issuing cluster's hub, bound once at replay start.
+    hub: Optional[Hub] = None
 
     def __post_init__(self) -> None:
         self.completions = [None] * len(self.records)
@@ -133,6 +199,30 @@ class _ThreadState:
 
 class SystemSimulator:
     """Replay a workload trace on one system configuration."""
+
+    __slots__ = (
+        "configuration",
+        "corona_config",
+        "network",
+        "memory",
+        "window_depth",
+        "hubs",
+        "stats",
+        "_simulator",
+        "_push",
+        "_equeue",
+        "_eheap",
+        "_transfer",
+        "_threads",
+        "_makespan",
+        "_clock",
+        "_hub_fwd",
+        "_controllers",
+        "_msg_read_request",
+        "_msg_writeback",
+        "_msg_read_response",
+        "_msg_write_ack",
+    )
 
     def __init__(
         self,
@@ -161,8 +251,35 @@ class SystemSimulator:
         }
         self.stats = TransactionStats()
         self._simulator = Simulator()
+        self._push = self._simulator._queue.push
+        self._equeue = self._simulator._queue
+        self._eheap = self._equeue._heap
+        # Bound method of the per-run interconnect, re-resolved per call
+        # otherwise in the two transfer-issuing handlers.
+        self._transfer = self.network.transfer
         self._threads: Dict[int, _ThreadState] = {}
         self._makespan = 0.0
+        # Per-record invariants hoisted out of the stage handlers.  Clusters
+        # are numbered contiguously from zero, so per-cluster lookups use
+        # lists instead of dicts on the hot path.
+        self._clock = corona_config.clock_hz
+        self._hub_fwd: List[float] = [
+            self.hubs[cluster].forwarding_latency_s
+            for cluster in range(corona_config.num_clusters)
+        ]
+        controllers = self.memory.controllers
+        if sorted(controllers) == list(range(len(controllers))):
+            self._controllers = [controllers[i] for i in range(len(controllers))]
+        else:
+            self._controllers = controllers
+        # Reusable request/response messages, one per type.  The interconnect
+        # models read src/dst/size and record counters but never retain the
+        # message, so mutating these in place is safe and avoids two dataclass
+        # constructions per remote miss.
+        self._msg_read_request = Message(0, 1, MessageType.READ_REQUEST)
+        self._msg_writeback = Message(0, 1, MessageType.WRITEBACK)
+        self._msg_read_response = Message(0, 1, MessageType.READ_RESPONSE)
+        self._msg_write_ack = Message(0, 1, MessageType.WRITE_ACK)
 
     # ------------------------------------------------------------------ replay
     def run(self, trace: TraceStream) -> WorkloadResult:
@@ -170,8 +287,15 @@ class SystemSimulator:
         self._simulator = Simulator()
         self._threads = {}
         self._makespan = 0.0
+        # Direct push into the event calendar: every stage time is derived
+        # from ``now`` plus non-negative delays, so the schedule_at past-time
+        # guard is redundant on this path.  The handlers push heap entries
+        # directly (EventQueue.push, inlined).
+        self._push = self._simulator._queue.push
+        self._equeue = self._simulator._queue
+        self._eheap = self._equeue._heap
 
-        clock = self.corona_config.clock_hz
+        clock = self._clock
         for thread_id, thread_trace in trace.threads.items():
             if not thread_trace.records:
                 continue
@@ -180,24 +304,36 @@ class SystemSimulator:
                 cluster_id=thread_trace.cluster_id,
                 records=thread_trace.records,
                 window=self.window_depth,
+                hub=self.hubs[thread_trace.cluster_id],
             )
             self._threads[thread_id] = state
             first_issue = state.records[0].gap_cycles / clock
             state.issue_scheduled = True
             self._simulator.schedule_at(first_issue, self._on_issue, state)
 
-        self._simulator.run()
+        # The replay allocates heavily (events, transactions, results) but
+        # creates no reference cycles, so the cyclic collector only adds
+        # overhead; pause it for the duration of the event loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._simulator.run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self._build_result(trace, self._makespan)
 
     # --------------------------------------------------------------- scheduling
     def _try_schedule_issue(self, state: _ThreadState) -> None:
         """Schedule the thread's next miss if its gap and window allow it."""
-        if state.issue_scheduled or state.finished_issuing():
+        if state.issue_scheduled:
             return
         index = state.next_index
-        clock = self.corona_config.clock_hz
-        prev_issue = state.issue_times[index - 1] if index > 0 else 0.0
-        gap_ready = prev_issue + state.records[index].gap_cycles / clock
+        records = state.records
+        if index >= len(records):
+            return
+        gap_ready = state.last_issue_time + records[index].gap_cycles / self._clock
         gate_index = index - state.window
         if gate_index >= 0:
             gate_completion = state.completions[gate_index]
@@ -205,51 +341,104 @@ class SystemSimulator:
                 # The window slot has not freed yet; the completion event of
                 # the gating miss will call back into this method.
                 return
-            issue_time = max(gap_ready, gate_completion)
+            issue_time = gap_ready if gap_ready > gate_completion else gate_completion
         else:
             issue_time = gap_ready
-        issue_time = max(issue_time, self._simulator.now)
+        now = self._simulator.now
+        if issue_time < now:
+            issue_time = now
         state.issue_scheduled = True
-        self._simulator.schedule_at(issue_time, self._on_issue, state)
+        equeue = self._equeue
+        heappush(self._eheap, (issue_time, equeue._seq, self._on_issue, (state,)))
+        equeue._seq += 1
 
     # ------------------------------------------------------------ stage handlers
     def _on_issue(self, state: _ThreadState) -> None:
         """Stage 1: the miss leaves the core, allocates an MSHR, and the
         request message crosses the interconnect to the home cluster."""
-        now = self._simulator.now
+        simulator = self._simulator
+        now = simulator.now
         state.issue_scheduled = False
         index = state.next_index
         record = state.records[index]
-        state.issue_times.append(now)
-        state.next_index += 1
+        state.last_issue_time = now
+        state.next_index = index + 1
 
-        transaction = _Transaction(record=record, index=index, issue_time=now)
-        hub = self.hubs[record.cluster_id]
-        mshr_grant = hub.mshr_pool.acquire(now)
+        transaction = _Transaction(record, index, now)
+        hub = state.hub
+        # MSHR allocation, transcribed from TokenPool.acquire (the reference
+        # implementation): expire released tokens, then grant immediately or
+        # at the earliest release.
+        pool = hub.mshr_pool
+        releases = pool._releases
+        while releases and releases[0] <= now:
+            heappop(releases)
+        outstanding = len(releases)
+        if outstanding < pool.tokens:
+            mshr_grant = now
+        else:
+            overflow = outstanding - pool.tokens
+            if overflow == 0:
+                mshr_grant = releases[0]
+            else:
+                mshr_grant = nsmallest(overflow + 1, releases)[-1]
+        pool.acquisitions += 1
+        pool.total_wait += mshr_grant - now
         transaction.mshr_wait = mshr_grant - now
 
-        inject_time = hub.inject(mshr_grant, mshr_grant + hub.forwarding_latency_s)
-        if record.cluster_id == record.home_cluster:
-            # Local miss: the hub hands it straight to the cluster's own
-            # memory controller without touching the interconnect.
-            transaction.request_result = _local_transfer(inject_time)
+        # Injection-queue admission (Hub.inject / BoundedQueue.admit,
+        # inlined; reference implementations there).  The departure time is
+        # the hub forwarding completion, which is always >= the grant.
+        forwarding_latency = hub.forwarding_latency_s
+        queue = hub.injection_queue
+        departures = queue._departures
+        while departures and departures[0] <= mshr_grant:
+            heappop(departures)
+        resident = len(departures)
+        if resident < queue.capacity:
+            admitted = mshr_grant
         else:
-            request_type = (
-                MessageType.WRITEBACK if record.is_write else MessageType.READ_REQUEST
+            overflow = resident - queue.capacity
+            if overflow == 0:
+                admitted = departures[0]
+            else:
+                admitted = nsmallest(overflow + 1, departures)[-1]
+        departure = mshr_grant + forwarding_latency
+        if departure < admitted:
+            raise ValueError(
+                f"departure {departure} precedes admission {admitted}"
             )
-            request = Message(
-                src=record.cluster_id,
-                dst=record.home_cluster,
-                message_type=request_type,
-                transaction_id=self.stats.requests,
-            )
-            transaction.request_result = self.network.transfer(request, inject_time)
+        heappush(departures, departure)
+        queue.total_admitted += 1
+        if resident + 1 > queue.max_occupancy_seen:
+            queue.max_occupancy_seen = resident + 1
+        hub.messages_routed += 1
+        inject_time = admitted + forwarding_latency
+        home = record.home_cluster
+        if record.cluster_id == home:
+            # Local miss: the hub hands it straight to the cluster's own
+            # memory controller without touching the interconnect; no message
+            # or transfer result is materialized.
+            arrival = inject_time
+        else:
+            if record.kind is _WRITE:
+                request = self._msg_writeback
+            else:
+                request = self._msg_read_request
+            request.src = record.cluster_id
+            request.dst = home
+            request.transaction_id = self.stats.requests
+            result = self._transfer(request, inject_time)
+            transaction.request_result = result
+            arrival = result.arrival_time
 
-        home_hub = self.hubs[record.home_cluster]
-        memory_start = (
-            transaction.request_result.arrival_time + home_hub.forwarding_latency_s
+        memory_start = arrival + self._hub_fwd[home]
+        equeue = self._equeue
+        heappush(
+            self._eheap,
+            (memory_start, equeue._seq, self._on_memory, (state, transaction)),
         )
-        self._simulator.schedule_at(memory_start, self._on_memory, state, transaction)
+        equeue._seq += 1
 
         # The next miss of this thread may already be eligible (its window
         # slot may be free and only the compute gap remains).
@@ -257,81 +446,112 @@ class SystemSimulator:
 
     def _on_memory(self, state: _ThreadState, transaction: _Transaction) -> None:
         """Stage 2: the memory transaction at the home cluster's controller."""
-        now = self._simulator.now
         record = transaction.record
-        memory_result = self.memory.access(
-            home_cluster=record.home_cluster,
-            now=now,
-            size_bytes=record.size_bytes,
-            is_write=record.is_write,
-            address=record.address,
+        home = record.home_cluster
+        completion, mem_queueing, channel_delay, dram_delay = self._controllers[
+            home
+        ].access(
+            self._simulator.now,
+            record.size_bytes,
+            record.kind is _WRITE,
+            record.address,
         )
-        transaction.memory_queueing = memory_result.queueing_delay
-        transaction.memory_latency = memory_result.memory_latency
-        home_hub = self.hubs[record.home_cluster]
-        response_start = memory_result.completion_time + home_hub.forwarding_latency_s
-        self._simulator.schedule_at(
-            response_start, self._on_response, state, transaction
+        transaction.memory_queueing = mem_queueing
+        transaction.memory_latency = mem_queueing + channel_delay + dram_delay
+        response_start = completion + self._hub_fwd[home]
+        equeue = self._equeue
+        heappush(
+            self._eheap,
+            (response_start, equeue._seq, self._on_response, (state, transaction)),
         )
+        equeue._seq += 1
 
     def _on_response(self, state: _ThreadState, transaction: _Transaction) -> None:
-        """Stage 3: the response message returns to the requesting cluster."""
+        """Stages 3+4: the response message returns to the requesting cluster
+        and the data (or acknowledgement) reaches the core.
+
+        The response transfer is the last resource reservation of the
+        transaction, and it yields the completion time analytically, so the
+        completion bookkeeping (MSHR release, window slot, statistics) is
+        folded into this handler instead of costing a fourth calendar event:
+        the MSHR pool and the issue window both accept future timestamps, and
+        the next miss this completion unblocks cannot be eligible before the
+        completion time it is gated on.
+
+        MSHR timing note: registering the release here (with the future
+        completion time) means a token is visibly held from response
+        processing until completion, so acquires in that span can observe
+        occupancy.  The previous four-event pipeline registered the release
+        *at* completion with the then-current timestamp, which an immediately
+        following acquire would expire -- the pool effectively never pushed
+        back.  This is a deliberate tightening of the MSHR model; it only
+        changes results when a cluster holds more than ``mshrs_per_cluster``
+        (64) transactions between response and completion, which no shipped
+        workload reaches (threads_per_cluster x window <= 64 throughout).
+        """
         now = self._simulator.now
         record = transaction.record
-        if record.cluster_id == record.home_cluster:
-            transaction.response_result = _local_transfer(now)
-        else:
-            response_type = (
-                MessageType.WRITE_ACK if record.is_write else MessageType.READ_RESPONSE
-            )
-            response = Message(
-                src=record.home_cluster,
-                dst=record.cluster_id,
-                message_type=response_type,
-                transaction_id=transaction.index,
-            )
-            transaction.response_result = self.network.transfer(response, now)
-        hub = self.hubs[record.cluster_id]
-        completion_time = (
-            transaction.response_result.arrival_time + hub.forwarding_latency_s
-        )
-        self._simulator.schedule_at(
-            completion_time, self._on_complete, state, transaction
-        )
-
-    def _on_complete(self, state: _ThreadState, transaction: _Transaction) -> None:
-        """Stage 4: the data (or acknowledgement) reaches the core."""
-        now = self._simulator.now
-        record = transaction.record
-        hub = self.hubs[record.cluster_id]
-        hub.mshr_pool.release_at(now)
-
-        state.completions[transaction.index] = now
-        self._makespan = max(self._makespan, now)
-
+        src = record.cluster_id
+        is_write = record.kind is _WRITE
         request_result = transaction.request_result
-        response_result = transaction.response_result
-        latency = now - transaction.issue_time
-        queueing = (
-            transaction.mshr_wait
-            + request_result.queueing_delay
-            + transaction.memory_queueing
-            + response_result.queueing_delay
+        if request_result is None:
+            # Local miss: no interconnect contribution on either leg.
+            completion_time = now + self._hub_fwd[src]
+            queueing = transaction.mshr_wait + transaction.memory_queueing
+            network_latency = 0.0
+            hops = 0
+            messages = 0
+        else:
+            if is_write:
+                response = self._msg_write_ack
+            else:
+                response = self._msg_read_response
+            response.src = record.home_cluster
+            response.dst = src
+            response.transaction_id = transaction.index
+            response_result = self._transfer(response, now)
+            transaction.response_result = response_result
+            arrival, rsp_queue, rsp_serial, rsp_prop, rsp_hops, _ = response_result
+            _, req_queue, req_serial, req_prop, req_hops, _ = request_result
+            completion_time = arrival + self._hub_fwd[src]
+            queueing = (
+                transaction.mshr_wait
+                + req_queue
+                + transaction.memory_queueing
+                + rsp_queue
+            )
+            network_latency = (
+                req_queue + req_serial + req_prop + rsp_queue + rsp_serial + rsp_prop
+            )
+            hops = req_hops + rsp_hops
+            messages = 2
+
+        # MSHR release (TokenPool.release_at, inlined to a heap push).
+        heappush(state.hub.mshr_pool._releases, completion_time)
+        state.completions[transaction.index] = completion_time
+        if completion_time > self._makespan:
+            self._makespan = completion_time
+
+        # TransactionStats.record, inlined (reference implementation there).
+        stats = self.stats
+        if stats._derived:
+            stats._derived.clear()
+        stats._samples.append(
+            (
+                completion_time - transaction.issue_time,
+                queueing,
+                network_latency,
+                transaction.memory_latency,
+            )
         )
-        network_latency = (
-            request_result.network_latency + response_result.network_latency
-        )
-        is_remote = record.cluster_id != record.home_cluster
-        self.stats.record(
-            latency_s=latency,
-            queueing_s=queueing,
-            network_s=network_latency,
-            memory_s=transaction.memory_latency,
-            is_write=record.is_write,
-            memory_bytes=record.size_bytes,
-            hops=request_result.hops + response_result.hops,
-            messages=2 if is_remote else 0,
-        )
+        stats.requests += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        stats.memory_bytes += record.size_bytes
+        stats.network_hops += hops
+        stats.network_messages += messages
 
         # This completion may free the window slot the thread's next miss is
         # waiting for.

@@ -5,6 +5,8 @@
   tractable.
 * :mod:`repro.harness.runner` -- runs the matrix and collects
   :class:`~repro.core.results.WorkloadResult` objects.
+* :mod:`repro.harness.parallel` -- the multiprocessing matrix runner
+  (bit-identical results, matrix wall-clock divided by the worker count).
 * :mod:`repro.harness.tables` -- Tables 1-4 as data plus text renderers.
 * :mod:`repro.harness.figures` -- Figures 8-11 as data series plus ASCII bar
   charts, and the geometric-mean summary quoted in Section 5.
@@ -24,6 +26,7 @@ from repro.harness.figures import (
     render_figure,
     speedup_summary,
 )
+from repro.harness.parallel import ParallelEvaluationRunner, available_cpus
 from repro.harness.runner import EvaluationRunner
 from repro.harness.tables import (
     format_table,
@@ -39,6 +42,8 @@ __all__ = [
     "default_matrix",
     "quick_matrix",
     "EvaluationRunner",
+    "ParallelEvaluationRunner",
+    "available_cpus",
     "table1_resource_configuration",
     "table2_optical_inventory",
     "table3_benchmarks",

@@ -1,0 +1,173 @@
+"""Parallel evaluation of the (configuration x workload) matrix.
+
+The 75 (configuration, workload) pairs of the paper's evaluation are fully
+independent: each pair builds its own network/memory/hub state from the
+configuration name and replays an immutable trace.  The
+:class:`ParallelEvaluationRunner` therefore fans the pairs across a
+``multiprocessing`` pool and achieves near-linear matrix wall-clock speedup
+on multicore hosts.
+
+Determinism and equivalence
+---------------------------
+Results are bit-identical to the serial :class:`~repro.harness.runner.
+EvaluationRunner`:
+
+* Trace generation happens once per workload **in the parent** (same seed,
+  same generator state) and the trace is shipped (pickled) to the workers, so
+  every pair replays exactly the bytes the serial runner replays.
+* Each worker constructs a fresh ``SystemSimulator`` from the configuration
+  name -- exactly what ``EvaluationRunner.run_pair`` does -- so no state
+  leaks between pairs in either runner.
+* Results are collected in submission order (workloads outer, configurations
+  inner), which is the serial runner's iteration order, so ``results`` lists
+  compare equal element by element.
+
+``jobs=1`` (or a single-CPU host) falls back to an in-process loop with no
+pool overhead, still producing the same results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.configs import configuration_by_name
+from repro.core.results import WorkloadResult
+from repro.core.system import SystemSimulator
+from repro.harness.experiments import EvaluationMatrix
+from repro.trace.record import TraceStream
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _replay_pair(
+    configuration_name: str, trace: TraceStream, window: int
+) -> Tuple[WorkloadResult, float]:
+    """Worker body: replay one (configuration, workload) pair.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Returns the result plus the replay wall-clock seconds measured in the
+    worker.
+    """
+    simulator = SystemSimulator(
+        configuration=configuration_by_name(configuration_name),
+        window_depth=window,
+    )
+    started = time.perf_counter()
+    result = simulator.run(trace)
+    return result, time.perf_counter() - started
+
+
+@dataclass
+class ParallelEvaluationRunner:
+    """Runs every (configuration, workload) pair of a matrix in parallel.
+
+    Parameters
+    ----------
+    matrix:
+        The evaluation matrix to run.
+    jobs:
+        Worker process count.  ``0`` (the default) uses every available CPU;
+        ``1`` runs in-process without a pool.
+    progress:
+        Optional callback receiving one line per finished pair (reported in
+        serial order).
+    """
+
+    matrix: EvaluationMatrix
+    jobs: int = 0
+    progress: Optional[Callable[[str], None]] = None
+    results: List[WorkloadResult] = field(default_factory=list)
+    run_seconds: Dict[tuple, float] = field(default_factory=dict)
+    _traces: Dict[str, TraceStream] = field(default_factory=dict, repr=False)
+
+    def resolved_jobs(self) -> int:
+        """The actual worker count this runner will use."""
+        if self.jobs and self.jobs > 0:
+            return self.jobs
+        return available_cpus()
+
+    def _report(self, result: WorkloadResult) -> None:
+        if self.progress is not None:
+            self.progress(
+                f"{result.workload:<10} {result.configuration:<10} "
+                f"exec={result.execution_time_s * 1e6:9.2f} us "
+                f"bw={result.achieved_bandwidth_tbps:6.3f} TB/s "
+                f"lat={result.average_latency_ns:8.1f} ns"
+            )
+
+    def _generate_traces(self, only_workload: Optional[str] = None) -> List[tuple]:
+        """Generate each workload's trace once; return the pair work-list in
+        the serial runner's iteration order (workloads outer, configs inner)."""
+        pairs = []
+        for workload in self.matrix.workloads():
+            if only_workload is not None and workload.name != only_workload:
+                continue
+            if workload.name not in self._traces:
+                self._traces[workload.name] = workload.generate(
+                    seed=self.matrix.scale.seed,
+                    num_requests=self.matrix.requests_for(workload),
+                )
+            trace = self._traces[workload.name]
+            window = getattr(workload, "window", 4)
+            for configuration in self.matrix.configurations():
+                pairs.append((configuration.name, workload.name, trace, window))
+        return pairs
+
+    def _execute(self, pairs: List[tuple]) -> List[WorkloadResult]:
+        """Run the given pair work-list; append to (and return) new results."""
+        jobs = min(self.resolved_jobs(), len(pairs)) or 1
+        produced: List[WorkloadResult] = []
+
+        if jobs <= 1:
+            for configuration_name, workload_name, trace, window in pairs:
+                result, seconds = _replay_pair(configuration_name, trace, window)
+                self.run_seconds[(configuration_name, workload_name)] = seconds
+                self.results.append(result)
+                produced.append(result)
+                self._report(result)
+            return produced
+
+        with multiprocessing.Pool(processes=jobs) as pool:
+            async_results = [
+                pool.apply_async(_replay_pair, (configuration_name, trace, window))
+                for configuration_name, _workload_name, trace, window in pairs
+            ]
+            for (configuration_name, workload_name, _trace, _window), handle in zip(
+                pairs, async_results
+            ):
+                result, seconds = handle.get()
+                self.run_seconds[(configuration_name, workload_name)] = seconds
+                self.results.append(result)
+                produced.append(result)
+                self._report(result)
+        return produced
+
+    def run(self) -> List[WorkloadResult]:
+        """Run the whole matrix; returns all results (also kept on self)."""
+        self._execute(self._generate_traces())
+        return self.results
+
+    def run_workload(self, workload_name: str) -> List[WorkloadResult]:
+        """Run one workload across every configuration of the matrix."""
+        pairs = self._generate_traces(only_workload=workload_name)
+        if not pairs:
+            known = sorted(self.matrix.workload_names())
+            raise KeyError(f"unknown workload {workload_name!r}; known: {known}")
+        return self._execute(pairs)
+
+    def total_simulated_requests(self) -> int:
+        return sum(result.num_requests for result in self.results)
+
+    def total_wall_clock_seconds(self) -> float:
+        """Sum of per-pair replay seconds (CPU work, not elapsed time)."""
+        return sum(self.run_seconds.values())

@@ -66,6 +66,7 @@ class MemoryChannel:
         self._inbound = (
             SerialResource(name=f"{self.name}-in") if self.full_duplex else self._outbound
         )
+        self._per_direction_bw = self.width_bits * self.data_rate_bps / 8.0
 
     @property
     def peak_bandwidth_bytes_per_s(self) -> float:
@@ -95,13 +96,17 @@ class MemoryChannel:
 
     def send(self, now: float, size_bytes: float) -> float:
         """Transfer controller -> memory; returns completion time."""
-        duration = self.serialization_time(size_bytes)
-        return self._outbound.reserve(now, duration) + self.latency_s
+        return (
+            self._outbound.reserve(now, size_bytes / self._per_direction_bw)
+            + self.latency_s
+        )
 
     def receive(self, now: float, size_bytes: float) -> float:
         """Transfer memory -> controller; returns completion time."""
-        duration = self.serialization_time(size_bytes)
-        return self._inbound.reserve(now, duration) + self.latency_s
+        return (
+            self._inbound.reserve(now, size_bytes / self._per_direction_bw)
+            + self.latency_s
+        )
 
     def busy_time(self) -> float:
         if self.full_duplex:

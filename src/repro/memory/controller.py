@@ -9,7 +9,8 @@ the effect that dominates the Hot Spot results in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from heapq import heappop, heappush, nsmallest
+from typing import List, NamedTuple, Optional
 
 from repro.memory.channel import MemoryChannel
 from repro.memory.dram import DramTimings, OcmModule, daisy_chain_delay
@@ -22,9 +23,12 @@ from repro.sim.stats import RunningStats
 COMMAND_BYTES = 8
 
 
-@dataclass(frozen=True)
-class MemoryAccessResult:
-    """Outcome of one memory access at a controller."""
+class MemoryAccessResult(NamedTuple):
+    """Outcome of one memory access at a controller.
+
+    A NamedTuple (not a dataclass): one is built per replayed miss, so cheap
+    construction matters.
+    """
 
     completion_time: float
     queueing_delay: float
@@ -36,7 +40,7 @@ class MemoryAccessResult:
         return self.queueing_delay + self.channel_delay + self.dram_delay
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryController:
     """A per-cluster memory controller.
 
@@ -72,6 +76,11 @@ class MemoryController:
     reads: int = field(default=0, repr=False)
     writes: int = field(default=0, repr=False)
     bytes_transferred: float = field(default=0.0, repr=False)
+    _outbound: "SerialResource" = field(init=False, repr=False)
+    _inbound: "SerialResource" = field(init=False, repr=False)
+    _channel_latency_s: float = field(init=False, repr=False)
+    _bytes_per_s: float = field(init=False, repr=False)
+    _command_serialization_s: float = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.modules:
@@ -82,6 +91,13 @@ class MemoryController:
             name=f"mc{self.controller_id}-queue", capacity=self.queue_depth
         )
         self.latency_stats = RunningStats(f"mc{self.controller_id}-latency")
+        # Hot-path bindings: the channel's serial resources and serialization
+        # constants, resolved once instead of per access.
+        self._outbound = self.channel._outbound
+        self._inbound = self.channel._inbound
+        self._channel_latency_s = self.channel.latency_s
+        self._bytes_per_s = self.channel._per_direction_bw
+        self._command_serialization_s = COMMAND_BYTES / self._bytes_per_s
 
     # -- address mapping ------------------------------------------------------
     def module_for_address(self, address: int) -> tuple[int, OcmModule]:
@@ -103,23 +119,51 @@ class MemoryController:
             raise ValueError(f"access size must be positive, got {size_bytes}")
 
         # Finite controller queue: requests that arrive while the queue is
-        # full are admitted only when an earlier request departs.
-        admit_estimate = self.queue.admission_time(now)
+        # full are admitted only when an earlier request departs.  The
+        # BoundedQueue admission/registration pair is transcribed inline
+        # (reference: BoundedQueue.admission_time / admit), saving two calls
+        # per access.
+        queue = self.queue
+        departures = queue._departures
+        while departures and departures[0] <= now:
+            heappop(departures)
+        resident = len(departures)
+        if resident < queue.capacity:
+            admit_estimate = now
+        else:
+            overflow = resident - queue.capacity
+            if overflow == 0:
+                admit_estimate = departures[0]
+            else:
+                admit_estimate = nsmallest(overflow + 1, departures)[-1]
         queue_wait = admit_estimate - now
         start = admit_estimate
 
         # Channel: command goes out, then either the write data goes out or
         # the read data comes back.  Half-duplex channels serialize the two.
+        # (MemoryChannel.send/receive, inlined onto the bound resources.)
+        channel_latency = self._channel_latency_s
         if is_write:
-            outbound_done = self.channel.send(start, COMMAND_BYTES + size_bytes)
-            channel_done = outbound_done
+            channel_done = (
+                self._outbound.reserve(
+                    start, (COMMAND_BYTES + size_bytes) / self._bytes_per_s
+                )
+                + channel_latency
+            )
         else:
-            command_done = self.channel.send(start, COMMAND_BYTES)
-            channel_done = command_done
+            channel_done = (
+                self._outbound.reserve(start, self._command_serialization_s)
+                + channel_latency
+            )
 
-        # DRAM access behind the channel.
-        module_index, module = self.module_for_address(address)
-        chain_delay = daisy_chain_delay(module_index)
+        # DRAM access behind the channel (single-module chains skip the
+        # address mapping and the zero pass-through delay).
+        if len(self.modules) == 1:
+            chain_delay = 0.0
+            module = self.modules[0]
+        else:
+            module_index, module = self.module_for_address(address)
+            chain_delay = daisy_chain_delay(module_index)
         if self.model_banks:
             data_ready = module.access(address, channel_done + chain_delay)
         else:
@@ -129,10 +173,19 @@ class MemoryController:
             completion = data_ready
         else:
             # Read data returns over the channel.
-            completion = self.channel.receive(data_ready + chain_delay, size_bytes)
+            completion = (
+                self._inbound.reserve(
+                    data_ready + chain_delay, size_bytes / self._bytes_per_s
+                )
+                + channel_latency
+            )
 
-        # Register the stay in the queue now that the departure time is known.
-        self.queue.admit(now, completion)
+        # Register the stay in the queue; the admission estimate above already
+        # accounted for back-pressure, so the entry is committed directly.
+        heappush(departures, completion)
+        queue.total_admitted += 1
+        if len(departures) > queue.max_occupancy_seen:
+            queue.max_occupancy_seen = len(departures)
 
         channel_delay = (channel_done - start) + (
             (completion - data_ready - chain_delay) if not is_write else 0.0
@@ -146,12 +199,7 @@ class MemoryController:
         self.bytes_transferred += size_bytes
         self.latency_stats.add(completion - now)
 
-        return MemoryAccessResult(
-            completion_time=completion,
-            queueing_delay=queue_wait,
-            channel_delay=channel_delay,
-            dram_delay=dram_delay,
-        )
+        return MemoryAccessResult(completion, queue_wait, channel_delay, dram_delay)
 
     # -- reporting ------------------------------------------------------------
     @property

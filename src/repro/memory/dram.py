@@ -18,10 +18,11 @@ page-open DRAM -- the comparison surfaced in the paper's power discussion.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.sim.resources import SerialResource
+from repro.sim.resources import _EPSILON, _PRUNE_HORIZON, SerialResource
 
 
 @dataclass(frozen=True)
@@ -66,17 +67,54 @@ class DramBank:
 
     def __post_init__(self) -> None:
         self._resource = SerialResource(name=f"bank{self.bank_id}")
+        self._cycle_time_s = self.timings.cycle_time_s
+        self._access_latency_s = self.timings.access_latency_s
 
     def access(self, now: float) -> float:
         """Perform one access starting no earlier than ``now``.
 
         Returns the time at which data is available.  The bank stays busy for
         its cycle time, which may exceed the data-available point.
+
+        The single-server SerialResource.reserve logic is transcribed inline
+        (one bank reservation per replayed miss); SerialResource.reserve is
+        the reference implementation.
         """
-        busy_until = self._resource.reserve(now, self.timings.cycle_time_s)
-        start = busy_until - self.timings.cycle_time_s
+        cycle = self._cycle_time_s
+        resource = self._resource
+        if now > resource._high_water_request:
+            resource._high_water_request = now
+        prune_before = resource._high_water_request - _PRUNE_HORIZON
+        starts = resource._starts[0]
+        ends = resource._ends[0]
+        if prune_before > 0 and ends and ends[0] <= prune_before:
+            cut = bisect_right(ends, prune_before)
+            del ends[:cut]
+            del starts[:cut]
+        start = now
+        n = len(starts)
+        index = bisect_right(ends, start)
+        while index < n:
+            if start + cycle <= starts[index] + _EPSILON:
+                break
+            interval_end = ends[index]
+            if interval_end > start:
+                start = interval_end
+            index += 1
+        end = start + cycle
+        if index >= n:
+            if n and ends[-1] >= start - _EPSILON:
+                if end > ends[-1]:
+                    ends[-1] = end
+            else:
+                starts.append(start)
+                ends.append(end)
+        else:
+            resource._insert(0, start, end)
+        resource.busy_time += cycle
+        resource.reservations += 1
         self.accesses += 1
-        return start + self.timings.access_latency_s
+        return start + self._access_latency_s
 
     @property
     def busy_time(self) -> float:
@@ -160,8 +198,15 @@ class OcmModule:
         return self.dies[(line // self.banks_per_die) % len(self.dies)]
 
     def access(self, address: int, now: float) -> float:
-        """Access the module; returns the data-ready time."""
-        return self.die_for_address(address).access(address, now)
+        """Access the module; returns the data-ready time.
+
+        The die and bank selection is inlined (same mapping as
+        :meth:`die_for_address` / :meth:`DramDie.bank_for_address`) so the hot
+        path pays one call into the bank instead of three dispatch hops.
+        """
+        line = address >> 6
+        die = self.dies[(line // self.banks_per_die) % len(self.dies)]
+        return die.banks[line % die.num_banks].access(now)
 
     def total_accesses(self) -> int:
         return sum(die.total_accesses() for die in self.dies)

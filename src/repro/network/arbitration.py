@@ -28,7 +28,7 @@ from typing import Dict, List
 from repro.sim.stats import RunningStats
 
 
-@dataclass
+@dataclass(slots=True)
 class TokenChannelArbiter:
     """Arbiter for a single channel's token."""
 
@@ -157,7 +157,9 @@ class TokenRingArbiter:
 
     def acquire(self, channel: int, cluster: int, now: float) -> float:
         """Acquire the token of ``channel`` for ``cluster``; returns grant time."""
-        arbiter = self._channel(channel)
+        arbiter = self.channels.get(channel)
+        if arbiter is None:
+            arbiter = self._channel(channel)
         grant = arbiter.acquire(cluster, now)
         self.wait_statistics.add(grant - now)
         return grant
@@ -171,7 +173,13 @@ class TokenRingArbiter:
         return self.ring_round_trip_s
 
     def average_wait_s(self) -> float:
-        return self.wait_statistics.mean
+        """Mean token wait over every grant, derived from the per-channel
+        counters (callers on the hot path grant through the channel arbiters
+        directly, without updating :attr:`wait_statistics`)."""
+        grants = sum(c.grants for c in self.channels.values())
+        if grants == 0:
+            return 0.0
+        return sum(c.total_wait_s for c in self.channels.values()) / grants
 
     def per_channel_waits(self) -> List[float]:
         return [self.channels[c].average_wait_s for c in sorted(self.channels)]

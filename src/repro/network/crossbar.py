@@ -30,6 +30,17 @@ from repro.photonics.dwdm import DwdmChannel, corona_crossbar_channel
 class OpticalCrossbar(Interconnect):
     """The Corona DWDM crossbar with optical token arbitration."""
 
+    __slots__ = (
+        "channel_bandwidth_bytes_per_s",
+        "max_propagation_s",
+        "_static_power_w",
+        "energy_per_bit_j",
+        "arbiter",
+        "channel_messages",
+        "channel_bytes",
+        "photonic_channels",
+    )
+
     def __init__(
         self,
         num_clusters: int = 64,
@@ -91,40 +102,60 @@ class OpticalCrossbar(Interconnect):
                 f"message endpoints {message.src}->{message.dst} outside crossbar"
             )
         if message.is_local:
-            result = TransferResult(
-                arrival_time=now,
-                queueing_delay=0.0,
-                serialization_delay=0.0,
-                propagation_delay=0.0,
-                hops=0,
-                dynamic_energy_j=0.0,
-            )
+            result = TransferResult(now, 0.0, 0.0, 0.0, 0, 0.0)
             self.record_transfer(message, result)
             return result
 
         channel = message.dst
-        grant_time = self.arbiter.acquire(channel, message.src, now)
-        serialization = self.serialization_delay_s(message.size_bytes)
+        src = message.src
+        size = message.size_bytes
+        num_clusters = self.num_clusters
+        # Token arbitration, transcribed from TokenChannelArbiter.acquire /
+        # release (the reference implementation) onto the same per-channel
+        # arbiter state; the aggregate wait statistic is derived from the
+        # per-channel counters by TokenRingArbiter.average_wait_s.
+        channel_arbiter = self.arbiter.channels[channel]
+        release_time = channel_arbiter.release_time
+        round_trip = channel_arbiter.ring_round_trip_s
+        if now >= release_time:
+            # Uncontested: the token is circulating; it arrives one travel
+            # time after its last release, modulo full revolutions.
+            distance = (src - channel_arbiter.release_position) % num_clusters
+            if distance == 0:
+                distance = num_clusters
+            arrival = release_time + round_trip * distance / num_clusters
+            while arrival < now and round_trip > 0:
+                arrival += round_trip
+            grant_time = arrival if arrival > now else now
+        else:
+            # Contested: the token hops to the next requester downstream.
+            grant_time = release_time + round_trip / num_clusters
+        channel_arbiter.grants += 1
+        channel_arbiter.total_wait_s += grant_time - now
+        serialization = size / self.channel_bandwidth_bytes_per_s
         modulation_done = grant_time + serialization
-        # The token is re-injected with the tail of the message.
-        self.arbiter.release(channel, message.src, modulation_done)
-        propagation = self.propagation_delay_s(message.src, message.dst)
+        # The token is re-injected with the tail of the message; monotonicity
+        # holds by construction (modulation_done >= grant_time >= last release).
+        channel_arbiter.release_position = src
+        channel_arbiter.release_time = modulation_done
+        # Serpentine flight time, inlined from propagation_delay_s.
+        propagation = (
+            self.max_propagation_s * ((channel - src) % self.num_clusters)
+            / self.num_clusters
+        )
         arrival = modulation_done + propagation
 
-        energy = message.size_bytes * 8.0 * self.energy_per_bit_j
+        energy = size * 8.0 * self.energy_per_bit_j
         self.channel_messages[channel] += 1
-        self.channel_bytes[channel] += message.size_bytes
+        self.channel_bytes[channel] += size
+        # record_transfer, inlined.
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.total_dynamic_energy_j += energy
 
-        result = TransferResult(
-            arrival_time=arrival,
-            queueing_delay=grant_time - now,
-            serialization_delay=serialization,
-            propagation_delay=propagation,
-            hops=0,
-            dynamic_energy_j=energy,
+        return TransferResult(
+            arrival, grant_time - now, serialization, propagation, 0, energy
         )
-        self.record_transfer(message, result)
-        return result
 
     # -- reporting ------------------------------------------------------------
     def channel_utilization(self, elapsed_seconds: float) -> Dict[int, float]:

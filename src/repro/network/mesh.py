@@ -18,16 +18,31 @@ paper's high-bandwidth workloads.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Tuple
 
 from repro.network.link import Link
 from repro.network.message import Message
 from repro.network.router import MeshRouter
 from repro.network.topology import Interconnect, MeshCoordinates, TransferResult
+from repro.sim.resources import _EPSILON, _PRUNE_HORIZON
 
 
 class ElectricalMesh(Interconnect):
     """A 2D mesh with dimension-order wormhole routing."""
+
+    __slots__ = (
+        "coordinates",
+        "_bisection_bandwidth",
+        "hop_latency_s",
+        "energy_per_hop_j",
+        "flit_bytes",
+        "link_bandwidth_bytes_per_s",
+        "links",
+        "_link_resources",
+        "routers",
+        "hop_count_total",
+    )
 
     def __init__(
         self,
@@ -63,6 +78,15 @@ class ElectricalMesh(Interconnect):
             )
             for src, dst in self.coordinates.all_links()
         }
+        #: Hot-path view of the links' serial resources, so a transfer does
+        #: not pay a wrapper call per hop (the Link objects stay authoritative
+        #: for reporting -- both views share the same resource instances).
+        #: Keyed by ``src * num_clusters + dst`` so the per-hop lookup hashes
+        #: an int instead of allocating a tuple.
+        self._link_resources = {
+            src * num_clusters + dst: link._resource
+            for (src, dst), link in self.links.items()
+        }
         self.routers: Dict[int, MeshRouter] = {
             node: MeshRouter(
                 node_id=node,
@@ -85,44 +109,108 @@ class ElectricalMesh(Interconnect):
                 f"message endpoints {message.src}->{message.dst} outside mesh"
             )
         if message.is_local:
-            result = TransferResult(
-                arrival_time=now,
-                queueing_delay=0.0,
-                serialization_delay=0.0,
-                propagation_delay=0.0,
-                hops=0,
-                dynamic_energy_j=0.0,
-            )
+            result = TransferResult(now, 0.0, 0.0, 0.0, 0, 0.0)
             self.record_transfer(message, result)
             return result
 
-        route = self.coordinates.dimension_order_route(message.src, message.dst)
+        # Walk the XY (dimension-order) route inline: same traversal as
+        # MeshCoordinates.dimension_order_route, without materializing the
+        # route list.  The per-hop link reservation is the single hottest
+        # operation of the mesh configurations (tens of thousands of calls per
+        # replay), so the single-server SerialResource.reserve logic is
+        # transcribed here verbatim -- same prune horizon, gap search and
+        # tail-coalescing insert -- operating directly on each link resource's
+        # interval lists.  SerialResource.reserve is the reference
+        # implementation; behavioral changes must be mirrored in both places.
         serialization = message.size_bytes / self.link_bandwidth_bytes_per_s
+        radix = self.coordinates.radix_x
+        num_clusters = self.num_clusters
+        x, y = message.src % radix, message.src // radix
+        dest_x, dest_y = message.dst % radix, message.dst // radix
+        resources = self._link_resources
+        hop_latency = self.hop_latency_s
+        epsilon = _EPSILON
+        horizon = _PRUNE_HORIZON
 
         head_time = now
         queueing = 0.0
-        for src, dst in route:
-            link = self.links[(src, dst)]
-            start, _finish = link.reserve(head_time, message.size_bytes)
+        hops = 0
+        node = message.src
+        while node != message.dst:
+            if x != dest_x:
+                x += 1 if dest_x > x else -1
+            else:
+                y += 1 if dest_y > y else -1
+            next_node = y * radix + x
+            resource = resources[node * num_clusters + next_node]
+
+            if head_time > resource._high_water_request:
+                resource._high_water_request = head_time
+            prune_before = resource._high_water_request - horizon
+            starts = resource._starts[0]
+            ends = resource._ends[0]
+            if prune_before > 0 and ends and ends[0] <= prune_before:
+                cut = bisect_right(ends, prune_before)
+                del ends[:cut]
+                del starts[:cut]
+            # Earliest gap of `serialization` seconds at or after head_time.
+            start = head_time
+            n = len(starts)
+            index = bisect_right(ends, start)
+            while index < n:
+                if start + serialization <= starts[index] + epsilon:
+                    break
+                interval_end = ends[index]
+                if interval_end > start:
+                    start = interval_end
+                index += 1
+            end = start + serialization
+            if index >= n:
+                if n and ends[-1] >= start - epsilon:
+                    if end > ends[-1]:
+                        ends[-1] = end
+                else:
+                    starts.append(start)
+                    ends.append(end)
+            else:
+                # Interior commit at the position the gap search already
+                # found (SerialResource._insert with a known index).
+                if index > 0 and ends[index - 1] >= start - epsilon:
+                    merged = index - 1
+                    if end > ends[merged]:
+                        ends[merged] = end
+                else:
+                    starts.insert(index, start)
+                    ends.insert(index, end)
+                    merged = index
+                following = merged + 1
+                while (
+                    following < len(starts)
+                    and starts[following] <= ends[merged] + epsilon
+                ):
+                    if ends[following] > ends[merged]:
+                        ends[merged] = ends[following]
+                    del starts[following]
+                    del ends[following]
+            resource.busy_time += serialization
+            resource.reservations += 1
+
             queueing += start - head_time
             # Head flit crosses this hop; body/tail pipeline behind it.
-            head_time = start + self.hop_latency_s
-
-        hops = len(route)
+            head_time = start + hop_latency
+            node = next_node
+            hops += 1
         arrival = head_time + serialization
         energy = hops * self.energy_per_hop_j
         self.hop_count_total += hops
 
-        result = TransferResult(
-            arrival_time=arrival,
-            queueing_delay=queueing,
-            serialization_delay=serialization,
-            propagation_delay=hops * self.hop_latency_s,
-            hops=hops,
-            dynamic_energy_j=energy,
+        # record_transfer, inlined.
+        self.messages_sent += 1
+        self.bytes_sent += message.size_bytes
+        self.total_dynamic_energy_j += energy
+        return TransferResult(
+            arrival, queueing, serialization, hops * hop_latency, hops, energy
         )
-        self.record_transfer(message, result)
-        return result
 
     # -- reporting ------------------------------------------------------------
     def average_link_utilization(self, elapsed_seconds: float) -> float:

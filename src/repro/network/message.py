@@ -57,7 +57,7 @@ def message_size_bytes(message_type: MessageType) -> int:
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single interconnect message.
 

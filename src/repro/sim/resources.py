@@ -19,6 +19,7 @@ in between).
 from __future__ import annotations
 
 import bisect
+import heapq
 from typing import List, Optional, Tuple
 
 #: Gaps shorter than this are considered zero (floating-point noise guard).
@@ -38,6 +39,16 @@ class SerialResource:
     an ``n``-ported resource (for example a DRAM die with several independent
     banks).
     """
+
+    __slots__ = (
+        "name",
+        "servers",
+        "_starts",
+        "_ends",
+        "busy_time",
+        "reservations",
+        "_high_water_request",
+    )
 
     def __init__(self, name: str, servers: int = 1) -> None:
         if servers < 1:
@@ -77,6 +88,20 @@ class SerialResource:
     def _insert(self, server: int, start: float, end: float) -> None:
         starts = self._starts[server]
         ends = self._ends[server]
+        # Tail fast path: most reservations are requested roughly in time
+        # order, so they land after every committed interval.
+        if not starts:
+            starts.append(start)
+            ends.append(end)
+            return
+        if start > starts[-1]:
+            if ends[-1] >= start - _EPSILON:
+                if end > ends[-1]:
+                    ends[-1] = end
+            else:
+                starts.append(start)
+                ends.append(end)
+            return
         index = bisect.bisect_left(starts, start)
         # Coalesce with the previous interval when contiguous.
         if index > 0 and ends[index - 1] >= start - _EPSILON:
@@ -109,8 +134,45 @@ class SerialResource:
         if now < 0:
             raise ValueError(f"time must be non-negative, got {now}")
 
-        self._high_water_request = max(self._high_water_request, now)
+        if now > self._high_water_request:
+            self._high_water_request = now
         prune_before = self._high_water_request - _PRUNE_HORIZON
+
+        if self.servers == 1:
+            # Single-server fast path (links, channels, banks): prune only
+            # when something is actually expired, inline the gap search, and
+            # insert through the tail fast path of :meth:`_insert`.
+            starts = self._starts[0]
+            ends = self._ends[0]
+            if prune_before > 0 and ends and ends[0] <= prune_before:
+                cut = bisect.bisect_right(ends, prune_before)
+                del ends[:cut]
+                del starts[:cut]
+            candidate = now
+            index = bisect.bisect_right(ends, candidate)
+            n = len(starts)
+            while index < n:
+                if candidate + duration <= starts[index] + _EPSILON:
+                    break
+                interval_end = ends[index]
+                if interval_end > candidate:
+                    candidate = interval_end
+                index += 1
+            end = candidate + duration
+            if index >= n:
+                # Tail commit, inlined: the reservation lands at or after the
+                # last committed interval.
+                if n and ends[-1] >= candidate - _EPSILON:
+                    if end > ends[-1]:
+                        ends[-1] = end
+                else:
+                    starts.append(candidate)
+                    ends.append(end)
+            else:
+                self._insert(0, candidate, end)
+            self.busy_time += duration
+            self.reservations += 1
+            return end
 
         best_server = 0
         best_start = None
@@ -159,20 +221,23 @@ class BoundedQueue:
     capacity limit, which is how upstream senders experience back-pressure.
     """
 
+    __slots__ = ("name", "capacity", "_departures", "total_admitted", "max_occupancy_seen")
+
     def __init__(self, name: str, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.name = name
         self.capacity = capacity
-        # Departure times of entries currently considered "in the queue".
-        # Kept small (== capacity) so linear operations are fine.
+        # Departure times of entries currently considered "in the queue",
+        # kept as a min-heap so expiry is amortized O(1) per entry.
         self._departures: List[float] = []
         self.total_admitted: int = 0
         self.max_occupancy_seen: int = 0
 
     def _expire(self, now: float) -> None:
-        if self._departures:
-            self._departures = [d for d in self._departures if d > now]
+        departures = self._departures
+        while departures and departures[0] <= now:
+            heapq.heappop(departures)
 
     def occupancy(self, now: float) -> int:
         """Number of entries resident at time ``now``."""
@@ -182,12 +247,16 @@ class BoundedQueue:
     def admission_time(self, now: float) -> float:
         """Earliest time at which a new entry could be admitted."""
         self._expire(now)
-        if len(self._departures) < self.capacity:
+        departures = self._departures
+        resident = len(departures)
+        if resident < self.capacity:
             return now
         # Must wait for enough departures among resident entries: the entry is
         # admitted when the queue first has a free slot.
-        overflow = len(self._departures) - self.capacity
-        return sorted(self._departures)[overflow]
+        overflow = resident - self.capacity
+        if overflow == 0:
+            return departures[0]
+        return heapq.nsmallest(overflow + 1, departures)[-1]
 
     def admit(self, now: float, departure_time: float) -> float:
         """Admit an entry that will depart at ``departure_time``.
@@ -200,9 +269,10 @@ class BoundedQueue:
             raise ValueError(
                 f"departure {departure_time} precedes admission {admit_at}"
             )
-        self._departures.append(departure_time)
+        heapq.heappush(self._departures, departure_time)
         self.total_admitted += 1
-        self.max_occupancy_seen = max(self.max_occupancy_seen, len(self._departures))
+        if len(self._departures) > self.max_occupancy_seen:
+            self.max_occupancy_seen = len(self._departures)
         return admit_at
 
     def reset(self) -> None:
@@ -222,18 +292,22 @@ class TokenPool:
     exhausted are granted at the earliest release time.
     """
 
+    __slots__ = ("name", "tokens", "_releases", "acquisitions", "total_wait")
+
     def __init__(self, name: str, tokens: int) -> None:
         if tokens < 1:
             raise ValueError(f"tokens must be >= 1, got {tokens}")
         self.name = name
         self.tokens = tokens
+        # Outstanding release times as a min-heap (amortized O(1) expiry).
         self._releases: List[float] = []
         self.acquisitions: int = 0
         self.total_wait: float = 0.0
 
     def _expire(self, now: float) -> None:
-        if self._releases:
-            self._releases = [r for r in self._releases if r > now]
+        releases = self._releases
+        while releases and releases[0] <= now:
+            heapq.heappop(releases)
 
     def in_use(self, now: float) -> int:
         self._expire(now)
@@ -247,11 +321,16 @@ class TokenPool:
         :meth:`release_at`.
         """
         self._expire(now)
-        if len(self._releases) < self.tokens:
+        releases = self._releases
+        outstanding = len(releases)
+        if outstanding < self.tokens:
             grant = now
         else:
-            overflow = len(self._releases) - self.tokens
-            grant = sorted(self._releases)[overflow]
+            overflow = outstanding - self.tokens
+            if overflow == 0:
+                grant = releases[0]
+            else:
+                grant = heapq.nsmallest(overflow + 1, releases)[-1]
         self.acquisitions += 1
         self.total_wait += grant - now
         if release_time_hint is not None:
@@ -259,12 +338,12 @@ class TokenPool:
                 raise ValueError(
                     f"release {release_time_hint} precedes grant {grant}"
                 )
-            self._releases.append(release_time_hint)
+            heapq.heappush(releases, release_time_hint)
         return grant
 
     def release_at(self, release_time: float) -> None:
         """Register the release time for a token acquired without a hint."""
-        self._releases.append(release_time)
+        heapq.heappush(self._releases, release_time)
 
     def average_wait(self) -> float:
         if self.acquisitions == 0:

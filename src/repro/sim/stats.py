@@ -18,6 +18,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 class Counter:
     """A named monotonically increasing counter."""
 
+    __slots__ = ("name", "value")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
@@ -36,6 +38,8 @@ class Counter:
 
 class RunningStats:
     """Streaming mean / variance / min / max using Welford's algorithm."""
+
+    __slots__ = ("name", "count", "_mean", "_m2", "minimum", "maximum", "total")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -108,10 +112,22 @@ class RunningStats:
 
 
 class Histogram:
-    """Fixed-width-bin histogram with overflow/underflow tracking."""
+    """Fixed-width-bin histogram with overflow/underflow tracking.
+
+    With ``auto_expand=True`` the histogram never truncates at ``upper``:
+    when a sample lands at or beyond the current range, the range is doubled
+    (merging adjacent bins, so the bin count stays fixed) until the sample
+    fits.  Percentiles computed afterwards therefore cover the full observed
+    range instead of silently clamping at the initial upper bound.
+    """
 
     def __init__(
-        self, name: str, lower: float, upper: float, bins: int = 32
+        self,
+        name: str,
+        lower: float,
+        upper: float,
+        bins: int = 32,
+        auto_expand: bool = False,
     ) -> None:
         if bins < 1:
             raise ValueError(f"bins must be >= 1, got {bins}")
@@ -121,10 +137,22 @@ class Histogram:
         self.lower = lower
         self.upper = upper
         self.bins = bins
+        self.auto_expand = auto_expand
         self.counts: List[int] = [0] * bins
         self.underflow = 0
         self.overflow = 0
         self.samples = 0
+        self._width = (upper - lower) / bins
+
+    def _expand_to(self, value: float) -> None:
+        """Double the range (re-binning by pairs) until ``value`` fits."""
+        while value >= self.upper:
+            merged = [0] * self.bins
+            for index, count in enumerate(self.counts):
+                merged[index >> 1] += count
+            self.counts = merged
+            self._width *= 2.0
+            self.upper = self.lower + self._width * self.bins
 
     def add(self, value: float) -> None:
         self.samples += 1
@@ -132,14 +160,15 @@ class Histogram:
             self.underflow += 1
             return
         if value >= self.upper:
-            self.overflow += 1
-            return
-        width = (self.upper - self.lower) / self.bins
-        index = int((value - self.lower) / width)
+            if not self.auto_expand:
+                self.overflow += 1
+                return
+            self._expand_to(value)
+        index = int((value - self.lower) / self._width)
         self.counts[min(index, self.bins - 1)] += 1
 
     def bin_edges(self) -> List[Tuple[float, float]]:
-        width = (self.upper - self.lower) / self.bins
+        width = self._width
         return [
             (self.lower + i * width, self.lower + (i + 1) * width)
             for i in range(self.bins)
@@ -154,7 +183,7 @@ class Histogram:
             return self.lower
         target = fraction * in_range
         running = 0
-        width = (self.upper - self.lower) / self.bins
+        width = self._width
         for i, count in enumerate(self.counts):
             running += count
             if running >= target:

@@ -43,7 +43,7 @@ class AccessKind(enum.Enum):
         raise ValueError(f"unknown access kind code {code!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One L2 miss issued by one hardware thread."""
 

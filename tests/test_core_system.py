@@ -215,3 +215,32 @@ class TestWorkloadReplay:
         simulator.run(trace)
         # No transaction can complete faster than the 20 ns DRAM access.
         assert simulator.stats.latency.minimum >= 20e-9
+
+    def test_p99_latency_not_clamped_for_slow_tails(self):
+        """Regression: the latency histogram used to truncate at 2000 ns, so
+        configurations with slower tails reported a silently capped p99."""
+        from repro.core.system import TransactionStats
+
+        stats = TransactionStats()
+        for _ in range(99):
+            stats.record(100e-9, 0.0, 0.0, 0.0, False, 64, 0, 2)
+        for _ in range(3):
+            stats.record(9000e-9, 0.0, 0.0, 0.0, False, 64, 0, 2)
+        p99_ns = stats.latency_histogram.percentile(0.99)
+        assert p99_ns > 2000.0
+        assert p99_ns == pytest.approx(9000.0, rel=0.05)
+        # The raw accumulator agrees that the tail is real.
+        assert stats.latency.maximum == pytest.approx(9000e-9)
+
+    def test_transaction_stats_properties_track_new_samples(self):
+        from repro.core.system import TransactionStats
+
+        stats = TransactionStats()
+        stats.record(100e-9, 1e-9, 2e-9, 3e-9, False, 64, 2, 2)
+        assert stats.latency.count == 1  # materializes the lazy view
+        stats.record(300e-9, 1e-9, 2e-9, 3e-9, True, 64, 2, 2)
+        assert stats.latency.count == 2
+        assert stats.latency.mean == pytest.approx(200e-9)
+        assert stats.queueing.mean == pytest.approx(1e-9)
+        assert stats.network_latency.mean == pytest.approx(2e-9)
+        assert stats.memory_latency.mean == pytest.approx(3e-9)

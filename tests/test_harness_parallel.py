@@ -1,0 +1,110 @@
+"""Serial/parallel evaluation equivalence tests.
+
+The :class:`~repro.harness.parallel.ParallelEvaluationRunner` must be a
+drop-in replacement for the serial runner: same results (bit-identical, not
+approximately equal), same ordering, same bookkeeping shape.  The matrix
+under test is ``quick_matrix()`` -- every (configuration, workload) pair of
+the paper's evaluation -- with the request counts scaled down (via
+``dataclasses.replace`` of the scale) so the 2x75 replays stay test-suite
+fast while still covering every pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.harness.experiments import EvaluationMatrix, quick_matrix
+from repro.harness.parallel import ParallelEvaluationRunner, available_cpus
+from repro.harness.runner import EvaluationRunner
+
+
+def _small_quick_matrix() -> EvaluationMatrix:
+    """quick_matrix() shrunk to test-suite request counts (same 75 pairs)."""
+    matrix = quick_matrix()
+    matrix.scale = dataclasses.replace(
+        matrix.scale,
+        synthetic_requests=600,
+        splash_min_requests=400,
+        splash_max_requests=700,
+    )
+    return matrix
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    runner = EvaluationRunner(matrix=_small_quick_matrix())
+    runner.run()
+    return runner
+
+
+class TestSerialParallelEquivalence:
+    def test_in_process_fallback_is_identical(self, serial_run):
+        """jobs=1 uses no pool and must reproduce the serial run exactly."""
+        runner = ParallelEvaluationRunner(matrix=_small_quick_matrix(), jobs=1)
+        results = runner.run()
+        assert results == serial_run.results
+
+    def test_pool_run_is_identical_for_every_pair(self, serial_run):
+        """Worker processes replay shipped traces to bit-identical results."""
+        runner = ParallelEvaluationRunner(matrix=_small_quick_matrix(), jobs=2)
+        results = runner.run()
+        assert len(results) == serial_run.matrix.run_count() == 75
+        for serial, parallel in zip(serial_run.results, results):
+            # Field-by-field so a mismatch names the offending metric.
+            for field in dataclasses.fields(serial):
+                assert getattr(serial, field.name) == getattr(
+                    parallel, field.name
+                ), (serial.workload, serial.configuration, field.name)
+
+    def test_result_ordering_matches_serial_iteration(self, serial_run):
+        runner = ParallelEvaluationRunner(matrix=_small_quick_matrix(), jobs=2)
+        results = runner.run()
+        assert [(r.workload, r.configuration) for r in results] == [
+            (r.workload, r.configuration) for r in serial_run.results
+        ]
+
+    def test_run_seconds_bookkeeping(self, serial_run):
+        runner = ParallelEvaluationRunner(matrix=_small_quick_matrix(), jobs=2)
+        runner.run()
+        assert set(runner.run_seconds) == set(serial_run.run_seconds)
+        assert runner.total_wall_clock_seconds() > 0.0
+        assert (
+            runner.total_simulated_requests()
+            == serial_run.total_simulated_requests()
+        )
+
+
+class TestRunnerApi:
+    def test_resolved_jobs_defaults_to_available_cpus(self):
+        runner = ParallelEvaluationRunner(matrix=_small_quick_matrix())
+        assert runner.resolved_jobs() == available_cpus()
+
+    def test_explicit_jobs_respected(self):
+        runner = ParallelEvaluationRunner(matrix=_small_quick_matrix(), jobs=3)
+        assert runner.resolved_jobs() == 3
+
+    def test_run_workload_unknown_name_raises(self):
+        runner = ParallelEvaluationRunner(matrix=_small_quick_matrix(), jobs=1)
+        with pytest.raises(KeyError):
+            runner.run_workload("NoSuchWorkload")
+
+    def test_run_workload_covers_every_configuration(self):
+        matrix = _small_quick_matrix()
+        runner = ParallelEvaluationRunner(matrix=matrix, jobs=1)
+        results = runner.run_workload("Uniform")
+        assert [r.configuration for r in results] == list(
+            matrix.configuration_names
+        )
+        assert all(r.workload == "Uniform" for r in results)
+
+    def test_progress_reported_in_serial_order(self):
+        matrix = _small_quick_matrix()
+        lines = []
+        runner = ParallelEvaluationRunner(
+            matrix=matrix, jobs=2, progress=lines.append
+        )
+        runner.run()
+        assert len(lines) == matrix.run_count()
+        assert lines[0].split()[0] == matrix.workload_names()[0]

@@ -56,6 +56,30 @@ class TestReport:
         assert path.exists()
         assert path.read_text().startswith("# Corona reproduction report")
 
+    def test_build_report_parallel_jobs_matches_serial(self):
+        serial = build_report(_tiny_matrix())
+        parallel = build_report(_tiny_matrix(), jobs=2)
+        assert parallel.results == serial.results
+        assert parallel.to_markdown().splitlines()[0] == "# Corona reproduction report"
+
+    def test_evaluate_parser_accepts_jobs(self):
+        import argparse
+
+        parser = build_parser()
+        args = parser.parse_args(["evaluate", "--jobs", "4"])
+        assert args.jobs == 4
+        args = parser.parse_args(["evaluate"])
+        assert args.jobs == 1
+        # --jobs is documented in the evaluate --help epilog.
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        help_text = subparsers.choices["evaluate"].format_help()
+        assert "--jobs" in help_text
+        assert "bit-identical" in help_text
+
 
 class TestSensitivity:
     def test_waveguide_loss_sweep_shows_feasibility_cliff(self):

@@ -16,7 +16,8 @@ class TestEventQueue:
         queue.push(1.0, order.append, ("a",))
         queue.push(2.0, order.append, ("b",))
         while (event := queue.pop()) is not None:
-            event.callback(*event.args)
+            _time, _seq, callback, args = event
+            callback(*args)
         assert order == ["a", "b", "c"]
 
     def test_ties_processed_in_insertion_order(self):
@@ -30,8 +31,17 @@ class TestEventQueue:
         queue = EventQueue()
         event = queue.push(1.0, lambda: None, ())
         keeper = queue.push(2.0, lambda: None, ())
-        event.cancel()
+        queue.cancel(event)
         assert queue.pop() is keeper
+
+    def test_cancel_updates_length(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, ())
+        queue.push(2.0, lambda: None, ())
+        queue.cancel(event)
+        assert len(queue) == 1
+        queue.cancel(event)  # idempotent
+        assert len(queue) == 1
 
     def test_peek_time(self):
         queue = EventQueue()
@@ -41,6 +51,48 @@ class TestEventQueue:
 
     def test_peek_time_empty(self):
         assert EventQueue().peek_time() is None
+
+    def test_peek_time_skips_cancelled_head(self):
+        queue = EventQueue()
+        head = queue.push(1.0, lambda: None, ())
+        queue.push(2.0, lambda: None, ())
+        queue.cancel(head)
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 1
+
+    def test_pop_after_peek_shares_dead_entry_skipping(self):
+        """peek_time and pop agree on the head after interleaved cancels."""
+        queue = EventQueue()
+        dead = queue.push(1.0, lambda: None, ())
+        live = queue.push(1.0, lambda: None, ())
+        queue.cancel(dead)
+        assert queue.peek_time() == 1.0
+        assert queue.pop() is live
+        assert queue.pop() is None
+
+    def test_interleaved_cancel_and_schedule_at_equal_times_is_fifo(self):
+        """Cancelling among same-time entries preserves deterministic FIFO order."""
+        queue = EventQueue()
+        order = []
+        kept = []
+        for label in range(8):
+            entry = queue.push(1.0, order.append, (label,))
+            if label % 2 == 0:
+                queue.cancel(entry)
+            else:
+                kept.append(label)
+            # Interleave: a later push at the same timestamp must not leapfrog
+            # survivors that were scheduled earlier.
+            queue.push(1.0, order.append, (f"tail-{label}",))
+        while (event := queue.pop()) is not None:
+            event[2](*event[3])
+        expected = []
+        for label in range(8):
+            if label % 2 == 1:
+                expected.append(label)
+            expected.append(f"tail-{label}")
+        assert order == expected
+        assert len(queue) == 0
 
 
 class TestSimulator:
@@ -140,6 +192,22 @@ class TestSimulator:
         sim.cancel(event)
         sim.run()
         assert sim.events_executed == 0
+        assert sim.pending_events() == 0
+
+    def test_cancel_then_schedule_at_same_time_is_deterministic(self):
+        """Cancel/schedule interleaving at one timestamp keeps FIFO order."""
+        sim = Simulator()
+        seen = []
+        first = sim.schedule(1e-9, seen.append, "first")
+        sim.schedule(1e-9, seen.append, "second")
+        sim.cancel(first)
+        sim.schedule(1e-9, seen.append, "third")
+        replacement = sim.schedule(1e-9, seen.append, "replacement")
+        sim.cancel(replacement)
+        sim.schedule(1e-9, seen.append, "fourth")
+        sim.run()
+        assert seen == ["second", "third", "fourth"]
+        assert sim.events_executed == 3
 
     def test_deterministic_order_for_simultaneous_events(self):
         sim = Simulator()

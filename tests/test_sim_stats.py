@@ -128,6 +128,58 @@ class TestHistogram:
             Histogram("x", lower=1.0, upper=1.0)
 
 
+class TestHistogramAutoExpand:
+    def test_expands_instead_of_overflowing(self):
+        hist = Histogram("lat", lower=0.0, upper=10.0, bins=10, auto_expand=True)
+        hist.add(35.0)
+        assert hist.overflow == 0
+        assert hist.upper == 40.0
+        assert hist.bins == 10
+        assert sum(hist.counts) == 1
+
+    def test_expansion_rebins_existing_samples(self):
+        hist = Histogram("lat", lower=0.0, upper=10.0, bins=10, auto_expand=True)
+        for value in (0.5, 1.5, 9.5):
+            hist.add(value)
+        hist.add(15.0)  # doubles the range to [0, 20)
+        assert hist.upper == 20.0
+        # Old bins 0 and 1 merge into new bin 0; old bin 9 into new bin 4.
+        assert hist.counts[0] == 2
+        assert hist.counts[4] == 1
+        assert hist.counts[7] == 1  # the 15.0 sample
+        assert sum(hist.counts) == 4
+
+    def test_expansion_is_order_independent(self):
+        forward = Histogram("a", lower=0.0, upper=8.0, bins=8, auto_expand=True)
+        backward = Histogram("b", lower=0.0, upper=8.0, bins=8, auto_expand=True)
+        values = [0.5, 3.0, 7.5, 20.0, 60.0, 11.0]
+        for value in values:
+            forward.add(value)
+        for value in reversed(values):
+            backward.add(value)
+        assert forward.counts == backward.counts
+        assert forward.upper == backward.upper
+
+    def test_percentile_not_clamped_at_initial_upper(self):
+        """Regression: slow tails must not report a truncated p99."""
+        hist = Histogram(
+            "latency-ns", lower=0.0, upper=2000.0, bins=200, auto_expand=True
+        )
+        for _ in range(99):
+            hist.add(100.0)
+        for _ in range(5):
+            hist.add(7500.0)  # tail far beyond the initial 2000 ns bound
+        p99 = hist.percentile(0.99)
+        assert p99 > 2000.0
+        assert p99 == pytest.approx(7500.0, rel=0.02)
+
+    def test_default_histogram_still_clamps(self):
+        hist = Histogram("lat", lower=0.0, upper=10.0, bins=5)
+        hist.add(100.0)
+        assert hist.overflow == 1
+        assert hist.upper == 10.0
+
+
 class TestTimeWeightedAverage:
     def test_constant_signal(self):
         signal = TimeWeightedAverage()
