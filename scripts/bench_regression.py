@@ -1,10 +1,11 @@
 """Replay-performance regression tracker.
 
 Runs the replay micro-benchmarks (single-run events/sec on each interconnect
-family) and the reduced evaluation-matrix comparison (serial vs parallel
-wall-clock), writes the numbers to ``BENCH_replay.json`` at the repository
-root, and -- when a committed baseline exists -- **fails (exit 1) if any
-throughput metric regressed by more than 20%**.
+family, plus a coherence-enabled replay with the timed MOESI directory and
+broadcast-bus invalidations) and the reduced evaluation-matrix comparison
+(serial vs parallel wall-clock), writes the numbers to ``BENCH_replay.json``
+at the repository root, and -- when a committed baseline exists -- **fails
+(exit 1) if any throughput metric regressed by more than 20%**.
 
 Usage::
 
@@ -33,6 +34,7 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.coherence import CoherenceConfig, SharingProfile  # noqa: E402
 from repro.core.configs import configuration_by_name  # noqa: E402
 from repro.core.system import SystemSimulator  # noqa: E402
 from repro.harness.experiments import EvaluationMatrix, ExperimentScale  # noqa: E402
@@ -56,12 +58,20 @@ MATRIX_SCALE = ExperimentScale(synthetic_requests=3_000)
 MATRIX_CONFIGURATIONS = ("LMesh/ECM", "XBar/OCM")
 
 
-def _replay_best_seconds(configuration_name: str, trace, window: int, rounds: int):
+#: Sharing profile of the coherence-enabled replay measurement.
+COHERENT_SHARING = SharingProfile(fraction=0.3)
+
+
+def _replay_best_seconds(
+    configuration_name: str, trace, window: int, rounds: int, coherence=None
+):
     best = float("inf")
     events = 0
     for _ in range(rounds):
         simulator = SystemSimulator(
-            configuration_by_name(configuration_name), window_depth=window
+            configuration_by_name(configuration_name),
+            window_depth=window,
+            coherence=coherence,
         )
         started = time.perf_counter()
         simulator.run(trace)
@@ -95,11 +105,28 @@ def measure(rounds: int = 3) -> Dict[str, float]:
         metrics[f"replay_{label}_events_per_s"] = events / seconds
         metrics[f"replay_{label}_requests_per_s"] = REPLAY_REQUESTS / seconds
 
+    # Coherence-enabled replay: a sharing-tagged trace with the timed MOESI
+    # directory on the Corona design (broadcast-bus invalidations live).
+    coherent_workload = uniform_workload(sharing=COHERENT_SHARING)
+    coherent_trace = coherent_workload.generate(
+        seed=1, num_requests=REPLAY_REQUESTS
+    )
+    seconds, events = _replay_best_seconds(
+        "XBar/OCM",
+        coherent_trace,
+        coherent_workload.window,
+        rounds,
+        coherence=CoherenceConfig(),
+    )
+    metrics["replay_xbar_ocm_coherent_events_per_s"] = events / seconds
+    metrics["replay_xbar_ocm_coherent_requests_per_s"] = REPLAY_REQUESTS / seconds
+
+    pairs = _matrix().run_count()
     started = time.perf_counter()
     EvaluationRunner(matrix=_matrix()).run()
     serial_seconds = time.perf_counter() - started
     metrics["matrix_serial_seconds"] = serial_seconds
-    metrics["matrix_serial_pairs_per_s"] = 8 / serial_seconds
+    metrics["matrix_serial_pairs_per_s"] = pairs / serial_seconds
 
     jobs = min(4, available_cpus())
     started = time.perf_counter()
@@ -107,7 +134,7 @@ def measure(rounds: int = 3) -> Dict[str, float]:
     parallel_seconds = time.perf_counter() - started
     metrics["matrix_parallel_seconds"] = parallel_seconds
     metrics["matrix_parallel_jobs"] = jobs
-    metrics["matrix_parallel_pairs_per_s"] = 8 / parallel_seconds
+    metrics["matrix_parallel_pairs_per_s"] = pairs / parallel_seconds
     return metrics
 
 

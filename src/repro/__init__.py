@@ -27,6 +27,7 @@ Quickstart::
     print(result.execution_time_s, result.achieved_bandwidth_tbps)
 """
 
+from repro.coherence import CoherenceConfig, SharingProfile
 from repro.core.config import CoronaConfig, CORONA_DEFAULT
 from repro.core.configs import (
     SystemConfiguration,
@@ -43,7 +44,9 @@ from repro.core.results import (
 from repro.core.system import SystemSimulator, simulate_workload
 from repro.trace.splash2 import splash2_workload, splash2_workloads
 from repro.trace.synthetic import (
+    bit_reversal_workload,
     hot_spot_workload,
+    neighbor_workload,
     synthetic_workloads,
     tornado_workload,
     transpose_workload,
@@ -65,10 +68,14 @@ __all__ = [
     "speedup_table",
     "metric_table",
     "geometric_mean_speedup",
+    "CoherenceConfig",
+    "SharingProfile",
     "uniform_workload",
     "hot_spot_workload",
     "tornado_workload",
     "transpose_workload",
+    "bit_reversal_workload",
+    "neighbor_workload",
     "synthetic_workloads",
     "splash2_workload",
     "splash2_workloads",

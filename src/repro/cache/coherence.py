@@ -11,9 +11,13 @@ directory state, produces the list of coherence messages each transition
 requires, and counts how many of those messages the broadcast bus saves.  The
 paper itself excludes coherence traffic from its timed network simulations
 ("the coherence scheme ... has not yet been modeled in the system
-simulation"), so the timed replay in :mod:`repro.core.system` does the same;
-the functional protocol lets the broadcast-bus experiments and the coherence
-unit tests exercise the design.
+simulation"); this reproduction goes one step further: the
+:mod:`repro.coherence` subsystem drives this protocol from the replay engine
+(:mod:`repro.core.system`), turning each transition's messages into timed
+resource reservations for shared-tagged misses, with invalidations riding
+the optical broadcast bus on photonic configurations.  The functional
+protocol remains independently usable by the broadcast-bus experiments and
+the coherence unit tests.
 """
 
 from __future__ import annotations

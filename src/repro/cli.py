@@ -27,10 +27,14 @@ from typing import List, Optional, Sequence
 from repro.core.configs import CONFIGURATION_ORDER, configuration_by_name
 from repro.core.system import simulate_workload
 from repro.harness.experiments import (
+    COHERENCE_SWEEP_CONFIGURATIONS,
+    COHERENCE_SWEEP_FRACTIONS,
     FULL_SCALE,
     QUICK_SCALE,
     EvaluationMatrix,
     ExperimentScale,
+    coherence_sweep,
+    coherence_sweep_report,
 )
 from repro.harness.report import build_report
 from repro.harness.sensitivity import (
@@ -125,13 +129,58 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _filter_configurations(terms: Optional[List[str]]) -> List[str]:
+    """Configuration names matching any of the substring ``terms``."""
+    if not terms:
+        return list(CONFIGURATION_ORDER)
+    matched = [
+        name
+        for name in CONFIGURATION_ORDER
+        if any(term.lower() in name.lower() for term in terms)
+    ]
+    if not matched:
+        raise SystemExit(
+            f"no configuration matches {terms!r}; known: {CONFIGURATION_ORDER}"
+        )
+    return matched
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     scale = {"quick": QUICK_SCALE, "default": ExperimentScale(), "full": FULL_SCALE}[
         args.scale
     ]
-    matrix = EvaluationMatrix(scale=scale, include_splash=not args.skip_splash)
+    configuration_names = _filter_configurations(args.configs)
+    matrix = EvaluationMatrix(
+        scale=scale,
+        include_splash=not args.skip_splash,
+        configuration_names=configuration_names,
+        workload_filter=args.workloads,
+    )
+    if args.workloads and not matrix.workloads():
+        raise SystemExit(
+            f"no workload matches {args.workloads!r}; known: "
+            f"{EvaluationMatrix(scale=scale).workload_names()}"
+        )
     progress = print if args.verbose else None
     report = build_report(matrix, progress=progress, jobs=args.jobs)
+    if args.coherence:
+        # The sweep honors --configs: restrict the default sweep trio to the
+        # filtered configurations, falling back to the filtered set itself
+        # (never to configurations the user excluded).
+        sweep_configurations = [
+            name
+            for name in COHERENCE_SWEEP_CONFIGURATIONS
+            if name in configuration_names
+        ] or configuration_names
+        points = coherence_sweep(
+            fractions=args.sharing_fractions,
+            configuration_names=sweep_configurations,
+            num_requests=scale.synthetic_requests,
+            seed=scale.seed,
+            jobs=args.jobs,
+            progress=progress,
+        )
+        report.extra_sections.append(coherence_sweep_report(points))
     if args.output:
         path = report.write(args.output)
         print(f"report written to {path}")
@@ -210,14 +259,25 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "performance:\n"
-            "  The 75 (configuration, workload) pairs are independent, so\n"
-            "  --jobs N fans them across N worker processes and divides the\n"
-            "  matrix wall-clock by roughly N on a multicore host.  Traces\n"
-            "  are generated once per workload in the parent and shipped to\n"
-            "  the workers, and the results are bit-identical to a serial\n"
-            "  run (--jobs 1).  --jobs 0 uses every available CPU.  See\n"
-            "  scripts/bench_regression.py for the tracked replay-throughput\n"
-            "  and matrix wall-clock numbers (BENCH_replay.json)."
+            "  The 85 (configuration, workload) pairs of the full matrix are\n"
+            "  independent, so --jobs N fans them across N worker processes\n"
+            "  and divides the matrix wall-clock by roughly N on a multicore\n"
+            "  host.  Traces are generated once per workload in the parent\n"
+            "  and shipped to the workers, and the results are bit-identical\n"
+            "  to a serial run (--jobs 1).  --jobs 0 uses every available\n"
+            "  CPU.  --configs/--workloads cut the matrix down to matching\n"
+            "  pairs (substring match), e.g. --configs XBar --workloads\n"
+            "  Uniform runs a single pair.  See scripts/bench_regression.py\n"
+            "  for the tracked replay-throughput and matrix wall-clock\n"
+            "  numbers (BENCH_replay.json).\n"
+            "coherence:\n"
+            "  --coherence appends the sharing-fraction sweep to the report:\n"
+            "  a sharing-tagged Uniform workload replayed with the timed\n"
+            "  MOESI directory on "
+            + ", ".join(COHERENCE_SWEEP_CONFIGURATIONS)
+            + ",\n"
+            "  comparing broadcast-bus invalidation delivery (photonic)\n"
+            "  against per-sharer unicasts (electrical meshes)."
         ),
     )
     evaluate.add_argument("--scale", choices=("quick", "default", "full"), default="quick")
@@ -229,6 +289,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the matrix (1 = serial, 0 = all CPUs)",
+    )
+    evaluate.add_argument(
+        "--configs",
+        nargs="+",
+        metavar="SUBSTRING",
+        help="keep only configurations whose name contains a given substring",
+    )
+    evaluate.add_argument(
+        "--workloads",
+        nargs="+",
+        metavar="SUBSTRING",
+        help="keep only workloads whose name contains a given substring",
+    )
+    evaluate.add_argument(
+        "--coherence",
+        action="store_true",
+        help="append the coherence sharing-fraction sweep to the report",
+    )
+    evaluate.add_argument(
+        "--sharing-fractions",
+        nargs="+",
+        type=float,
+        default=list(COHERENCE_SWEEP_FRACTIONS),
+        metavar="FRACTION",
+        help="sharing fractions for the --coherence sweep",
     )
     evaluate.set_defaults(handler=_cmd_evaluate)
 

@@ -41,6 +41,10 @@ class SystemConfiguration:
     #: (26 W for the crossbar; the meshes dissipate traffic-dependent dynamic
     #: power instead, reported by the network model itself).
     network_static_power_w: float = 0.0
+    #: Whether the design includes the optical broadcast bus (Section 3.2.2).
+    #: Only the photonic Corona stack carries it; on electrical baselines
+    #: coherence invalidations fall back to per-sharer unicasts.
+    has_broadcast_bus: bool = False
 
     def build_network(self, config: CoronaConfig = CORONA_DEFAULT) -> Interconnect:
         return self.network_factory(config)
@@ -119,6 +123,7 @@ _CONFIGURATIONS: List[SystemConfiguration] = [
         network_factory=_crossbar_factory,
         memory_factory=_ocm_factory,
         network_static_power_w=26.0,
+        has_broadcast_bus=True,
     ),
 ]
 

@@ -35,6 +35,24 @@ class WorkloadResult:
     average_token_wait_s: float = 0.0
     average_queueing_delay_s: float = 0.0
     is_synthetic: bool = False
+    # -- coherence subsystem (zero/False on coherence-free replays) ---------
+    coherence_enabled: bool = False
+    #: Misses to shared lines that consulted a home directory.
+    shared_requests: int = 0
+    #: Total sharer copies invalidated, regardless of delivery mechanism.
+    invalidations_sent: int = 0
+    #: Invalidation rounds delivered as one optical broadcast.
+    invalidation_broadcasts: int = 0
+    #: Unicast INVALIDATE messages sent on the interconnect.
+    invalidation_unicasts: int = 0
+    #: Mean time from directory action to the slowest sharer's invalidation.
+    average_invalidation_latency_s: float = 0.0
+    cache_to_cache_transfers: int = 0
+    #: Mean time from directory action to data arrival at the requester.
+    average_cache_to_cache_latency_s: float = 0.0
+    dirty_writebacks: int = 0
+    #: Fraction of the replay the broadcast bus spent modulating.
+    broadcast_occupancy: float = 0.0
 
     @property
     def network_power_w(self) -> float:
@@ -54,6 +72,14 @@ class WorkloadResult:
         if self.execution_time_s <= 0:
             return 0.0
         return self.num_requests / self.execution_time_s
+
+    @property
+    def average_invalidation_latency_ns(self) -> float:
+        return self.average_invalidation_latency_s * 1e9
+
+    @property
+    def average_cache_to_cache_latency_ns(self) -> float:
+        return self.average_cache_to_cache_latency_s * 1e9
 
 
 @dataclass

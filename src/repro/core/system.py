@@ -17,6 +17,20 @@ gaps and a bounded window of outstanding misses; this is what converts
 interconnect and memory latency into execution time, and execution time for
 the fixed number of trace requests is the performance metric behind Figure 8.
 
+Coherence-enabled replay
+------------------------
+With a :class:`~repro.coherence.engine.CoherenceConfig`, misses to
+shared-tagged lines consult the home cluster's MOESI directory
+(:mod:`repro.cache.coherence`) in stage 2 instead of going straight to
+memory: cache-to-cache forwards, invalidation fan-outs (one optical
+broadcast on configurations with the Section 3.2.2 bus, per-sharer unicasts
+on the electrical baselines) and dirty writebacks all reserve interconnect
+and memory resources.  Shared writes reuse the plain engine's
+writeback-sized request message on the issue leg, a deliberate
+simplification that keeps the issue stage branch-free.  Without a coherence
+config (the default) none of this code is installed and the replay is
+bit-identical to the coherence-free engine.
+
 Performance notes
 -----------------
 The four stage handlers execute once per miss and dominate the replay's
@@ -36,11 +50,13 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush, nsmallest
 from typing import Dict, List, Optional
 
+from repro.coherence.engine import CoherenceConfig, CoherenceEngine, CoherentMiss
 from repro.core.config import CoronaConfig, CORONA_DEFAULT
 from repro.core.configs import SystemConfiguration
 from repro.core.results import WorkloadResult
 from repro.cores.hub import Hub
 from repro.memory.system import MemorySystem
+from repro.network.broadcast import OpticalBroadcastBus
 from repro.network.message import Message, MessageType
 from repro.network.topology import Interconnect, TransferResult
 from repro.sim.engine import Simulator
@@ -161,6 +177,7 @@ class _Transaction:
         "memory_queueing",
         "memory_latency",
         "response_result",
+        "coherence",
     )
 
     def __init__(self, record: TraceRecord, index: int, issue_time: float) -> None:
@@ -172,6 +189,8 @@ class _Transaction:
         self.memory_queueing = 0.0
         self.memory_latency = 0.0
         self.response_result: Optional[TransferResult] = None
+        #: Resolved coherence activity for shared misses (coherent mode only).
+        self.coherence: Optional[CoherentMiss] = None
 
 
 @dataclass(slots=True)
@@ -222,6 +241,10 @@ class SystemSimulator:
         "_msg_writeback",
         "_msg_read_response",
         "_msg_write_ack",
+        "coherence_config",
+        "coherence",
+        "broadcast_bus",
+        "_stage_memory",
     )
 
     def __init__(
@@ -233,6 +256,7 @@ class SystemSimulator:
         window_depth: int = 4,
         mshrs_per_cluster: int = 64,
         hub_queue_depth: int = 64,
+        coherence: Optional[CoherenceConfig] = None,
     ) -> None:
         if window_depth < 1:
             raise ValueError(f"window depth must be >= 1, got {window_depth}")
@@ -280,6 +304,35 @@ class SystemSimulator:
         self._msg_writeback = Message(0, 1, MessageType.WRITEBACK)
         self._msg_read_response = Message(0, 1, MessageType.READ_RESPONSE)
         self._msg_write_ack = Message(0, 1, MessageType.WRITE_ACK)
+        # Coherence subsystem (opt-in).  With ``coherence=None`` the replay
+        # is the plain engine: the coherent handlers are never installed, so
+        # results and throughput are untouched.  With a config, shared-tagged
+        # records consult their home directory and the protocol's messages
+        # reserve interconnect/memory resources; invalidations ride the
+        # optical broadcast bus on configurations that carry one.
+        self.coherence_config = coherence
+        if coherence is not None:
+            self.broadcast_bus = (
+                OpticalBroadcastBus(
+                    num_clusters=corona_config.num_clusters,
+                    clock_hz=corona_config.clock_hz,
+                )
+                if configuration.has_broadcast_bus
+                else None
+            )
+            self.coherence = CoherenceEngine(
+                config=coherence,
+                num_clusters=corona_config.num_clusters,
+                network=self.network,
+                controllers=self._controllers,
+                hub_fwd=self._hub_fwd,
+                broadcast_bus=self.broadcast_bus,
+            )
+            self._stage_memory = self._on_memory_coherent
+        else:
+            self.broadcast_bus = None
+            self.coherence = None
+            self._stage_memory = self._on_memory
 
     # ------------------------------------------------------------------ replay
     def run(self, trace: TraceStream) -> WorkloadResult:
@@ -436,7 +489,7 @@ class SystemSimulator:
         equeue = self._equeue
         heappush(
             self._eheap,
-            (memory_start, equeue._seq, self._on_memory, (state, transaction)),
+            (memory_start, equeue._seq, self._stage_memory, (state, transaction)),
         )
         equeue._seq += 1
 
@@ -465,6 +518,142 @@ class SystemSimulator:
             (response_start, equeue._seq, self._on_response, (state, transaction)),
         )
         equeue._seq += 1
+
+    def _on_memory_coherent(
+        self, state: _ThreadState, transaction: _Transaction
+    ) -> None:
+        """Stage 2, coherence-enabled: shared misses consult the home
+        cluster's MOESI directory; private misses take the plain memory path.
+
+        The directory resolves the miss's protocol actions analytically
+        (invalidation fan-out, cache-to-cache forward, memory access -- see
+        :meth:`repro.coherence.engine.CoherenceEngine.process_miss`), and the
+        response stage is scheduled at the moment the data supplier may
+        answer.  A stripped owner's dirty writeback gets its own calendar
+        event so its memory reservation is made in global time order.
+        """
+        record = transaction.record
+        if not record.shared:
+            self._on_memory(state, transaction)
+            return
+        miss = self.coherence.process_miss(record, self._simulator.now)
+        transaction.coherence = miss
+        transaction.memory_queueing = miss.memory_queueing
+        transaction.memory_latency = miss.memory_latency
+        equeue = self._equeue
+        if miss.writeback_time is not None:
+            heappush(
+                self._eheap,
+                (miss.writeback_time, equeue._seq, self._on_dirty_writeback, (record,)),
+            )
+            equeue._seq += 1
+        response_start = miss.response_ready + self._hub_fwd[miss.response_src]
+        heappush(
+            self._eheap,
+            (response_start, equeue._seq, self._on_response_coherent, (state, transaction)),
+        )
+        equeue._seq += 1
+
+    def _on_dirty_writeback(self, record: TraceRecord) -> None:
+        """A stripped owner's dirty line arrives at the home memory controller."""
+        self.coherence.complete_writeback(record, self._simulator.now)
+
+    def _on_response_coherent(
+        self, state: _ThreadState, transaction: _Transaction
+    ) -> None:
+        """Stages 3+4 for a shared miss: the data supplier (remote owner for
+        cache-to-cache transfers, otherwise the home cluster) answers the
+        requester, and completion folds in the coherence legs' costs.
+
+        Mirrors :meth:`_on_response` (same MSHR-release and statistics
+        conventions) with three differences: the response source comes from
+        the directory's action, the response is data-sized whenever a cache
+        line moves (including writes satisfied by a cache-to-cache forward),
+        and queueing/network/hop totals include the forward and invalidation
+        legs resolved in stage 2.
+        """
+        now = self._simulator.now
+        record = transaction.record
+        miss = transaction.coherence
+        src = record.cluster_id
+        is_write = record.kind is _WRITE
+        supplier = miss.response_src
+
+        if supplier == src:
+            # Home (or owner) is the requesting cluster: no response leg.
+            arrival = now
+            rsp_queue = 0.0
+            rsp_network = 0.0
+            rsp_hops = 0
+            rsp_messages = 0
+        else:
+            if miss.carries_data:
+                response = self._msg_read_response
+            else:
+                response = self._msg_write_ack
+            response.src = supplier
+            response.dst = src
+            response.transaction_id = transaction.index
+            response_result = self._transfer(response, now)
+            transaction.response_result = response_result
+            arrival, rsp_queue, rsp_serial, rsp_prop, rsp_hops, _ = response_result
+            rsp_network = rsp_queue + rsp_serial + rsp_prop
+            rsp_messages = 1
+
+        if miss.is_c2c:
+            self.coherence.note_c2c_complete(miss, arrival)
+
+        request_result = transaction.request_result
+        if request_result is None:
+            req_queue = 0.0
+            req_network = 0.0
+            req_hops = 0
+            req_messages = 0
+        else:
+            _, req_queue, req_serial, req_prop, req_hops, _ = request_result
+            req_network = req_queue + req_serial + req_prop
+            req_messages = 1
+
+        completion_time = arrival + self._hub_fwd[src]
+        queueing = (
+            transaction.mshr_wait
+            + req_queue
+            + miss.extra_queueing
+            + miss.memory_queueing
+            + rsp_queue
+        )
+        network_latency = req_network + miss.extra_network + rsp_network
+        hops = req_hops + miss.extra_hops + rsp_hops
+        messages = req_messages + miss.extra_messages + rsp_messages
+
+        # MSHR release (TokenPool.release_at, inlined to a heap push).
+        heappush(state.hub.mshr_pool._releases, completion_time)
+        state.completions[transaction.index] = completion_time
+        if completion_time > self._makespan:
+            self._makespan = completion_time
+
+        # TransactionStats.record, inlined (reference implementation there).
+        stats = self.stats
+        if stats._derived:
+            stats._derived.clear()
+        stats._samples.append(
+            (
+                completion_time - transaction.issue_time,
+                queueing,
+                network_latency,
+                transaction.memory_latency,
+            )
+        )
+        stats.requests += 1
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        stats.memory_bytes += record.size_bytes
+        stats.network_hops += hops
+        stats.network_messages += messages
+
+        self._try_schedule_issue(state)
 
     def _on_response(self, state: _ThreadState, transaction: _Transaction) -> None:
         """Stages 3+4: the response message returns to the requesting cluster
@@ -568,6 +757,23 @@ class SystemSimulator:
         arbiter = getattr(self.network, "arbiter", None)
         if arbiter is not None and hasattr(arbiter, "average_wait_s"):
             token_wait = arbiter.average_wait_s()
+        coherence = self.coherence
+        if coherence is not None:
+            cstats = coherence.stats
+            coherence_fields = dict(
+                coherence_enabled=True,
+                shared_requests=cstats.shared_requests,
+                invalidations_sent=cstats.invalidations_sent,
+                invalidation_broadcasts=cstats.broadcasts_used,
+                invalidation_unicasts=cstats.unicast_invalidations,
+                average_invalidation_latency_s=cstats.invalidation_latency.mean,
+                cache_to_cache_transfers=cstats.c2c_transfers,
+                average_cache_to_cache_latency_s=cstats.c2c_latency.mean,
+                dirty_writebacks=cstats.dirty_writebacks,
+                broadcast_occupancy=coherence.broadcast_occupancy(elapsed),
+            )
+        else:
+            coherence_fields = {}
         return WorkloadResult(
             workload=trace.name,
             configuration=self.configuration.name,
@@ -585,6 +791,7 @@ class SystemSimulator:
             average_token_wait_s=token_wait,
             average_queueing_delay_s=self.stats.queueing.mean,
             is_synthetic="splash" not in trace.description.lower(),
+            **coherence_fields,
         )
 
 
@@ -595,11 +802,14 @@ def simulate_workload(
     seed: int = 1,
     corona_config: CoronaConfig = CORONA_DEFAULT,
     window_depth: Optional[int] = None,
+    coherence: Optional[CoherenceConfig] = None,
 ) -> WorkloadResult:
     """Convenience wrapper: generate a workload's trace and replay it.
 
     ``workload`` is any object with ``generate(seed, num_requests)`` and a
     ``window`` attribute (both synthetic and SPLASH-2 workloads qualify).
+    Pass a :class:`~repro.coherence.engine.CoherenceConfig` to enable the
+    timed MOESI directory for shared-tagged records.
     """
     trace = workload.generate(seed=seed, num_requests=num_requests)
     depth = window_depth if window_depth is not None else getattr(workload, "window", 4)
@@ -607,5 +817,6 @@ def simulate_workload(
         configuration=configuration,
         corona_config=corona_config,
         window_depth=depth,
+        coherence=coherence,
     )
     return simulator.run(trace)

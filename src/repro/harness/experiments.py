@@ -14,9 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.coherence import CoherenceConfig, SharingProfile
 from repro.core.configs import CONFIGURATION_ORDER, all_configurations
+from repro.core.results import WorkloadResult
 from repro.trace.splash2 import SPLASH2_ORDER, splash2_workloads
-from repro.trace.synthetic import synthetic_workloads
+from repro.trace.synthetic import synthetic_workloads, uniform_workload
 
 
 @dataclass(frozen=True)
@@ -77,7 +79,15 @@ FULL_SCALE = ExperimentScale(
 
 @dataclass
 class EvaluationMatrix:
-    """The (configuration x workload) matrix of the paper's evaluation."""
+    """The (configuration x workload) matrix of the paper's evaluation.
+
+    ``workload_filter`` keeps only workloads whose name contains one of the
+    given substrings (case-insensitive) -- the mechanism behind the CLI's
+    ``--workloads`` flag, letting a single (configuration, workload) pair run
+    without the full matrix.  ``coherence`` enables the timed MOESI directory
+    for every replay of the matrix (shared-tagged records only; the stock
+    workloads carry none unless given a sharing profile).
+    """
 
     scale: ExperimentScale = field(default_factory=ExperimentScale)
     configuration_names: Sequence[str] = field(
@@ -85,6 +95,14 @@ class EvaluationMatrix:
     )
     include_synthetic: bool = True
     include_splash: bool = True
+    workload_filter: Optional[Sequence[str]] = None
+    coherence: Optional[CoherenceConfig] = None
+
+    def _matches_filter(self, name: str) -> bool:
+        if self.workload_filter is None:
+            return True
+        lowered = name.lower()
+        return any(term.lower() in lowered for term in self.workload_filter)
 
     def workloads(self) -> List:
         """Workload generators in the paper's plot order."""
@@ -93,16 +111,22 @@ class EvaluationMatrix:
             workloads.extend(synthetic_workloads())
         if self.include_splash:
             workloads.extend(splash2_workloads())
-        return workloads
+        return [w for w in workloads if self._matches_filter(w.name)]
 
     def workload_names(self) -> List[str]:
         return [w.name for w in self.workloads()]
 
     def synthetic_names(self) -> List[str]:
-        return [w.name for w in synthetic_workloads()] if self.include_synthetic else []
+        if not self.include_synthetic:
+            return []
+        return [
+            w.name for w in synthetic_workloads() if self._matches_filter(w.name)
+        ]
 
     def splash_names(self) -> List[str]:
-        return list(SPLASH2_ORDER) if self.include_splash else []
+        if not self.include_splash:
+            return []
+        return [name for name in SPLASH2_ORDER if self._matches_filter(name)]
 
     def requests_for(self, workload) -> int:
         """Scaled request count for one workload."""
@@ -119,10 +143,127 @@ class EvaluationMatrix:
 
 
 def default_matrix(scale: Optional[ExperimentScale] = None) -> EvaluationMatrix:
-    """The full 5 x 15 matrix at the default scale."""
+    """The full 5 x 17 matrix (6 synthetic + 11 SPLASH-2) at default scale."""
     return EvaluationMatrix(scale=scale or ExperimentScale())
 
 
 def quick_matrix() -> EvaluationMatrix:
     """A fast matrix for benchmarks and CI: all workloads, quick scale."""
     return EvaluationMatrix(scale=QUICK_SCALE)
+
+
+# --------------------------------------------------------------------------
+# Sharing-fraction sweep: the photonic-vs-electrical coherence cost axis.
+# --------------------------------------------------------------------------
+
+#: Configurations the sweep compares by default: the all-electrical baseline,
+#: the high-performance mesh, and the Corona design (the only one with the
+#: broadcast bus).
+COHERENCE_SWEEP_CONFIGURATIONS = ("LMesh/ECM", "HMesh/ECM", "XBar/OCM")
+
+#: Sharing fractions swept by default (0 doubles as the no-coherence control).
+COHERENCE_SWEEP_FRACTIONS = (0.0, 0.1, 0.3, 0.5)
+
+
+@dataclass(frozen=True)
+class CoherenceSweepPoint:
+    """Results of one sharing fraction across the sweep's configurations."""
+
+    sharing_fraction: float
+    results: Sequence[WorkloadResult]
+
+
+def coherence_sweep(
+    fractions: Sequence[float] = COHERENCE_SWEEP_FRACTIONS,
+    configuration_names: Sequence[str] = COHERENCE_SWEEP_CONFIGURATIONS,
+    num_requests: int = 8_000,
+    seed: int = 1,
+    coherence: Optional[CoherenceConfig] = None,
+    sharing_kwargs: Optional[Dict] = None,
+    jobs: int = 1,
+    progress=None,
+) -> List[CoherenceSweepPoint]:
+    """Sweep the sharing fraction of a Uniform workload across configurations.
+
+    For each fraction a sharing-tagged Uniform trace is generated once and
+    replayed (coherence-enabled) on every configuration, so the only variable
+    between configurations is how the interconnect delivers the coherence
+    traffic -- most visibly whether invalidations ride the optical broadcast
+    bus or fan out as per-sharer unicasts.  ``jobs`` > 1 fans the
+    (fraction, configuration) pairs over worker processes exactly like the
+    evaluation matrix; results are bit-identical to the serial sweep.
+    """
+    from repro.harness.parallel import run_pairs  # local: avoids module cycle
+
+    coherence = coherence or CoherenceConfig()
+    sharing_kwargs = dict(sharing_kwargs or {})
+    pairs = []
+    labels = []
+    for fraction in fractions:
+        workload = uniform_workload(
+            name=f"Uniform s={fraction:g}",
+            sharing=SharingProfile(fraction=fraction, **sharing_kwargs),
+            description=f"Uniform with sharing fraction {fraction:g}",
+        )
+        trace = workload.generate(seed=seed, num_requests=num_requests)
+        for name in configuration_names:
+            pairs.append((name, trace, workload.window, coherence))
+            labels.append(fraction)
+
+    results = run_pairs(pairs, jobs=jobs, progress=progress)
+    points: List[CoherenceSweepPoint] = []
+    for fraction in fractions:
+        points.append(
+            CoherenceSweepPoint(
+                sharing_fraction=fraction,
+                results=tuple(
+                    result
+                    for label, result in zip(labels, results)
+                    if label == fraction
+                ),
+            )
+        )
+    return points
+
+
+def coherence_sweep_report(points: Sequence[CoherenceSweepPoint]) -> str:
+    """Render the sweep as a markdown section.
+
+    One table per sharing fraction, one row per configuration, with the
+    coherence-cost metrics side by side: the broadcast-equipped photonic
+    configuration should show the lowest invalidation latency once sharing
+    is enabled.
+    """
+    lines: List[str] = ["## Coherence cost sweep (sharing fraction)", ""]
+    lines.append(
+        "Invalidations ride the optical broadcast bus on configurations that "
+        "carry one (XBar/OCM) and fan out as per-sharer unicasts elsewhere; "
+        "`inval ns` is the mean time from directory action to the slowest "
+        "sharer's invalidation, `c2c ns` the mean cache-to-cache transfer "
+        "latency."
+    )
+    lines.append("")
+    header = (
+        "| configuration | exec us | miss ns | inval ns | c2c ns "
+        "| bcasts | unicasts | writebacks | bus occ |"
+    )
+    divider = "|---" * 9 + "|"
+    for point in points:
+        lines.append(f"### Sharing fraction {point.sharing_fraction:g}")
+        lines.append("")
+        lines.append(header)
+        lines.append(divider)
+        for result in point.results:
+            lines.append(
+                f"| {result.configuration} "
+                f"| {result.execution_time_s * 1e6:.2f} "
+                f"| {result.average_latency_ns:.1f} "
+                f"| {result.average_invalidation_latency_ns:.2f} "
+                f"| {result.average_cache_to_cache_latency_ns:.2f} "
+                f"| {result.invalidation_broadcasts} "
+                f"| {result.invalidation_unicasts} "
+                f"| {result.dirty_writebacks} "
+                f"| {result.broadcast_occupancy:.4f} |"
+            )
+        lines.append("")
+    return "\n".join(lines)

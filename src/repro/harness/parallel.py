@@ -1,7 +1,8 @@
 """Parallel evaluation of the (configuration x workload) matrix.
 
-The 75 (configuration, workload) pairs of the paper's evaluation are fully
-independent: each pair builds its own network/memory/hub state from the
+The (configuration, workload) pairs of the evaluation (85 in the full
+matrix: 5 configurations x 17 workloads) are fully independent: each pair
+builds its own network/memory/hub state from the
 configuration name and replays an immutable trace.  The
 :class:`ParallelEvaluationRunner` therefore fans the pairs across a
 ``multiprocessing`` pool and achieves near-linear matrix wall-clock speedup
@@ -34,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.coherence import CoherenceConfig
 from repro.core.configs import configuration_by_name
 from repro.core.results import WorkloadResult
 from repro.core.system import SystemSimulator
@@ -50,21 +52,66 @@ def available_cpus() -> int:
 
 
 def _replay_pair(
-    configuration_name: str, trace: TraceStream, window: int
+    configuration_name: str,
+    trace: TraceStream,
+    window: int,
+    coherence: Optional[CoherenceConfig] = None,
 ) -> Tuple[WorkloadResult, float]:
     """Worker body: replay one (configuration, workload) pair.
 
     Module-level so it pickles under every multiprocessing start method.
     Returns the result plus the replay wall-clock seconds measured in the
-    worker.
+    worker.  ``coherence`` (a picklable frozen dataclass) enables the timed
+    MOESI directory in the worker's simulator, so coherence statistics flow
+    through the parallel path exactly as through the serial one.
     """
     simulator = SystemSimulator(
         configuration=configuration_by_name(configuration_name),
         window_depth=window,
+        coherence=coherence,
     )
     started = time.perf_counter()
     result = simulator.run(trace)
     return result, time.perf_counter() - started
+
+
+def _fan_out_pairs(pairs: List[tuple], jobs: int):
+    """Replay ``_replay_pair`` argument tuples, yielding ``(result, seconds)``
+    in submission order.
+
+    The single fan-out implementation behind both the matrix runner and
+    :func:`run_pairs`: ``jobs`` <= 1 (after clamping to the pair count and
+    available CPUs) runs in-process with no pool overhead; otherwise the
+    pairs are distributed over a ``multiprocessing`` pool with results
+    collected in submission order, bit-identical to the serial loop.
+    """
+    jobs = min(jobs if jobs and jobs > 0 else available_cpus(), len(pairs)) or 1
+    if jobs <= 1:
+        for pair in pairs:
+            yield _replay_pair(*pair)
+        return
+    with multiprocessing.Pool(processes=jobs) as pool:
+        handles = [pool.apply_async(_replay_pair, pair) for pair in pairs]
+        for handle in handles:
+            yield handle.get()
+
+
+def run_pairs(
+    pairs: List[tuple],
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[WorkloadResult]:
+    """Replay ``(configuration_name, trace, window, coherence)`` tuples.
+
+    The helper behind the coherence sweep (and usable for any ad-hoc pair
+    list); see :func:`_fan_out_pairs` for the jobs semantics.
+    """
+    results: List[WorkloadResult] = []
+    for result, _seconds in _fan_out_pairs(pairs, jobs):
+        results.append(result)
+        if progress is not None:
+            progress(f"{result.workload} {result.configuration} done")
+    return results
 
 
 @dataclass
@@ -120,36 +167,32 @@ class ParallelEvaluationRunner:
             trace = self._traces[workload.name]
             window = getattr(workload, "window", 4)
             for configuration in self.matrix.configurations():
-                pairs.append((configuration.name, workload.name, trace, window))
+                pairs.append(
+                    (
+                        configuration.name,
+                        workload.name,
+                        trace,
+                        window,
+                        self.matrix.coherence,
+                    )
+                )
         return pairs
 
     def _execute(self, pairs: List[tuple]) -> List[WorkloadResult]:
         """Run the given pair work-list; append to (and return) new results."""
-        jobs = min(self.resolved_jobs(), len(pairs)) or 1
         produced: List[WorkloadResult] = []
-
-        if jobs <= 1:
-            for configuration_name, workload_name, trace, window in pairs:
-                result, seconds = _replay_pair(configuration_name, trace, window)
-                self.run_seconds[(configuration_name, workload_name)] = seconds
-                self.results.append(result)
-                produced.append(result)
-                self._report(result)
-            return produced
-
-        with multiprocessing.Pool(processes=jobs) as pool:
-            async_results = [
-                pool.apply_async(_replay_pair, (configuration_name, trace, window))
-                for configuration_name, _workload_name, trace, window in pairs
-            ]
-            for (configuration_name, workload_name, _trace, _window), handle in zip(
-                pairs, async_results
-            ):
-                result, seconds = handle.get()
-                self.run_seconds[(configuration_name, workload_name)] = seconds
-                self.results.append(result)
-                produced.append(result)
-                self._report(result)
+        calls = [
+            (configuration_name, trace, window, coherence)
+            for configuration_name, _workload_name, trace, window, coherence
+            in pairs
+        ]
+        for (configuration_name, workload_name, *_rest), (result, seconds) in zip(
+            pairs, _fan_out_pairs(calls, self.resolved_jobs())
+        ):
+            self.run_seconds[(configuration_name, workload_name)] = seconds
+            self.results.append(result)
+            produced.append(result)
+            self._report(result)
         return produced
 
     def run(self) -> List[WorkloadResult]:

@@ -48,6 +48,7 @@ class EvaluationRunner:
         simulator = SystemSimulator(
             configuration=configuration,
             window_depth=self._windows[workload.name],
+            coherence=self.matrix.coherence,
         )
         started = time.perf_counter()
         result = simulator.run(trace)

@@ -56,6 +56,23 @@ class TransferResult(NamedTuple):
         return self.queueing_delay + self.serialization_delay + self.propagation_delay
 
 
+class MulticastResult(NamedTuple):
+    """Outcome of delivering one logical message to several destinations.
+
+    ``last_arrival`` is what a requester waiting on every delivery (e.g. a
+    directory collecting invalidation acknowledgements) experiences;
+    ``messages``/``hops`` count the physical messages the fan-out cost, which
+    is where a unicast-only network pays for multicasts the broadcast bus
+    gets for one message.
+    """
+
+    last_arrival: float
+    #: Queueing delay of the slowest leg.
+    queueing_delay: float
+    hops: int
+    messages: int
+
+
 class Interconnect(abc.ABC):
     """Abstract on-stack interconnect."""
 
@@ -91,6 +108,41 @@ class Interconnect(abc.ABC):
     @abc.abstractmethod
     def bisection_bandwidth_bytes_per_s(self) -> float:
         """Bisection bandwidth of the interconnect."""
+
+    def multicast(
+        self, message: Message, destinations: List[int], now: float
+    ) -> MulticastResult:
+        """Deliver ``message`` to every cluster in ``destinations``.
+
+        The default implementation is a unicast fan-out: one :meth:`transfer`
+        per destination (``message.dst`` is mutated in place, matching the
+        replay engine's reusable-message convention), each reserving its own
+        links/channels.  Broadcast-capable interconnects override this with a
+        single-message delivery.  Destinations equal to ``message.src`` are
+        skipped -- a cluster never needs the network to invalidate itself.
+        """
+        last_arrival = now
+        slowest_queueing = 0.0
+        hops = 0
+        messages = 0
+        src = message.src
+        transfer = self.transfer
+        for dst in destinations:
+            if dst == src:
+                continue
+            message.dst = dst
+            result = transfer(message, now)
+            if result.arrival_time > last_arrival:
+                last_arrival = result.arrival_time
+                slowest_queueing = result.queueing_delay
+            hops += result.hops
+            messages += 1
+        return MulticastResult(
+            last_arrival=last_arrival,
+            queueing_delay=slowest_queueing,
+            hops=hops,
+            messages=messages,
+        )
 
     def static_power_w(self) -> float:
         """Always-on power (lasers, ring trimming, clocking); zero by default."""

@@ -7,7 +7,9 @@ provides:
 
 * :mod:`repro.trace.record` -- the L2-miss trace record format and streams.
 * :mod:`repro.trace.synthetic` -- the paper's four synthetic traffic patterns
-  (Uniform, Hot Spot, Tornado, Transpose).
+  (Uniform, Hot Spot, Tornado, Transpose) plus the Bit Reversal and Neighbor
+  extensions, with optional sharing-tagged addresses for coherence-enabled
+  replays.
 * :mod:`repro.trace.splash2` -- statistical workload models of the eleven
   SPLASH-2 applications, calibrated to the paper's per-benchmark request
   counts and bandwidth classes.
@@ -19,7 +21,9 @@ from repro.trace.record import AccessKind, TraceRecord, TraceStream, ThreadTrace
 from repro.trace.synthetic import (
     SyntheticPattern,
     SyntheticWorkload,
+    bit_reversal_workload,
     hot_spot_workload,
+    neighbor_workload,
     synthetic_workloads,
     tornado_workload,
     transpose_workload,
@@ -45,6 +49,8 @@ __all__ = [
     "hot_spot_workload",
     "tornado_workload",
     "transpose_workload",
+    "bit_reversal_workload",
+    "neighbor_workload",
     "synthetic_workloads",
     "Splash2Profile",
     "Splash2Workload",

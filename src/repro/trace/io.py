@@ -5,11 +5,14 @@ Traces are stored as plain text with one header line and one line per record:
 .. code-block:: text
 
     # corona-trace v1 name=<name> clusters=<n> threads_per_cluster=<m>
-    <thread_id> <home_cluster> <R|W> <address-hex> <gap_cycles> <size_bytes>
+    <thread_id> <home_cluster> <R|W> <address-hex> <gap_cycles> <size_bytes> [S]
 
 The format is deliberately simple: it is diffable, compresses well, and can be
 produced by an external full-system simulator if real SPLASH-2 traces become
-available, in which case they drop straight into the replay engine.
+available, in which case they drop straight into the replay engine.  A
+trailing ``S`` marks the record as a shared line for coherence-enabled
+replays; records without it (including every pre-existing trace file) are
+private.
 """
 
 from __future__ import annotations
@@ -32,9 +35,11 @@ def write_trace(stream: TraceStream, path: Union[str, Path]) -> None:
             f"threads_per_cluster={stream.threads_per_cluster}\n"
         )
         for record in stream.all_records():
+            shared = " S" if record.shared else ""
             handle.write(
                 f"{record.thread_id} {record.home_cluster} {record.kind.value} "
-                f"{record.address:x} {record.gap_cycles:.4f} {record.size_bytes}\n"
+                f"{record.address:x} {record.gap_cycles:.4f} {record.size_bytes}"
+                f"{shared}\n"
             )
 
 
@@ -75,9 +80,13 @@ def read_trace(path: Union[str, Path]) -> TraceStream:
             if not line or line.startswith("#"):
                 continue
             parts = line.split()
-            if len(parts) != 6:
+            if len(parts) not in (6, 7):
                 raise ValueError(
-                    f"{path}:{line_number}: expected 6 fields, got {len(parts)}"
+                    f"{path}:{line_number}: expected 6 or 7 fields, got {len(parts)}"
+                )
+            if len(parts) == 7 and parts[6] != "S":
+                raise ValueError(
+                    f"{path}:{line_number}: unknown record flag {parts[6]!r}"
                 )
             thread_id = int(parts[0])
             home_cluster = int(parts[1])
@@ -95,6 +104,7 @@ def read_trace(path: Union[str, Path]) -> TraceStream:
                     address=address,
                     gap_cycles=gap_cycles,
                     size_bytes=size_bytes,
+                    shared=len(parts) == 7,
                 )
             )
     stream.validate()

@@ -13,6 +13,9 @@ record describes one miss the thread's cluster must satisfy from main memory
   writeback), which determines the sizes of the request and response messages.
 * ``address`` -- a synthetic physical address, used by the cache/coherence
   substrate and kept so traces remain usable by finer-grained models.
+* ``shared`` -- whether the line is shared between clusters.  Shared misses
+  consult the home cluster's MOESI directory during coherence-enabled
+  replays (:mod:`repro.coherence`); private misses go straight to memory.
 
 The replay engine does not need absolute timestamps: they emerge from the
 gaps, the window and the simulated latencies, exactly as in the paper's
@@ -54,6 +57,7 @@ class TraceRecord:
     address: int
     gap_cycles: float
     size_bytes: int = CACHE_LINE_BYTES
+    shared: bool = False
 
     def __post_init__(self) -> None:
         if self.thread_id < 0:
@@ -155,6 +159,14 @@ class TraceStream:
         for record in self.all_records():
             histogram[record.home_cluster] = histogram.get(record.home_cluster, 0) + 1
         return histogram
+
+    def shared_fraction(self) -> float:
+        """Fraction of records tagged as coherence-visible shared lines."""
+        total = self.total_requests
+        if total == 0:
+            return 0.0
+        shared = sum(1 for record in self.all_records() if record.shared)
+        return shared / total
 
     def read_fraction(self) -> float:
         total = self.total_requests

@@ -14,10 +14,21 @@ The paper stresses the interconnects with four classic patterns, each issuing
 * **Transpose** -- cluster ``(i, j)`` targets ``(j, i)``, the classic matrix
   transpose permutation that concentrates traffic on the mesh diagonal.
 
+Two further classic patterns extend the paper's set:
+
+* **Bit Reversal** -- cluster ``b_{n-1} ... b_1 b_0`` targets
+  ``b_0 b_1 ... b_{n-1}`` (FFT-style communication); like Transpose it is a
+  fixed permutation that loads specific mesh paths.
+* **Neighbor** -- cluster ``i`` targets ``(i + 1) mod N``, a
+  producer-consumer pipeline with minimal mesh distance; the gentlest
+  pattern, useful as a low-contention control.
+
 Each pattern is wrapped in a :class:`SyntheticWorkload` that produces a
 :class:`~repro.trace.record.TraceStream` with per-thread gaps drawn from an
 exponential distribution, so the offered load is tunable with one intensity
-parameter.
+parameter.  A :class:`~repro.coherence.sharing.SharingProfile` additionally
+tags a configurable fraction of misses as *shared* lines, which is what the
+coherence-enabled replay (:mod:`repro.coherence`) consumes.
 """
 
 from __future__ import annotations
@@ -28,6 +39,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.coherence.sharing import (
+    SharingProfile,
+    home_for_line,
+    shared_line_address,
+)
 from repro.trace.gaps import draw_gap
 from repro.trace.record import AccessKind, TraceRecord, TraceStream
 
@@ -36,12 +52,14 @@ PAPER_SYNTHETIC_REQUESTS = 1_000_000
 
 
 class SyntheticPattern(enum.Enum):
-    """The four destination permutations used by the paper."""
+    """The paper's four destination permutations plus two classic extensions."""
 
     UNIFORM = "uniform"
     HOT_SPOT = "hot_spot"
     TORNADO = "tornado"
     TRANSPOSE = "transpose"
+    BIT_REVERSAL = "bit_reversal"
+    NEIGHBOR = "neighbor"
 
 
 def _grid_radix(num_clusters: int) -> int:
@@ -76,6 +94,28 @@ def transpose_destination(cluster: int, num_clusters: int) -> int:
     return _xy_to_cluster(y, x, radix)
 
 
+def bit_reversal_destination(cluster: int, num_clusters: int) -> int:
+    """Bit-reversal permutation destination of ``cluster``.
+
+    Reverses the ``log2(num_clusters)`` address bits of the cluster id; the
+    cluster count must be a power of two.
+    """
+    bits = num_clusters.bit_length() - 1
+    if 1 << bits != num_clusters:
+        raise ValueError(
+            f"bit reversal needs a power-of-two cluster count, got {num_clusters}"
+        )
+    reversed_id = 0
+    for bit in range(bits):
+        reversed_id = (reversed_id << 1) | ((cluster >> bit) & 1)
+    return reversed_id
+
+
+def neighbor_destination(cluster: int, num_clusters: int) -> int:
+    """Neighbor (producer-consumer) destination: the next cluster id."""
+    return (cluster + 1) % num_clusters
+
+
 @dataclass
 class SyntheticWorkload:
     """A synthetic traffic workload.
@@ -100,6 +140,12 @@ class SyntheticWorkload:
         parallelism the in-order multithreaded core can sustain).
     hot_cluster:
         Destination cluster for the Hot Spot pattern.
+    sharing:
+        Optional :class:`~repro.coherence.sharing.SharingProfile`; when set
+        (with a non-zero fraction), that fraction of misses targets a global
+        pool of shared lines tagged for the coherence-enabled replay.  With
+        no profile (or fraction 0) generation is bit-identical to the
+        sharing-free path.
     """
 
     name: str
@@ -111,6 +157,7 @@ class SyntheticWorkload:
     write_fraction: float = 0.3
     window: int = 8
     hot_cluster: int = 0
+    sharing: Optional[SharingProfile] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -143,6 +190,10 @@ class SyntheticWorkload:
             return tornado_destination(cluster, self.num_clusters)
         if self.pattern is SyntheticPattern.TRANSPOSE:
             return transpose_destination(cluster, self.num_clusters)
+        if self.pattern is SyntheticPattern.BIT_REVERSAL:
+            return bit_reversal_destination(cluster, self.num_clusters)
+        if self.pattern is SyntheticPattern.NEIGHBOR:
+            return neighbor_destination(cluster, self.num_clusters)
         raise ValueError(f"unknown pattern {self.pattern}")
 
     def generate(
@@ -168,6 +219,13 @@ class SyntheticWorkload:
         # opens; staggering their first miss avoids an artificial thundering
         # herd at t = 0 that no steady-state system would see.
         stagger_cycles = 8.0 * self.mean_gap_cycles
+        # Sharing support: when a profile with a non-zero fraction is set,
+        # that fraction of misses targets the shared-line pool instead of the
+        # pattern's private address space.  The sharing-free path below stays
+        # byte-for-byte identical (same rng draw sequence) so existing traces
+        # and results are unchanged.
+        sharing = self.sharing if self.sharing and self.sharing.enabled else None
+        shared_cumulative = sharing.cumulative_weights() if sharing else None
         line_counter = 0
         for thread_id in range(total_threads):
             cluster = thread_id // self.threads_per_cluster
@@ -176,16 +234,29 @@ class SyntheticWorkload:
                 gap = draw_gap(rng, self.mean_gap_cycles)
                 if index == 0 and stagger_cycles > 0:
                     gap += rng.uniform(0.0, stagger_cycles)
-                kind = (
-                    AccessKind.WRITE
-                    if rng.random() < self.write_fraction
-                    else AccessKind.READ
-                )
-                home = self.destination(cluster, rng)
-                # Synthesize an address in the home cluster's region so the
-                # cache/coherence substrate can consume the same traces.
-                address = (home << 26) | ((line_counter & 0xFFFFF) << 6)
-                line_counter += 1
+                if sharing is not None and rng.random() < sharing.fraction:
+                    line = sharing.draw_line(rng, shared_cumulative)
+                    home = home_for_line(line, self.num_clusters)
+                    address = shared_line_address(line, self.num_clusters)
+                    kind = (
+                        AccessKind.WRITE
+                        if rng.random() < sharing.write_fraction
+                        else AccessKind.READ
+                    )
+                    shared = True
+                else:
+                    kind = (
+                        AccessKind.WRITE
+                        if rng.random() < self.write_fraction
+                        else AccessKind.READ
+                    )
+                    home = self.destination(cluster, rng)
+                    # Synthesize an address in the home cluster's region so
+                    # the cache/coherence substrate can consume the same
+                    # traces.
+                    address = (home << 26) | ((line_counter & 0xFFFFF) << 6)
+                    line_counter += 1
+                    shared = False
                 stream.add(
                     TraceRecord(
                         thread_id=thread_id,
@@ -194,6 +265,7 @@ class SyntheticWorkload:
                         kind=kind,
                         address=address,
                         gap_cycles=gap,
+                        shared=shared,
                     )
                 )
         return stream
@@ -247,11 +319,38 @@ def transpose_workload(**overrides) -> SyntheticWorkload:
     return SyntheticWorkload(**params)
 
 
+def bit_reversal_workload(**overrides) -> SyntheticWorkload:
+    """The Bit Reversal (FFT-style) permutation."""
+    params: Dict = dict(
+        name="Bit Reversal",
+        pattern=SyntheticPattern.BIT_REVERSAL,
+        mean_gap_cycles=40.0,
+        description="Bit-reversal permutation, 1 M requests",
+    )
+    params.update(overrides)
+    return SyntheticWorkload(**params)
+
+
+def neighbor_workload(**overrides) -> SyntheticWorkload:
+    """The Neighbor (producer-consumer) pattern."""
+    params: Dict = dict(
+        name="Neighbor",
+        pattern=SyntheticPattern.NEIGHBOR,
+        mean_gap_cycles=40.0,
+        description="Producer-consumer neighbor pattern, 1 M requests",
+    )
+    params.update(overrides)
+    return SyntheticWorkload(**params)
+
+
 def synthetic_workloads(**overrides) -> List[SyntheticWorkload]:
-    """The four synthetic workloads in the order the paper plots them."""
+    """All synthetic workloads: the paper's four (in its plot order)
+    followed by the Bit Reversal and Neighbor extensions."""
     return [
         uniform_workload(**overrides),
         hot_spot_workload(**overrides),
         tornado_workload(**overrides),
         transpose_workload(**overrides),
+        bit_reversal_workload(**overrides),
+        neighbor_workload(**overrides),
     ]

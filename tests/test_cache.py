@@ -10,6 +10,7 @@ from repro.cache.coherence import (
 )
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.mshr import MshrFile
+from repro.trace.record import AccessKind
 
 
 class TestSetAssociativeCache:
@@ -142,6 +143,42 @@ class TestMshrFile:
         mshrs.allocate(0x40, 1, False, 0.0)
         assert mshrs.outstanding_lines() == [1, 4]
 
+    def test_release_frees_slot_after_rejection(self):
+        """Back-pressure edge: a full file rejects, then accepts again as
+        soon as any outstanding entry retires."""
+        mshrs = MshrFile("m", entries=2)
+        mshrs.allocate(0x0, 1, False, 0.0)
+        mshrs.allocate(0x40, 1, False, 0.0)
+        assert mshrs.allocate(0x80, 1, False, 0.0) is None
+        mshrs.release(0x0)
+        entry = mshrs.allocate(0x80, 1, False, 1.0)
+        assert entry is not None
+        assert mshrs.outstanding == 2
+        assert mshrs.rejections == 1
+
+    def test_full_file_still_coalesces_outstanding_lines(self):
+        """A full file only rejects misses to NEW lines; a miss to a line
+        already outstanding merges without needing a free entry."""
+        mshrs = MshrFile("m", entries=1)
+        mshrs.allocate(0x0, 1, False, 0.0)
+        assert mshrs.full
+        entry = mshrs.allocate(0x20, 2, is_write=True, now=1.0)
+        assert entry is not None
+        assert entry.coalesced_count == 2
+        # The merge upgrades the entry to a write.
+        assert entry.is_write
+        assert entry.waiting_threads == [1, 2]
+        assert mshrs.rejections == 0
+
+    def test_lookup_is_line_granular(self):
+        mshrs = MshrFile("m", entries=2, line_bytes=64)
+        mshrs.allocate(0x40, 1, False, 0.0)
+        assert mshrs.lookup(0x7F) is not None  # same line as 0x40
+        assert mshrs.lookup(0x80) is None
+
+    def test_coalescing_rate_empty_file(self):
+        assert MshrFile("m", entries=1).coalescing_rate() == 0.0
+
 
 class TestCoherenceController:
     def test_first_read_gets_exclusive_from_memory(self):
@@ -267,3 +304,49 @@ class TestCacheHierarchy:
             CacheHierarchy(cluster_id=0).access(
                 core=4, thread_id=0, address=0, is_write=False
             )
+
+    def test_goes_to_memory_mirrors_l2_miss(self):
+        hierarchy = CacheHierarchy(cluster_id=0)
+        miss = hierarchy.access(core=0, thread_id=0, address=0x2000, is_write=False)
+        assert miss.goes_to_memory and miss.l2_miss_generated
+        l1_hit = hierarchy.access(core=0, thread_id=0, address=0x2000, is_write=False)
+        assert not l1_hit.goes_to_memory
+        l2_hit = hierarchy.access(core=1, thread_id=4, address=0x2000, is_write=False)
+        assert l2_hit.l2_hit and not l2_hit.goes_to_memory
+
+    def test_home_cluster_wraps_line_interleaving(self):
+        hierarchy = CacheHierarchy(cluster_id=0, num_clusters=8)
+        # Line 9 on 8 clusters wraps to cluster 1; offsets within a line do
+        # not change the home.
+        assert hierarchy.home_cluster(9 * 64) == 1
+        assert hierarchy.home_cluster(9 * 64 + 63) == 1
+        assert hierarchy.home_cluster(8 * 64) == 0
+
+    def test_dirty_l2_victim_generates_homed_writeback(self):
+        """An evicted dirty L2 line becomes a memory write homed by the
+        victim's own address, not the access that displaced it."""
+        hierarchy = CacheHierarchy(
+            cluster_id=2,
+            l1_capacity_bytes=4 * 64,
+            l1_associativity=4,
+            l2_capacity_bytes=16 * 64,  # a single 16-way set
+            l2_associativity=16,
+            num_clusters=8,
+        )
+        hierarchy.access(core=0, thread_id=0, address=0, is_write=True)
+        # Fill the L2 set from another core so core 0's L1 never writes the
+        # dirty line back (which would refresh its LRU position in the L2).
+        evicting = None
+        for line in range(1, 17):
+            evicting = hierarchy.access(
+                core=1, thread_id=4, address=line * 64, is_write=False
+            )
+        assert evicting.writeback_generated
+        # Two records for address 0: the original demand write miss and the
+        # eviction writeback appended by the displacing access.
+        for_line_zero = [r for r in hierarchy.l2_misses if r.address == 0]
+        assert len(for_line_zero) == 2
+        writeback = for_line_zero[-1]
+        assert writeback.kind is AccessKind.WRITE
+        assert writeback.home_cluster == hierarchy.home_cluster(0)
+        assert writeback.cluster_id == 2

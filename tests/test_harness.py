@@ -60,24 +60,31 @@ class TestExperimentScale:
 
 
 class TestEvaluationMatrix:
-    def test_default_matrix_is_5_by_15(self):
+    def test_default_matrix_is_5_by_17(self):
         matrix = default_matrix()
         assert len(matrix.configurations()) == 5
-        assert len(matrix.workloads()) == 15
-        assert matrix.run_count() == 75
+        assert len(matrix.workloads()) == 17
+        assert matrix.run_count() == 85
 
     def test_workload_names_in_paper_order(self):
         matrix = default_matrix()
         names = matrix.workload_names()
-        assert names[:4] == ["Uniform", "Hot Spot", "Tornado", "Transpose"]
-        assert names[4] == "Barnes"
-        assert len(matrix.synthetic_names()) == 4
+        assert names[:6] == [
+            "Uniform",
+            "Hot Spot",
+            "Tornado",
+            "Transpose",
+            "Bit Reversal",
+            "Neighbor",
+        ]
+        assert names[6] == "Barnes"
+        assert len(matrix.synthetic_names()) == 6
         assert len(matrix.splash_names()) == 11
 
     def test_requests_for_scales_by_workload_kind(self):
         matrix = quick_matrix()
         synthetic = matrix.workloads()[0]
-        splash = matrix.workloads()[6]  # FFT
+        splash = matrix.workloads()[8]  # FFT
         assert matrix.requests_for(synthetic) == matrix.scale.synthetic_requests
         assert (
             matrix.scale.splash_min_requests
@@ -87,8 +94,20 @@ class TestEvaluationMatrix:
 
     def test_subset_matrix(self):
         matrix = EvaluationMatrix(include_splash=False)
-        assert len(matrix.workloads()) == 4
+        assert len(matrix.workloads()) == 6
         assert matrix.splash_names() == []
+
+    def test_workload_filter_substring(self):
+        matrix = EvaluationMatrix(workload_filter=["uni", "fft"])
+        assert matrix.workload_names() == ["Uniform", "FFT"]
+        assert matrix.synthetic_names() == ["Uniform"]
+        assert matrix.splash_names() == ["FFT"]
+        assert matrix.run_count() == 10
+
+    def test_workload_filter_no_match_is_empty(self):
+        matrix = EvaluationMatrix(workload_filter=["nosuchworkload"])
+        assert matrix.workloads() == []
+        assert matrix.run_count() == 0
 
 
 def _tiny_matrix():
@@ -110,8 +129,8 @@ class TestEvaluationRunner:
     def test_run_produces_all_pairs(self):
         runner = EvaluationRunner(matrix=_tiny_matrix())
         results = runner.run()
-        assert len(results) == 8  # 2 configurations x 4 synthetic workloads
-        assert runner.total_simulated_requests() == 8 * 800
+        assert len(results) == 12  # 2 configurations x 6 synthetic workloads
+        assert runner.total_simulated_requests() == 12 * 800
         assert runner.total_wall_clock_seconds() > 0
 
     def test_run_workload_by_name(self):
@@ -134,7 +153,14 @@ class TestEvaluationRunner:
         runner = EvaluationRunner(matrix=_tiny_matrix())
         results = runner.run()
         speedups = figure8_speedup(results, workload_order=runner.matrix.workload_names())
-        assert set(speedups) == {"Uniform", "Hot Spot", "Tornado", "Transpose"}
+        assert set(speedups) == {
+            "Uniform",
+            "Hot Spot",
+            "Tornado",
+            "Transpose",
+            "Bit Reversal",
+            "Neighbor",
+        }
         for by_config in speedups.values():
             assert by_config["LMesh/ECM"] == pytest.approx(1.0)
             assert by_config["XBar/OCM"] > 0
@@ -167,8 +193,8 @@ class TestTables:
         assert total[0] == "Total"
         assert total[1] == 388
 
-    def test_table3_lists_all_15_workloads(self):
-        assert len(table3_benchmarks()) == 15
+    def test_table3_lists_all_17_workloads(self):
+        assert len(table3_benchmarks()) == 17
 
     def test_table4_columns(self):
         rows = table4_memory_interconnects()

@@ -4,8 +4,8 @@ The :class:`~repro.harness.parallel.ParallelEvaluationRunner` must be a
 drop-in replacement for the serial runner: same results (bit-identical, not
 approximately equal), same ordering, same bookkeeping shape.  The matrix
 under test is ``quick_matrix()`` -- every (configuration, workload) pair of
-the paper's evaluation -- with the request counts scaled down (via
-``dataclasses.replace`` of the scale) so the 2x75 replays stay test-suite
+the evaluation -- with the request counts scaled down (via
+``dataclasses.replace`` of the scale) so the 2x85 replays stay test-suite
 fast while still covering every pair.
 """
 
@@ -21,7 +21,7 @@ from repro.harness.runner import EvaluationRunner
 
 
 def _small_quick_matrix() -> EvaluationMatrix:
-    """quick_matrix() shrunk to test-suite request counts (same 75 pairs)."""
+    """quick_matrix() shrunk to test-suite request counts (same 85 pairs)."""
     matrix = quick_matrix()
     matrix.scale = dataclasses.replace(
         matrix.scale,
@@ -50,7 +50,7 @@ class TestSerialParallelEquivalence:
         """Worker processes replay shipped traces to bit-identical results."""
         runner = ParallelEvaluationRunner(matrix=_small_quick_matrix(), jobs=2)
         results = runner.run()
-        assert len(results) == serial_run.matrix.run_count() == 75
+        assert len(results) == serial_run.matrix.run_count() == 85
         for serial, parallel in zip(serial_run.results, results):
             # Field-by-field so a mismatch names the offending metric.
             for field in dataclasses.fields(serial):

@@ -199,6 +199,32 @@ class TestCli:
         out = capsys.readouterr().out
         assert "XBar/OCM" in out
 
+    def test_evaluate_parser_accepts_filters_and_coherence(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "evaluate",
+                "--configs", "XBar", "LMesh",
+                "--workloads", "Uniform",
+                "--coherence",
+                "--sharing-fractions", "0", "0.3",
+            ]
+        )
+        assert args.configs == ["XBar", "LMesh"]
+        assert args.workloads == ["Uniform"]
+        assert args.coherence
+        assert args.sharing_fractions == [0.0, 0.3]
+        # Defaults: no filters, no sweep.
+        args = parser.parse_args(["evaluate"])
+        assert args.configs is None and args.workloads is None
+        assert not args.coherence
+
+    def test_evaluate_rejects_unknown_filters(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--configs", "NoSuchNetwork"])
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--workloads", "NoSuchWorkload"])
+
     def test_simulate_splash_workload(self, capsys):
         assert main([
             "simulate", "Barnes", "--requests", "800",

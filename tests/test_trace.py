@@ -15,7 +15,11 @@ from repro.trace.splash2 import (
 )
 from repro.trace.synthetic import (
     SyntheticPattern,
+    bit_reversal_destination,
+    bit_reversal_workload,
     hot_spot_workload,
+    neighbor_destination,
+    neighbor_workload,
     synthetic_workloads,
     tornado_destination,
     tornado_workload,
@@ -141,11 +145,49 @@ class TestSyntheticPatterns:
         with pytest.raises(ValueError):
             tornado_destination(0, 60)
 
+    def test_bit_reversal_destination(self):
+        # Cluster 0b000001 -> 0b100000 on 64 clusters.
+        assert bit_reversal_destination(1, 64) == 32
+        assert bit_reversal_destination(0, 64) == 0
+        # Palindromic ids map to themselves.
+        assert bit_reversal_destination(0b100001, 64) == 0b100001
+
+    def test_bit_reversal_is_involution_and_permutation(self):
+        destinations = set()
+        for cluster in range(64):
+            destination = bit_reversal_destination(cluster, 64)
+            destinations.add(destination)
+            assert bit_reversal_destination(destination, 64) == cluster
+        assert destinations == set(range(64))
+
+    def test_bit_reversal_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reversal_destination(0, 36)
+
+    def test_neighbor_destination_wraps(self):
+        assert neighbor_destination(0, 64) == 1
+        assert neighbor_destination(63, 64) == 0
+
+    def test_new_patterns_generate_valid_traces(self):
+        for workload in (bit_reversal_workload(), neighbor_workload()):
+            trace = workload.generate(seed=1, num_requests=2048)
+            trace.validate()
+            assert trace.total_requests == 2048
+            # Permutation patterns hit every cluster's memory controller.
+            assert len(trace.destination_histogram()) == 64
+
 
 class TestSyntheticWorkloads:
-    def test_four_workloads_in_paper_order(self):
+    def test_workloads_in_paper_order_plus_extensions(self):
         names = [w.name for w in synthetic_workloads()]
-        assert names == ["Uniform", "Hot Spot", "Tornado", "Transpose"]
+        assert names == [
+            "Uniform",
+            "Hot Spot",
+            "Tornado",
+            "Transpose",
+            "Bit Reversal",
+            "Neighbor",
+        ]
 
     def test_paper_request_counts(self):
         assert all(w.num_requests == 1_000_000 for w in synthetic_workloads())
@@ -284,6 +326,19 @@ class TestTraceIo:
         loaded = read_trace(path)
         for original, restored in zip(trace.all_records(), loaded.all_records()):
             assert restored.gap_cycles == pytest.approx(original.gap_cycles, abs=1e-3)
+
+    def test_shared_flag_roundtrip(self, tmp_path):
+        from repro.coherence import SharingProfile
+
+        workload = uniform_workload(sharing=SharingProfile(fraction=0.4))
+        trace = workload.generate(seed=3, num_requests=2048)
+        assert trace.shared_fraction() > 0
+        path = tmp_path / "shared.trace"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert [r.shared for r in loaded.all_records()] == [
+            r.shared for r in trace.all_records()
+        ]
 
     def test_reject_non_trace_file(self, tmp_path):
         path = tmp_path / "junk.txt"
