@@ -14,11 +14,9 @@ system responds the way the paper's argument predicts:
   equally.
 """
 
-import pytest
 
 from repro.core.configs import configuration_by_name
 from repro.core.system import SystemSimulator
-from repro.memory.ocm import OpticallyConnectedMemory
 from repro.network.crossbar import OpticalCrossbar
 from repro.trace.synthetic import uniform_workload
 

@@ -12,7 +12,6 @@ nanoseconds) per workload and configuration.  Shape claims checked:
   latency collapse by a large factor when moving from ECM to OCM.
 """
 
-import pytest
 
 from repro.harness.figures import figure10_latency, render_figure
 

@@ -12,7 +12,6 @@ paper's claims checked here:
 * mesh power tracks delivered bandwidth times average hop count.
 """
 
-import pytest
 
 from repro.harness.figures import figure11_power, figure9_bandwidth, render_figure
 

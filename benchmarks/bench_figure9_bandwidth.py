@@ -11,7 +11,6 @@ configuration.  Shape claims checked against the paper:
 * Hot Spot is throttled by a single memory controller on every configuration.
 """
 
-import pytest
 
 from repro.harness.figures import figure9_bandwidth, render_figure
 

@@ -5,7 +5,6 @@ time) and double as regression checks on the modelled latencies and
 bandwidths of the crossbar and the meshes under light and heavy load.
 """
 
-import pytest
 
 from repro.network.arbitration import TokenRingArbiter
 from repro.network.crossbar import OpticalCrossbar

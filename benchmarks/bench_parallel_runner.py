@@ -2,10 +2,14 @@
 
 Measures the wall-clock of a reduced (configuration x workload) matrix run
 serially and through the :class:`~repro.harness.parallel.
-ParallelEvaluationRunner`, plus the trace-shipping overhead of the pool path.
-The reduced matrix keeps the suite fast while still exercising trace reuse,
-worker dispatch and result collection; `scripts/bench_regression.py` runs the
-same comparison and records it in ``BENCH_replay.json``.
+ParallelEvaluationRunner`, plus the trace-shipping overhead of the pool path
+(packed traces shipped once per workload through shared memory; workers
+receive a ~100-byte handle per pair instead of a pickled record-object
+trace).  The reduced matrix keeps the suite fast while still exercising
+trace reuse, worker dispatch and result collection;
+`scripts/bench_regression.py` runs the same comparison and records it --
+including the ``matrix_dispatch_seconds`` overhead metric -- in
+``BENCH_replay.json``.
 
 On a multicore host the parallel runs complete in roughly ``serial /
 min(jobs, cores)``; on a single-core host the pool path measures the

@@ -32,12 +32,34 @@ def test_replay_rate_electrical_baseline(benchmark):
     assert result.num_requests == 5000
 
 
+def test_replay_rate_packed_trace(benchmark):
+    """Replay straight off the packed columns (the production path)."""
+    workload = uniform_workload()
+    packed = workload.generate_packed(seed=1, num_requests=5000)
+    result = benchmark.pedantic(
+        _run, args=("XBar/OCM", packed, workload.window), rounds=2, iterations=1
+    )
+    assert result.num_requests == 5000
+
+
+def test_packed_generation_rate(benchmark):
+    """Chunk-wise packed generation (no record objects), 20k requests."""
+    workload = uniform_workload()
+    packed = benchmark.pedantic(
+        workload.generate_packed,
+        kwargs=dict(seed=2, num_requests=20_000),
+        rounds=2,
+        iterations=1,
+    )
+    assert packed.total_requests == 20_000
+
+
 def test_trace_plus_replay_end_to_end(benchmark):
-    """Generation plus replay, the unit of work the harness repeats 75 times."""
+    """Generation plus replay, the unit of work the harness repeats 85 times."""
 
     def end_to_end():
         workload = uniform_workload()
-        trace = workload.generate(seed=3, num_requests=3000)
+        trace = workload.generate_packed(seed=3, num_requests=3000)
         return _run("HMesh/OCM", trace, workload.window)
 
     result = benchmark.pedantic(end_to_end, rounds=2, iterations=1)

@@ -10,7 +10,7 @@ without a full-system simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.mshr import MshrFile

@@ -30,6 +30,7 @@ from repro.harness.experiments import (
     COHERENCE_SWEEP_CONFIGURATIONS,
     COHERENCE_SWEEP_FRACTIONS,
     FULL_SCALE,
+    PAPER_SCALE,
     QUICK_SCALE,
     EvaluationMatrix,
     ExperimentScale,
@@ -146,9 +147,12 @@ def _filter_configurations(terms: Optional[List[str]]) -> List[str]:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    scale = {"quick": QUICK_SCALE, "default": ExperimentScale(), "full": FULL_SCALE}[
-        args.scale
-    ]
+    scale = {
+        "quick": QUICK_SCALE,
+        "default": ExperimentScale(),
+        "full": FULL_SCALE,
+        "paper": PAPER_SCALE,
+    }[args.scale]
     configuration_names = _filter_configurations(args.configs)
     matrix = EvaluationMatrix(
         scale=scale,
@@ -263,8 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
             "  independent, so --jobs N fans them across N worker processes\n"
             "  and divides the matrix wall-clock by roughly N on a multicore\n"
             "  host.  Traces are generated once per workload in the parent\n"
-            "  and shipped to the workers, and the results are bit-identical\n"
-            "  to a serial run (--jobs 1).  --jobs 0 uses every available\n"
+            "  (in packed binary form, overlapping the earliest replays) and\n"
+            "  shipped to workers through shared memory -- a ~100-byte handle\n"
+            "  per pair instead of a per-pair pickle -- and the results are\n"
+            "  bit-identical to a serial run (--jobs 1).  --jobs 0 uses every\n"
             "  CPU.  --configs/--workloads cut the matrix down to matching\n"
             "  pairs (substring match), e.g. --configs XBar --workloads\n"
             "  Uniform runs a single pair.  See scripts/bench_regression.py\n"
@@ -280,7 +286,16 @@ def build_parser() -> argparse.ArgumentParser:
             "  against per-sharer unicasts (electrical meshes)."
         ),
     )
-    evaluate.add_argument("--scale", choices=("quick", "default", "full"), default="quick")
+    evaluate.add_argument(
+        "--scale",
+        choices=("quick", "default", "full", "paper"),
+        default="quick",
+        help=(
+            "request-count tier: quick (12k/workload), default (60k), full "
+            "(200k+), paper (the paper's own 1M synthetic counts; hours of "
+            "CPU -- combine with --jobs 0)"
+        ),
+    )
     evaluate.add_argument("--skip-splash", action="store_true")
     evaluate.add_argument("--output", help="write the report to this path")
     evaluate.add_argument("--verbose", action="store_true")

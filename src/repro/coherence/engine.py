@@ -31,15 +31,12 @@ makes the photonic-vs-electrical invalidation cost visible in miss latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, NamedTuple, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 from repro.cache.coherence import CoherenceController
 from repro.network.broadcast import OpticalBroadcastBus
 from repro.network.message import Message, MessageType
 from repro.sim.stats import RunningStats
-from repro.trace.record import AccessKind, TraceRecord
-
-_WRITE = AccessKind.WRITE
 
 #: Threshold that never triggers a broadcast (electrical configurations).
 _NEVER_BROADCAST = 1 << 30
@@ -195,23 +192,33 @@ class CoherenceEngine:
         self._msg_writeback = Message(0, 1, MessageType.WRITEBACK)
 
     # ------------------------------------------------------------- protocol
-    def process_miss(self, record: TraceRecord, now: float) -> CoherentMiss:
+    def process_miss(
+        self,
+        home: int,
+        requester: int,
+        is_write: bool,
+        address: int,
+        size_bytes: int,
+        now: float,
+    ) -> CoherentMiss:
         """Resolve the coherence activity of one shared miss arriving at its
-        home cluster at ``now``; returns the timing the response stage needs."""
+        home cluster at ``now``; returns the timing the response stage needs.
+
+        Takes the miss's fields as plain scalars (decoded by the replay from
+        the packed meta word) rather than a record object, so the coherent
+        path allocates nothing per miss either.
+        """
         stats = self.stats
         config = self.config
-        home = record.home_cluster
-        requester = record.cluster_id
-        is_write = record.kind is _WRITE
         t_dir = now + config.directory_latency_s
 
         directory = self.directories[home]
         if is_write:
             stats.shared_writes += 1
-            action = directory.handle_write(record.address, requester)
+            action = directory.handle_write(address, requester)
         else:
             stats.shared_reads += 1
-            action = directory.handle_read(record.address, requester)
+            action = directory.handle_read(address, requester)
 
         extra_queueing = 0.0
         extra_network = 0.0
@@ -285,7 +292,7 @@ class CoherenceEngine:
         elif action.data_from_memory:
             completion, memory_queueing, channel_delay, dram_delay = self.controllers[
                 home
-            ].access(t_dir, record.size_bytes, is_write, record.address)
+            ].access(t_dir, size_bytes, is_write, address)
             data_ready = completion
             response_src = home
             memory_latency = memory_queueing + channel_delay + dram_delay
@@ -317,15 +324,17 @@ class CoherenceEngine:
             writeback_time=writeback_time,
         )
 
-    def complete_writeback(self, record: TraceRecord, now: float) -> float:
+    def complete_writeback(
+        self, home: int, size_bytes: int, address: int, now: float
+    ) -> float:
         """Reserve the home memory controller for a dirty writeback at ``now``.
 
         Called from the calendar event the replay schedules at the writeback's
         arrival time so the memory reservation is made in global time order.
         Returns the writeback's completion time at the controller.
         """
-        completion, _, _, _ = self.controllers[record.home_cluster].access(
-            now, record.size_bytes, True, record.address
+        completion, _, _, _ = self.controllers[home].access(
+            now, size_bytes, True, address
         )
         self.stats.dirty_writebacks += 1
         return completion

@@ -10,7 +10,7 @@ geometric-mean speedups quoted in Section 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.sim.stats import geometric_mean
 

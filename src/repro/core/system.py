@@ -33,7 +33,7 @@ bit-identical to the coherence-free engine.
 
 Performance notes
 -----------------
-The four stage handlers execute once per miss and dominate the replay's
+The stage handlers execute once per miss and dominate the replay's
 wall-clock cost, so everything invariant across records is hoisted out of
 them at ``run`` time: the core clock, each cluster's hub and its forwarding
 latency, and the home-cluster memory controllers.  Request/response
@@ -41,6 +41,13 @@ latency, and the home-cluster memory controllers.  Request/response
 interconnect models read but never retain them), and misses homed at the
 issuing cluster skip both the message and the :class:`TransferResult`
 entirely.
+
+The replay consumes traces in packed columnar form
+(:class:`~repro.trace.packed.PackedTrace`): each stage reads plain ints and
+floats straight out of the trace's flat columns (one ``uint64`` meta word,
+one address, one gap per record), so the hot path allocates no per-record
+objects at all -- a :class:`~repro.trace.record.TraceStream` handed to
+:meth:`SystemSimulator.run` is packed once up front.
 """
 
 from __future__ import annotations
@@ -61,9 +68,16 @@ from repro.network.message import Message, MessageType
 from repro.network.topology import Interconnect, TransferResult
 from repro.sim.engine import Simulator
 from repro.sim.stats import Histogram, RunningStats
-from repro.trace.record import AccessKind, TraceRecord, TraceStream
-
-_WRITE = AccessKind.WRITE
+from repro.trace.packed import (
+    HOME_MASK,
+    HOME_SHIFT,
+    KIND_BIT,
+    SHARED_BIT,
+    SIZE_SHIFT,
+    AnyTrace,
+    PackedTrace,
+    generate_packed_trace,
+)
 
 
 class TransactionStats:
@@ -163,15 +177,22 @@ class TransactionStats:
 class _Transaction:
     """In-flight state of one L2-miss transaction.
 
+    The trace record's fields are decoded from the packed meta word once at
+    issue time and carried here as plain scalars; no
+    :class:`~repro.trace.record.TraceRecord` object exists during replay.
     ``request_result``/``response_result`` stay ``None`` for misses homed at
     the issuing cluster: a local miss never touches the interconnect, so no
     :class:`TransferResult` is materialized for it.
     """
 
     __slots__ = (
-        "record",
         "index",
         "issue_time",
+        "home",
+        "is_write",
+        "address",
+        "size_bytes",
+        "shared",
         "mshr_wait",
         "request_result",
         "memory_queueing",
@@ -180,10 +201,23 @@ class _Transaction:
         "coherence",
     )
 
-    def __init__(self, record: TraceRecord, index: int, issue_time: float) -> None:
-        self.record = record
+    def __init__(
+        self,
+        index: int,
+        issue_time: float,
+        home: int,
+        is_write: bool,
+        address: int,
+        size_bytes: int,
+        shared: bool,
+    ) -> None:
         self.index = index
         self.issue_time = issue_time
+        self.home = home
+        self.is_write = is_write
+        self.address = address
+        self.size_bytes = size_bytes
+        self.shared = shared
         self.mshr_wait = 0.0
         self.request_result: Optional[TransferResult] = None
         self.memory_queueing = 0.0
@@ -195,11 +229,21 @@ class _Transaction:
 
 @dataclass(slots=True)
 class _ThreadState:
-    """Replay bookkeeping for one hardware thread."""
+    """Replay bookkeeping for one hardware thread.
+
+    ``meta``/``addresses``/``gaps`` alias the packed trace's whole columns;
+    the thread's records occupy ``[base, base + count)`` and the handlers
+    index ``base + next_index`` directly, so issuing a miss reads three flat
+    slots instead of touching a record object.
+    """
 
     thread_id: int
     cluster_id: int
-    records: List[TraceRecord]
+    meta: object
+    addresses: object
+    gaps: object
+    base: int
+    count: int
     window: int
     next_index: int = 0
     issue_scheduled: bool = False
@@ -210,10 +254,10 @@ class _ThreadState:
     hub: Optional[Hub] = None
 
     def __post_init__(self) -> None:
-        self.completions = [None] * len(self.records)
+        self.completions = [None] * self.count
 
     def finished_issuing(self) -> bool:
-        return self.next_index >= len(self.records)
+        return self.next_index >= self.count
 
 
 class SystemSimulator:
@@ -335,8 +379,18 @@ class SystemSimulator:
             self._stage_memory = self._on_memory
 
     # ------------------------------------------------------------------ replay
-    def run(self, trace: TraceStream) -> WorkloadResult:
-        """Replay ``trace`` to completion and return the workload result."""
+    def run(self, trace: AnyTrace) -> WorkloadResult:
+        """Replay ``trace`` to completion and return the workload result.
+
+        Accepts either representation; a :class:`~repro.trace.record.
+        TraceStream` is packed up front (exactly, field for field), so both
+        inputs replay bit-identically.
+        """
+        packed = (
+            trace
+            if isinstance(trace, PackedTrace)
+            else PackedTrace.from_stream(trace)
+        )
         self._simulator = Simulator()
         self._threads = {}
         self._makespan = 0.0
@@ -349,18 +403,23 @@ class SystemSimulator:
         self._eheap = self._equeue._heap
 
         clock = self._clock
-        for thread_id, thread_trace in trace.threads.items():
-            if not thread_trace.records:
+        gaps = packed.gaps
+        for thread_id, cluster_id, start, stop in packed.thread_segments():
+            if start == stop:
                 continue
             state = _ThreadState(
                 thread_id=thread_id,
-                cluster_id=thread_trace.cluster_id,
-                records=thread_trace.records,
+                cluster_id=cluster_id,
+                meta=packed.meta,
+                addresses=packed.addresses,
+                gaps=gaps,
+                base=start,
+                count=stop - start,
                 window=self.window_depth,
-                hub=self.hubs[thread_trace.cluster_id],
+                hub=self.hubs[cluster_id],
             )
             self._threads[thread_id] = state
-            first_issue = state.records[0].gap_cycles / clock
+            first_issue = gaps[start] / clock
             state.issue_scheduled = True
             self._simulator.schedule_at(first_issue, self._on_issue, state)
 
@@ -375,7 +434,7 @@ class SystemSimulator:
         finally:
             if gc_was_enabled:
                 gc.enable()
-        return self._build_result(trace, self._makespan)
+        return self._build_result(packed, self._makespan)
 
     # --------------------------------------------------------------- scheduling
     def _try_schedule_issue(self, state: _ThreadState) -> None:
@@ -383,10 +442,11 @@ class SystemSimulator:
         if state.issue_scheduled:
             return
         index = state.next_index
-        records = state.records
-        if index >= len(records):
+        if index >= state.count:
             return
-        gap_ready = state.last_issue_time + records[index].gap_cycles / self._clock
+        gap_ready = (
+            state.last_issue_time + state.gaps[state.base + index] / self._clock
+        )
         gate_index = index - state.window
         if gate_index >= 0:
             gate_completion = state.completions[gate_index]
@@ -408,16 +468,33 @@ class SystemSimulator:
     # ------------------------------------------------------------ stage handlers
     def _on_issue(self, state: _ThreadState) -> None:
         """Stage 1: the miss leaves the core, allocates an MSHR, and the
-        request message crosses the interconnect to the home cluster."""
+        request message crosses the interconnect to the home cluster.
+
+        The miss's fields are decoded inline from its packed meta word
+        (kind/shared bits, home cluster, size) plus the address column; this
+        is the only place the trace is read, so the whole replay allocates
+        one :class:`_Transaction` and zero record objects per miss.
+        """
         simulator = self._simulator
         now = simulator.now
         state.issue_scheduled = False
         index = state.next_index
-        record = state.records[index]
+        slot = state.base + index
+        word = state.meta[slot]
         state.last_issue_time = now
         state.next_index = index + 1
 
-        transaction = _Transaction(record, index, now)
+        home = (word >> HOME_SHIFT) & HOME_MASK
+        is_write = bool(word & KIND_BIT)
+        transaction = _Transaction(
+            index,
+            now,
+            home,
+            is_write,
+            state.addresses[slot],
+            word >> SIZE_SHIFT,
+            bool(word & SHARED_BIT),
+        )
         hub = state.hub
         # MSHR allocation, transcribed from TokenPool.acquire (the reference
         # implementation): expire released tokens, then grant immediately or
@@ -467,18 +544,17 @@ class SystemSimulator:
             queue.max_occupancy_seen = resident + 1
         hub.messages_routed += 1
         inject_time = admitted + forwarding_latency
-        home = record.home_cluster
-        if record.cluster_id == home:
+        if state.cluster_id == home:
             # Local miss: the hub hands it straight to the cluster's own
             # memory controller without touching the interconnect; no message
             # or transfer result is materialized.
             arrival = inject_time
         else:
-            if record.kind is _WRITE:
+            if is_write:
                 request = self._msg_writeback
             else:
                 request = self._msg_read_request
-            request.src = record.cluster_id
+            request.src = state.cluster_id
             request.dst = home
             request.transaction_id = self.stats.requests
             result = self._transfer(request, inject_time)
@@ -499,15 +575,14 @@ class SystemSimulator:
 
     def _on_memory(self, state: _ThreadState, transaction: _Transaction) -> None:
         """Stage 2: the memory transaction at the home cluster's controller."""
-        record = transaction.record
-        home = record.home_cluster
+        home = transaction.home
         completion, mem_queueing, channel_delay, dram_delay = self._controllers[
             home
         ].access(
             self._simulator.now,
-            record.size_bytes,
-            record.kind is _WRITE,
-            record.address,
+            transaction.size_bytes,
+            transaction.is_write,
+            transaction.address,
         )
         transaction.memory_queueing = mem_queueing
         transaction.memory_latency = mem_queueing + channel_delay + dram_delay
@@ -532,11 +607,17 @@ class SystemSimulator:
         answer.  A stripped owner's dirty writeback gets its own calendar
         event so its memory reservation is made in global time order.
         """
-        record = transaction.record
-        if not record.shared:
+        if not transaction.shared:
             self._on_memory(state, transaction)
             return
-        miss = self.coherence.process_miss(record, self._simulator.now)
+        miss = self.coherence.process_miss(
+            home=transaction.home,
+            requester=state.cluster_id,
+            is_write=transaction.is_write,
+            address=transaction.address,
+            size_bytes=transaction.size_bytes,
+            now=self._simulator.now,
+        )
         transaction.coherence = miss
         transaction.memory_queueing = miss.memory_queueing
         transaction.memory_latency = miss.memory_latency
@@ -544,7 +625,12 @@ class SystemSimulator:
         if miss.writeback_time is not None:
             heappush(
                 self._eheap,
-                (miss.writeback_time, equeue._seq, self._on_dirty_writeback, (record,)),
+                (
+                    miss.writeback_time,
+                    equeue._seq,
+                    self._on_dirty_writeback,
+                    (transaction,),
+                ),
             )
             equeue._seq += 1
         response_start = miss.response_ready + self._hub_fwd[miss.response_src]
@@ -554,9 +640,14 @@ class SystemSimulator:
         )
         equeue._seq += 1
 
-    def _on_dirty_writeback(self, record: TraceRecord) -> None:
+    def _on_dirty_writeback(self, transaction: _Transaction) -> None:
         """A stripped owner's dirty line arrives at the home memory controller."""
-        self.coherence.complete_writeback(record, self._simulator.now)
+        self.coherence.complete_writeback(
+            transaction.home,
+            transaction.size_bytes,
+            transaction.address,
+            self._simulator.now,
+        )
 
     def _on_response_coherent(
         self, state: _ThreadState, transaction: _Transaction
@@ -573,10 +664,9 @@ class SystemSimulator:
         legs resolved in stage 2.
         """
         now = self._simulator.now
-        record = transaction.record
         miss = transaction.coherence
-        src = record.cluster_id
-        is_write = record.kind is _WRITE
+        src = state.cluster_id
+        is_write = transaction.is_write
         supplier = miss.response_src
 
         if supplier == src:
@@ -649,7 +739,7 @@ class SystemSimulator:
             stats.writes += 1
         else:
             stats.reads += 1
-        stats.memory_bytes += record.size_bytes
+        stats.memory_bytes += transaction.size_bytes
         stats.network_hops += hops
         stats.network_messages += messages
 
@@ -679,9 +769,8 @@ class SystemSimulator:
         workload reaches (threads_per_cluster x window <= 64 throughout).
         """
         now = self._simulator.now
-        record = transaction.record
-        src = record.cluster_id
-        is_write = record.kind is _WRITE
+        src = state.cluster_id
+        is_write = transaction.is_write
         request_result = transaction.request_result
         if request_result is None:
             # Local miss: no interconnect contribution on either leg.
@@ -695,7 +784,7 @@ class SystemSimulator:
                 response = self._msg_write_ack
             else:
                 response = self._msg_read_response
-            response.src = record.home_cluster
+            response.src = transaction.home
             response.dst = src
             response.transaction_id = transaction.index
             response_result = self._transfer(response, now)
@@ -738,7 +827,7 @@ class SystemSimulator:
             stats.writes += 1
         else:
             stats.reads += 1
-        stats.memory_bytes += record.size_bytes
+        stats.memory_bytes += transaction.size_bytes
         stats.network_hops += hops
         stats.network_messages += messages
 
@@ -747,7 +836,7 @@ class SystemSimulator:
         self._try_schedule_issue(state)
 
     # ------------------------------------------------------------- result assembly
-    def _build_result(self, trace: TraceStream, makespan: float) -> WorkloadResult:
+    def _build_result(self, trace: PackedTrace, makespan: float) -> WorkloadResult:
         elapsed = max(makespan, 1e-12)
         dynamic_power = self.network.dynamic_power_w(elapsed)
         static_power = max(
@@ -807,11 +896,13 @@ def simulate_workload(
     """Convenience wrapper: generate a workload's trace and replay it.
 
     ``workload`` is any object with ``generate(seed, num_requests)`` and a
-    ``window`` attribute (both synthetic and SPLASH-2 workloads qualify).
-    Pass a :class:`~repro.coherence.engine.CoherenceConfig` to enable the
-    timed MOESI directory for shared-tagged records.
+    ``window`` attribute (both synthetic and SPLASH-2 workloads qualify);
+    workloads that also offer ``generate_packed`` stream straight into the
+    packed columns, skipping record-object construction entirely.  Pass a
+    :class:`~repro.coherence.engine.CoherenceConfig` to enable the timed
+    MOESI directory for shared-tagged records.
     """
-    trace = workload.generate(seed=seed, num_requests=num_requests)
+    trace = generate_packed_trace(workload, seed=seed, num_requests=num_requests)
     depth = window_depth if window_depth is not None else getattr(workload, "window", 4)
     simulator = SystemSimulator(
         configuration=configuration,

@@ -76,6 +76,19 @@ FULL_SCALE = ExperimentScale(
     splash_max_requests=250_000,
 )
 
+#: The paper's own synthetic request count (Table 3: 1 M per pattern) with
+#: SPLASH-2 scaled to comparable per-workload trace lengths (Ocean's 240 M
+#: becomes 1 M; FFT/Radix land just below).  ~17 M replayed requests across
+#: the 85-pair matrix: practical on a multicore host thanks to the packed
+#: trace pipeline (zero-copy worker shipping, no per-record objects), but
+#: still a many-hour serial run -- use ``--jobs 0``.
+PAPER_SCALE = ExperimentScale(
+    synthetic_requests=1_000_000,
+    splash_fraction=1.0 / 240.0,
+    splash_min_requests=100_000,
+    splash_max_requests=1_000_000,
+)
+
 
 @dataclass
 class EvaluationMatrix:

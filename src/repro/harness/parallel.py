@@ -2,20 +2,36 @@
 
 The (configuration, workload) pairs of the evaluation (85 in the full
 matrix: 5 configurations x 17 workloads) are fully independent: each pair
-builds its own network/memory/hub state from the
-configuration name and replays an immutable trace.  The
-:class:`ParallelEvaluationRunner` therefore fans the pairs across a
-``multiprocessing`` pool and achieves near-linear matrix wall-clock speedup
-on multicore hosts.
+builds its own network/memory/hub state from the configuration name and
+replays an immutable trace.  The :class:`ParallelEvaluationRunner` therefore
+fans the pairs across a ``multiprocessing`` pool and achieves near-linear
+matrix wall-clock speedup on multicore hosts.
+
+Zero-copy trace shipping
+------------------------
+Each workload's trace is generated once in the parent, in packed columnar
+form (:class:`~repro.trace.packed.PackedTrace`), and *shipped by reference*:
+the columns are laid out in one ``multiprocessing.shared_memory`` block and
+the workers receive only the block's name plus a small shape header.  A
+worker maps the block and replays ``memoryview`` casts over the parent's
+pages -- no per-pair pickling, no per-worker copy, constant dispatch cost per
+pair regardless of trace size, which is what makes the ``full`` and ``paper``
+scale tiers practical.  Where shared memory is unavailable the shipment falls
+back to fork-inherited traces (a parent-side registry the forked workers can
+read) and, failing that, to pickling the packed columns -- still far smaller
+than the old per-pair record-object pickle.
+
+Generation overlaps replay: the pair stream is consumed lazily during pool
+submission, so while workers replay workload *k*'s pairs the parent is
+already generating (and shipping) workload *k+1*.
 
 Determinism and equivalence
 ---------------------------
-Results are bit-identical to the serial :class:`~repro.harness.runner.
-EvaluationRunner`:
+Results are bit-identical to the serial
+:class:`~repro.harness.runner.EvaluationRunner`:
 
 * Trace generation happens once per workload **in the parent** (same seed,
-  same generator state) and the trace is shipped (pickled) to the workers, so
-  every pair replays exactly the bytes the serial runner replays.
+  same generator state) and workers replay exactly those packed columns.
 * Each worker constructs a fresh ``SystemSimulator`` from the configuration
   name -- exactly what ``EvaluationRunner.run_pair`` does -- so no state
   leaks between pairs in either runner.
@@ -24,23 +40,31 @@ EvaluationRunner`:
   compare equal element by element.
 
 ``jobs=1`` (or a single-CPU host) falls back to an in-process loop with no
-pool overhead, still producing the same results.
+pool and no shipping, still producing the same results.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import secrets
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.coherence import CoherenceConfig
 from repro.core.configs import configuration_by_name
 from repro.core.results import WorkloadResult
 from repro.core.system import SystemSimulator
 from repro.harness.experiments import EvaluationMatrix
+from repro.trace.packed import PackedTrace, as_packed, generate_packed_trace
 from repro.trace.record import TraceStream
+
+try:  # pragma: no cover - exercised implicitly on every import
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shared_memory = None
 
 
 def available_cpus() -> int:
@@ -51,20 +75,180 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
+# ---------------------------------------------------------------------------
+# Trace shipping
+# ---------------------------------------------------------------------------
+
+#: Parent-side registry backing the fork-inherited fallback: forked workers
+#: see a snapshot of this dict and resolve shipped keys from it directly.
+#: Entries must therefore be registered *before* the pool forks (the matrix
+#: runner pre-ships every trace when this fallback is in play).
+_FORK_REGISTRY: Dict[str, PackedTrace] = {}
+
+_SHM_PROBE: Optional[bool] = None
+
+
+def _shm_available() -> bool:
+    """Whether this host can create POSIX shared-memory blocks at all
+    (probed once; e.g. containers without a usable /dev/shm cannot)."""
+    global _SHM_PROBE
+    if _SHM_PROBE is None:
+        if _shared_memory is None:
+            _SHM_PROBE = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(create=True, size=1)
+                probe.close()
+                probe.unlink()
+                _SHM_PROBE = True
+            except OSError:
+                _SHM_PROBE = False
+    return _SHM_PROBE
+
+#: Worker-side cache of resolved shipments, keyed by shipment token, so a
+#: worker maps each workload's block once no matter how many configurations
+#: it replays against it.  Values are ``(packed_trace, shm_or_None)``; the
+#: shared-memory handle is kept alive for as long as the views exist.
+_WORKER_CACHE: Dict[str, Tuple[PackedTrace, object]] = {}
+
+
+@atexit.register
+def _release_worker_cache() -> None:
+    """Drop cached shipment mappings, views strictly before their blocks.
+
+    Registered atexit (inherited by forked workers) so shared-memory handles
+    are closed while interpreter teardown order is still deterministic --
+    otherwise a block's ``__del__`` can run while a trace's memoryviews are
+    alive and raise an ignored ``BufferError`` at shutdown.
+    """
+    while _WORKER_CACHE:
+        _token, (trace, shm) = _WORKER_CACHE.popitem()
+        del trace
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - views still referenced
+                pass
+
+
+def _attach_shared_memory(name: str):
+    """Attach to an existing shared-memory block without adopting ownership.
+
+    Python < 3.13 registers every attachment with the resource tracker
+    (bpo-39959); ``track=False`` (3.13+) avoids that.  On older interpreters
+    the fix depends on the start method: forked workers share the parent's
+    tracker, where the duplicate registration is idempotent and the parent's
+    ``unlink`` balances it, so nothing further is needed; spawned workers run
+    their *own* tracker, which must be told to forget the block or it will
+    unlink the parent's storage when the worker exits.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        shm = _shared_memory.SharedMemory(name=name)
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            try:  # pragma: no cover - spawn/forkserver platforms
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return shm
+
+
+class TraceShipment:
+    """Parent-side handle of one packed trace shipped to worker processes.
+
+    The parent keeps the storage alive for the duration of the fan-out and
+    releases it in :meth:`close`; workers only ever receive the picklable
+    :attr:`handle` tuple.
+    """
+
+    __slots__ = ("packed", "handle", "_shm", "_registry_key")
+
+    def __init__(self, packed: PackedTrace, fork_ok: bool = True) -> None:
+        """``fork_ok`` must be False once the pool has forked: a registry
+        entry added after the fork is invisible to the workers' snapshot, so
+        a late shm failure must fall through to by-value shipping instead."""
+        self.packed = packed
+        self._shm = None
+        self._registry_key: Optional[str] = None
+        header = packed.header()
+        if _shared_memory is not None:
+            try:
+                shm = _shared_memory.SharedMemory(
+                    create=True, size=max(packed.nbytes(), 1)
+                )
+            except OSError:
+                shm = None
+            if shm is not None:
+                packed.copy_into(shm.buf)
+                self._shm = shm
+                self.handle = ("shm", shm.name, header)
+                return
+        if fork_ok and multiprocessing.get_start_method(allow_none=True) in (
+            None,
+            "fork",
+        ):
+            key = f"trace-{secrets.token_hex(8)}"
+            _FORK_REGISTRY[key] = packed
+            self._registry_key = key
+            self.handle = ("fork", key, header)
+            return
+        # Last resort (no shm, or shm ran out after the pool forked): ship
+        # the packed columns by value -- one pickle per worker task, but
+        # 24 B/record instead of record objects.
+        self.handle = packed
+
+    def close(self) -> None:
+        """Release the parent-side storage (workers hold their own maps)."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None
+        if self._registry_key is not None:
+            _FORK_REGISTRY.pop(self._registry_key, None)
+            self._registry_key = None
+
+
+def _resolve_trace(trace) -> PackedTrace:
+    """Worker-side: turn whatever was shipped into a replayable trace."""
+    if isinstance(trace, (PackedTrace, TraceStream)):
+        return trace
+    kind, token, header = trace
+    cached = _WORKER_CACHE.get(token)
+    if cached is not None:
+        return cached[0]
+    if kind == "shm":
+        shm = _attach_shared_memory(token)
+        packed = PackedTrace.from_buffer(header, shm.buf)
+        _WORKER_CACHE[token] = (packed, shm)
+    else:
+        packed = _FORK_REGISTRY[token]
+        _WORKER_CACHE[token] = (packed, None)
+    return packed
+
+
 def _replay_pair(
     configuration_name: str,
-    trace: TraceStream,
+    trace,
     window: int,
     coherence: Optional[CoherenceConfig] = None,
 ) -> Tuple[WorkloadResult, float]:
     """Worker body: replay one (configuration, workload) pair.
 
     Module-level so it pickles under every multiprocessing start method.
-    Returns the result plus the replay wall-clock seconds measured in the
-    worker.  ``coherence`` (a picklable frozen dataclass) enables the timed
-    MOESI directory in the worker's simulator, so coherence statistics flow
-    through the parallel path exactly as through the serial one.
+    ``trace`` is either an in-memory trace (in-process path) or a shipment
+    handle resolved against this worker's cache.  Returns the result plus
+    the replay wall-clock seconds measured in the worker.  ``coherence`` (a
+    picklable frozen dataclass) enables the timed MOESI directory in the
+    worker's simulator, so coherence statistics flow through the parallel
+    path exactly as through the serial one.
     """
+    trace = _resolve_trace(trace)
     simulator = SystemSimulator(
         configuration=configuration_by_name(configuration_name),
         window_depth=window,
@@ -75,17 +259,19 @@ def _replay_pair(
     return result, time.perf_counter() - started
 
 
-def _fan_out_pairs(pairs: List[tuple], jobs: int):
+def _fan_out_pairs(pairs: Iterable[tuple], jobs: int, count: int):
     """Replay ``_replay_pair`` argument tuples, yielding ``(result, seconds)``
     in submission order.
 
     The single fan-out implementation behind both the matrix runner and
-    :func:`run_pairs`: ``jobs`` <= 1 (after clamping to the pair count and
-    available CPUs) runs in-process with no pool overhead; otherwise the
-    pairs are distributed over a ``multiprocessing`` pool with results
-    collected in submission order, bit-identical to the serial loop.
+    :func:`run_pairs`.  ``jobs`` <= 1 (after the caller clamps to the pair
+    count and available CPUs) runs in-process with no pool overhead.
+    Otherwise the pairs are submitted to a ``multiprocessing`` pool *as the
+    iterable produces them* -- lazy trace generation therefore overlaps the
+    earliest replays -- and results are collected in submission order,
+    bit-identical to the serial loop.
     """
-    jobs = min(jobs if jobs and jobs > 0 else available_cpus(), len(pairs)) or 1
+    jobs = min(jobs if jobs and jobs > 0 else available_cpus(), count) or 1
     if jobs <= 1:
         for pair in pairs:
             yield _replay_pair(*pair)
@@ -104,13 +290,45 @@ def run_pairs(
     """Replay ``(configuration_name, trace, window, coherence)`` tuples.
 
     The helper behind the coherence sweep (and usable for any ad-hoc pair
-    list); see :func:`_fan_out_pairs` for the jobs semantics.
+    list); see :func:`_fan_out_pairs` for the jobs semantics.  When a pool is
+    used, each distinct trace is packed once and shipped through a
+    :class:`TraceShipment` (shared memory first), exactly like the matrix
+    runner.
     """
+    effective = min(jobs if jobs and jobs > 0 else available_cpus(), len(pairs)) or 1
+    shipments: Dict[int, TraceShipment] = {}
     results: List[WorkloadResult] = []
-    for result, _seconds in _fan_out_pairs(pairs, jobs):
-        results.append(result)
-        if progress is not None:
-            progress(f"{result.workload} {result.configuration} done")
+    try:
+        calls = []
+        if effective > 1:
+            # Shipments are created here, before _fan_out_pairs forks the
+            # pool, so the fork-registry fallback is safe (fork_ok default).
+            for configuration_name, trace, window, coherence in pairs:
+                shipment = shipments.get(id(trace))
+                if shipment is None:
+                    shipment = TraceShipment(as_packed(trace))
+                    shipments[id(trace)] = shipment
+                calls.append(
+                    (configuration_name, shipment.handle, window, coherence)
+                )
+        else:
+            # In-process: still pack each distinct trace exactly once, so a
+            # stream replayed against K configurations is not re-packed K
+            # times by SystemSimulator.run.
+            packed_by_trace: Dict[int, PackedTrace] = {}
+            for configuration_name, trace, window, coherence in pairs:
+                packed = packed_by_trace.get(id(trace))
+                if packed is None:
+                    packed = as_packed(trace)
+                    packed_by_trace[id(trace)] = packed
+                calls.append((configuration_name, packed, window, coherence))
+        for result, _seconds in _fan_out_pairs(calls, effective, len(calls)):
+            results.append(result)
+            if progress is not None:
+                progress(f"{result.workload} {result.configuration} done")
+    finally:
+        for shipment in shipments.values():
+            shipment.close()
     return results
 
 
@@ -135,7 +353,8 @@ class ParallelEvaluationRunner:
     progress: Optional[Callable[[str], None]] = None
     results: List[WorkloadResult] = field(default_factory=list)
     run_seconds: Dict[tuple, float] = field(default_factory=dict)
-    _traces: Dict[str, TraceStream] = field(default_factory=dict, repr=False)
+    _traces: Dict[str, PackedTrace] = field(default_factory=dict, repr=False)
+    _shipments: Dict[str, TraceShipment] = field(default_factory=dict, repr=False)
 
     def resolved_jobs(self) -> int:
         """The actual worker count this runner will use."""
@@ -152,61 +371,108 @@ class ParallelEvaluationRunner:
                 f"lat={result.average_latency_ns:8.1f} ns"
             )
 
-    def _generate_traces(self, only_workload: Optional[str] = None) -> List[tuple]:
-        """Generate each workload's trace once; return the pair work-list in
-        the serial runner's iteration order (workloads outer, configs inner)."""
-        pairs = []
+    def _trace_for(self, workload) -> PackedTrace:
+        """The workload's packed trace, generated once and cached."""
+        packed = self._traces.get(workload.name)
+        if packed is None:
+            packed = generate_packed_trace(
+                workload,
+                seed=self.matrix.scale.seed,
+                num_requests=self.matrix.requests_for(workload),
+            )
+            self._traces[workload.name] = packed
+        return packed
+
+    def _shipped(self, workload, fork_ok: bool) -> object:
+        """The workload's shipment handle (creating the shipment on first
+        use), for pool runs.  ``fork_ok`` is False once the pool has forked
+        (the lazy streaming path)."""
+        shipment = self._shipments.get(workload.name)
+        if shipment is None:
+            shipment = TraceShipment(self._trace_for(workload), fork_ok=fork_ok)
+            self._shipments[workload.name] = shipment
+        return shipment.handle
+
+    def _close_shipments(self) -> None:
+        for shipment in self._shipments.values():
+            shipment.close()
+        self._shipments.clear()
+
+    def _pair_stream(self, ship: bool, only_workload: Optional[str] = None):
+        """Lazily yield ``(configuration_name, workload_name, trace, window,
+        coherence)`` in the serial runner's iteration order (workloads outer,
+        configurations inner).
+
+        Traces are generated (and shipped) as the stream is consumed, which
+        is what lets generation overlap the replay of earlier workloads'
+        pairs during pool submission.
+        """
+        configurations = self.matrix.configurations()
         for workload in self.matrix.workloads():
             if only_workload is not None and workload.name != only_workload:
                 continue
-            if workload.name not in self._traces:
-                self._traces[workload.name] = workload.generate(
-                    seed=self.matrix.scale.seed,
-                    num_requests=self.matrix.requests_for(workload),
-                )
-            trace = self._traces[workload.name]
+            trace = (
+                # Consumed during pool submission, i.e. after the fork: a
+                # shipment created here must not rely on the fork registry.
+                self._shipped(workload, fork_ok=False)
+                if ship
+                else self._trace_for(workload)
+            )
             window = getattr(workload, "window", 4)
-            for configuration in self.matrix.configurations():
-                pairs.append(
-                    (
-                        configuration.name,
-                        workload.name,
-                        trace,
-                        window,
-                        self.matrix.coherence,
-                    )
+            for configuration in configurations:
+                yield (
+                    configuration.name,
+                    workload.name,
+                    trace,
+                    window,
+                    self.matrix.coherence,
                 )
-        return pairs
 
-    def _execute(self, pairs: List[tuple]) -> List[WorkloadResult]:
-        """Run the given pair work-list; append to (and return) new results."""
+    def _execute(
+        self, count: int, only_workload: Optional[str] = None
+    ) -> List[WorkloadResult]:
+        """Run ``count`` pairs; append to (and return) new results."""
+        effective = min(self.resolved_jobs(), count) or 1
+        stream = self._pair_stream(ship=effective > 1, only_workload=only_workload)
+        submitted: List[Tuple[str, str]] = []
+
+        def calls():
+            for configuration_name, workload_name, trace, window, coherence in stream:
+                submitted.append((configuration_name, workload_name))
+                yield (configuration_name, trace, window, coherence)
+
         produced: List[WorkloadResult] = []
-        calls = [
-            (configuration_name, trace, window, coherence)
-            for configuration_name, _workload_name, trace, window, coherence
-            in pairs
-        ]
-        for (configuration_name, workload_name, *_rest), (result, seconds) in zip(
-            pairs, _fan_out_pairs(calls, self.resolved_jobs())
-        ):
-            self.run_seconds[(configuration_name, workload_name)] = seconds
-            self.results.append(result)
-            produced.append(result)
-            self._report(result)
+        try:
+            if effective > 1 and not _shm_available():
+                # The fork-inherited fallback only sees traces registered
+                # before the pool forks, so give up generation/replay overlap
+                # and ship everything up front (pre-fork: fork_ok).
+                for workload in self.matrix.workloads():
+                    if only_workload is None or workload.name == only_workload:
+                        self._shipped(workload, fork_ok=True)
+            for position, (result, seconds) in enumerate(
+                _fan_out_pairs(calls(), effective, count)
+            ):
+                self.run_seconds[submitted[position]] = seconds
+                self.results.append(result)
+                produced.append(result)
+                self._report(result)
+        finally:
+            self._close_shipments()
         return produced
 
     def run(self) -> List[WorkloadResult]:
         """Run the whole matrix; returns all results (also kept on self)."""
-        self._execute(self._generate_traces())
+        self._execute(self.matrix.run_count())
         return self.results
 
     def run_workload(self, workload_name: str) -> List[WorkloadResult]:
         """Run one workload across every configuration of the matrix."""
-        pairs = self._generate_traces(only_workload=workload_name)
-        if not pairs:
+        if workload_name not in self.matrix.workload_names():
             known = sorted(self.matrix.workload_names())
             raise KeyError(f"unknown workload {workload_name!r}; known: {known}")
-        return self._execute(pairs)
+        count = len(self.matrix.configurations())
+        return self._execute(count, only_workload=workload_name)
 
     def total_simulated_requests(self) -> int:
         return sum(result.num_requests for result in self.results)

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.results import WorkloadResult
 from repro.core.system import SystemSimulator
 from repro.harness.experiments import EvaluationMatrix
-from repro.trace.record import TraceStream
+from repro.trace.packed import PackedTrace, generate_packed_trace
 
 
 @dataclass
@@ -26,18 +26,21 @@ class EvaluationRunner:
     progress: Optional[Callable[[str], None]] = None
     results: List[WorkloadResult] = field(default_factory=list)
     run_seconds: Dict[tuple, float] = field(default_factory=dict)
-    _traces: Dict[str, TraceStream] = field(default_factory=dict, repr=False)
+    _traces: Dict[str, PackedTrace] = field(default_factory=dict, repr=False)
     _windows: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def _report(self, message: str) -> None:
         if self.progress is not None:
             self.progress(message)
 
-    def _trace_for(self, workload) -> TraceStream:
+    def _trace_for(self, workload) -> PackedTrace:
+        """The workload's trace in packed form, generated once per workload
+        (generation is identical across configurations)."""
         if workload.name not in self._traces:
-            requests = self.matrix.requests_for(workload)
-            self._traces[workload.name] = workload.generate(
-                seed=self.matrix.scale.seed, num_requests=requests
+            self._traces[workload.name] = generate_packed_trace(
+                workload,
+                seed=self.matrix.scale.seed,
+                num_requests=self.matrix.requests_for(workload),
             )
             self._windows[workload.name] = getattr(workload, "window", 4)
         return self._traces[workload.name]

@@ -13,7 +13,7 @@ sweeps; ``examples/sensitivity_study.py`` prints the physical ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.configs import configuration_by_name
 from repro.core.system import SystemSimulator

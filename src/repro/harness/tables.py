@@ -7,7 +7,7 @@ benchmark output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.config import CoronaConfig, CORONA_DEFAULT
 from repro.memory.ecm import ecm_interconnect_summary

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from heapq import heappop, heappush, nsmallest
-from typing import List, NamedTuple, Optional
+from typing import List, NamedTuple
 
 from repro.memory.channel import MemoryChannel
-from repro.memory.dram import DramTimings, OcmModule, daisy_chain_delay
+from repro.memory.dram import OcmModule, daisy_chain_delay
 from repro.sim.resources import BoundedQueue
 from repro.sim.stats import RunningStats
 

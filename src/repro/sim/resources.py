@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import bisect
 import heapq
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 #: Gaps shorter than this are considered zero (floating-point noise guard).
 _EPSILON = 1e-15
@@ -120,8 +120,41 @@ class SerialResource:
 
     # -- public API ------------------------------------------------------------
     def next_available(self, now: float) -> float:
-        """Earliest time a zero-length reservation made at ``now`` could start."""
-        return min(self._find_gap(server, now, 0.0) for server in range(self.servers))
+        """Earliest time a zero-length reservation made at ``now`` could start.
+
+        Mirrors the pruned single-server fast path of :meth:`reserve`:
+        expired intervals (older than the prune horizon behind the newest
+        reservation request) are dropped first, and because committed
+        intervals are kept disjoint by :meth:`_insert`'s coalescing, a single
+        bisect answers the query -- ``now`` itself when no interval covers
+        it, otherwise the covering interval's end.  Long-running replays
+        previously paid a scan over every interval ever committed on
+        resources queried through :meth:`queue_delay` but rarely reserved.
+        """
+        prune_before = self._high_water_request - _PRUNE_HORIZON
+        if self.servers == 1:
+            starts = self._starts[0]
+            ends = self._ends[0]
+            if prune_before > 0 and ends and ends[0] <= prune_before:
+                cut = bisect.bisect_right(ends, prune_before)
+                del ends[:cut]
+                del starts[:cut]
+            index = bisect.bisect_right(ends, now)
+            if index >= len(starts) or now <= starts[index] + _EPSILON:
+                return now
+            return ends[index]
+        best = None
+        for server in range(self.servers):
+            if prune_before > 0:
+                self._prune(server, prune_before)
+            starts = self._starts[server]
+            ends = self._ends[server]
+            index = bisect.bisect_right(ends, now)
+            if index >= len(starts) or now <= starts[index] + _EPSILON:
+                return now
+            if best is None or ends[index] < best:
+                best = ends[index]
+        return best
 
     def reserve(self, now: float, duration: float) -> float:
         """Reserve the resource for ``duration`` seconds starting no earlier than ``now``.

@@ -13,10 +13,20 @@ provides:
 * :mod:`repro.trace.splash2` -- statistical workload models of the eleven
   SPLASH-2 applications, calibrated to the paper's per-benchmark request
   counts and bandwidth classes.
-* :mod:`repro.trace.io` -- compact text serialization of traces so generated
-  traces can be cached on disk and replayed.
+* :mod:`repro.trace.packed` -- the packed columnar trace representation
+  (24 bytes per record, zero per-record objects) the replay engine and the
+  shared-memory worker pipeline consume.
+* :mod:`repro.trace.io` -- text and packed-binary serialization of traces so
+  generated traces can be cached on disk and replayed.
 """
 
+from repro.trace.packed import (
+    AnyTrace,
+    PackedTrace,
+    PackedTraceBuilder,
+    as_packed,
+    generate_packed_trace,
+)
 from repro.trace.record import AccessKind, TraceRecord, TraceStream, ThreadTrace
 from repro.trace.synthetic import (
     SyntheticPattern,
@@ -36,10 +46,20 @@ from repro.trace.splash2 import (
     splash2_workload,
     splash2_workloads,
 )
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import (
+    read_trace,
+    read_trace_binary,
+    write_trace,
+    write_trace_binary,
+)
 
 __all__ = [
     "AccessKind",
+    "AnyTrace",
+    "PackedTrace",
+    "PackedTraceBuilder",
+    "as_packed",
+    "generate_packed_trace",
     "TraceRecord",
     "TraceStream",
     "ThreadTrace",
@@ -58,5 +78,7 @@ __all__ = [
     "splash2_workload",
     "splash2_workloads",
     "read_trace",
+    "read_trace_binary",
     "write_trace",
+    "write_trace_binary",
 ]

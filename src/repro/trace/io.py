@@ -1,6 +1,6 @@
-"""Trace serialization.
+"""Trace serialization: diffable text and packed binary formats.
 
-Traces are stored as plain text with one header line and one line per record:
+**Text (corona-trace v1)** stores one header line and one line per record:
 
 .. code-block:: text
 
@@ -12,21 +12,40 @@ produced by an external full-system simulator if real SPLASH-2 traces become
 available, in which case they drop straight into the replay engine.  A
 trailing ``S`` marks the record as a shared line for coherence-enabled
 replays; records without it (including every pre-existing trace file) are
-private.
+private.  Note that the text format rounds gaps to 4 decimals.
+
+**Binary (corona-trace bin2)** stores the :class:`~repro.trace.packed.
+PackedTrace` columns verbatim (little-endian, 24 bytes per record): a magic
+line, a fixed-size shape header, the name/description strings, then the five
+columns back to back.  It round-trips every field exactly -- including the
+shared-``S`` flag and full float64 gaps -- and loads without per-record
+parsing, which is what makes paper-scale trace files practical.
+:func:`read_trace` sniffs the magic bytes and accepts either format.
 """
 
 from __future__ import annotations
 
+import struct
+import sys
+from array import array
 from pathlib import Path
 from typing import Union
 
+from repro.trace.packed import AnyTrace, PackedTrace, as_packed
 from repro.trace.record import AccessKind, TraceRecord, TraceStream
 
 _HEADER_PREFIX = "# corona-trace v1"
 
+_BINARY_MAGIC = b"# corona-trace bin2\n"
+#: Shape header that follows the magic: clusters, threads_per_cluster,
+#: thread count, record count, name length, description length.
+_BINARY_HEADER = struct.Struct("<IIQQII")
 
-def write_trace(stream: TraceStream, path: Union[str, Path]) -> None:
-    """Write ``stream`` to ``path`` in the corona-trace v1 format."""
+
+def write_trace(stream: AnyTrace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` in the corona-trace v1 text format."""
+    if isinstance(stream, PackedTrace):
+        stream = stream.to_stream()
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
         handle.write(
@@ -62,8 +81,16 @@ def _parse_header(line: str) -> dict:
 
 
 def read_trace(path: Union[str, Path]) -> TraceStream:
-    """Read a corona-trace v1 file back into a :class:`TraceStream`."""
+    """Read a trace file (either format) back into a :class:`TraceStream`.
+
+    The binary format is detected by its magic bytes; use
+    :func:`read_trace_binary` directly to keep the packed representation.
+    """
     path = Path(path)
+    with path.open("rb") as probe:
+        is_binary = probe.read(len(_BINARY_MAGIC)) == _BINARY_MAGIC
+    if is_binary:
+        return read_trace_binary(path).to_stream()
     with path.open("r", encoding="utf-8") as handle:
         header = handle.readline().rstrip("\n")
         fields = _parse_header(header)
@@ -109,3 +136,97 @@ def read_trace(path: Union[str, Path]) -> TraceStream:
             )
     stream.validate()
     return stream
+
+
+# ---------------------------------------------------------------------------
+# Binary format (corona-trace bin2)
+# ---------------------------------------------------------------------------
+
+def _native_to_little(column: array) -> array:
+    """A little-endian copy of ``column`` (no-op on little-endian hosts)."""
+    if sys.byteorder == "little":
+        return column
+    swapped = array(column.typecode, column)  # pragma: no cover - BE hosts
+    swapped.byteswap()  # pragma: no cover - BE hosts
+    return swapped  # pragma: no cover - BE hosts
+
+
+def write_trace_binary(trace: AnyTrace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` in the packed binary format.
+
+    Accepts either representation; a :class:`TraceStream` is packed first.
+    Every field round-trips exactly, including the shared-``S`` flag (bit 1
+    of each packed meta word) and full-precision gaps.
+    """
+    packed = as_packed(trace)
+    name = packed.name.encode("utf-8")
+    description = packed.description.encode("utf-8")
+    path = Path(path)
+    with path.open("wb") as handle:
+        handle.write(_BINARY_MAGIC)
+        handle.write(
+            _BINARY_HEADER.pack(
+                packed.num_clusters,
+                packed.threads_per_cluster,
+                len(packed.thread_ids),
+                len(packed.meta),
+                len(name),
+                len(description),
+            )
+        )
+        handle.write(name)
+        handle.write(description)
+        for code, column in (
+            ("q", packed.thread_ids),
+            ("q", packed.offsets),
+            ("Q", packed.meta),
+            ("Q", packed.addresses),
+            ("d", packed.gaps),
+        ):
+            if not isinstance(column, array):
+                column = array(code, column)
+            handle.write(_native_to_little(column).tobytes())
+
+
+def read_trace_binary(path: Union[str, Path]) -> PackedTrace:
+    """Read a packed binary trace file back into a :class:`PackedTrace`."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(_BINARY_MAGIC))
+        if magic != _BINARY_MAGIC:
+            raise ValueError(
+                f"not a corona-trace bin2 file (starts with {magic[:20]!r})"
+            )
+        header = handle.read(_BINARY_HEADER.size)
+        if len(header) != _BINARY_HEADER.size:
+            raise ValueError(f"{path}: truncated binary trace header")
+        (
+            num_clusters,
+            threads_per_cluster,
+            num_threads,
+            num_records,
+            name_len,
+            description_len,
+        ) = _BINARY_HEADER.unpack(header)
+        name = handle.read(name_len).decode("utf-8")
+        description = handle.read(description_len).decode("utf-8")
+
+        def read_column(code: str, count: int) -> array:
+            column = array(code)
+            data = handle.read(8 * count)
+            if len(data) != 8 * count:
+                raise ValueError(f"{path}: truncated {code!r} column")
+            column.frombytes(data)
+            return _native_to_little(column)
+
+        return PackedTrace(
+            name=name,
+            num_clusters=num_clusters,
+            threads_per_cluster=threads_per_cluster,
+            thread_ids=read_column("q", num_threads),
+            offsets=read_column("q", num_threads + 1),
+            meta=read_column("Q", num_records),
+            addresses=read_column("Q", num_records),
+            gaps=read_column("d", num_records),
+            description=description,
+        )

@@ -28,10 +28,11 @@ load.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.trace.gaps import draw_gap
+from repro.trace.packed import PackedTrace, PackedTraceBuilder
 from repro.trace.record import AccessKind, TraceRecord, TraceStream
 
 
@@ -294,28 +295,25 @@ class Splash2Workload:
             return cluster
         return rng.randrange(self.num_clusters)
 
-    def generate(
-        self, seed: int = 1, num_requests: Optional[int] = None
-    ) -> TraceStream:
-        """Generate the miss trace.
+    def _description(self) -> str:
+        profile = self.profile
+        return (
+            f"SPLASH-2 {profile.name} ({profile.dataset}); statistical model "
+            f"of the paper's {profile.paper_requests:,}-request trace"
+        )
 
-        ``num_requests`` scales the paper's Table 3 request count down (or up)
-        while keeping the per-thread statistics unchanged.
+    def _emit_records(self, emit, seed: int, total: int) -> None:
+        """Drive the generation loop, calling
+        ``emit(thread_id, cluster, home, is_write, address, gap)`` per miss.
+
+        Shared by :meth:`generate` and :meth:`generate_packed`; the rng draw
+        sequence depends only on the profile and ``seed``, so both
+        representations carry field-identical records.
         """
         profile = self.profile
-        total = num_requests if num_requests is not None else self.num_requests
         if total < 1:
             raise ValueError(f"request count must be >= 1, got {total}")
         rng = random.Random(seed)
-        stream = TraceStream(
-            name=profile.name,
-            num_clusters=self.num_clusters,
-            threads_per_cluster=self.threads_per_cluster,
-            description=(
-                f"SPLASH-2 {profile.name} ({profile.dataset}); statistical model "
-                f"of the paper's {profile.paper_requests:,}-request trace"
-            ),
-        )
         total_threads = self.num_clusters * self.threads_per_cluster
         base, remainder = divmod(total, total_threads)
         # Stagger thread starts: the trace window opens mid-execution, so the
@@ -342,25 +340,63 @@ class Splash2Workload:
                 gap = draw_gap(rng, mean_gap)
                 if miss_index == 0 and stagger_cycles > 0:
                     gap += rng.uniform(0.0, stagger_cycles)
-                kind = (
-                    AccessKind.WRITE
-                    if rng.random() < profile.write_fraction
-                    else AccessKind.READ
-                )
+                is_write = rng.random() < profile.write_fraction
                 home = self._destination(cluster, rng, in_burst, burst_home)
                 address = (home << 26) | ((line_counter & 0xFFFFF) << 6)
                 line_counter += 1
-                stream.add(
-                    TraceRecord(
-                        thread_id=thread_id,
-                        cluster_id=cluster,
-                        home_cluster=home,
-                        kind=kind,
-                        address=address,
-                        gap_cycles=gap,
-                    )
+                emit(thread_id, cluster, home, is_write, address, gap)
+
+    def generate(
+        self, seed: int = 1, num_requests: Optional[int] = None
+    ) -> TraceStream:
+        """Generate the miss trace as a :class:`TraceStream`.
+
+        ``num_requests`` scales the paper's Table 3 request count down (or up)
+        while keeping the per-thread statistics unchanged.
+        """
+        total = num_requests if num_requests is not None else self.num_requests
+        stream = TraceStream(
+            name=self.profile.name,
+            num_clusters=self.num_clusters,
+            threads_per_cluster=self.threads_per_cluster,
+            description=self._description(),
+        )
+        add = stream.add
+
+        def emit(thread_id, cluster, home, is_write, address, gap):
+            add(
+                TraceRecord(
+                    thread_id=thread_id,
+                    cluster_id=cluster,
+                    home_cluster=home,
+                    kind=AccessKind.WRITE if is_write else AccessKind.READ,
+                    address=address,
+                    gap_cycles=gap,
                 )
+            )
+
+        self._emit_records(emit, seed, total)
         return stream
+
+    def generate_packed(
+        self, seed: int = 1, num_requests: Optional[int] = None
+    ) -> PackedTrace:
+        """Generate the miss trace directly in packed columnar form
+        (field-identical to :meth:`generate`, no per-record objects)."""
+        total = num_requests if num_requests is not None else self.num_requests
+        builder = PackedTraceBuilder(
+            name=self.profile.name,
+            num_clusters=self.num_clusters,
+            threads_per_cluster=self.threads_per_cluster,
+            description=self._description(),
+        )
+        append = builder.append
+
+        def emit(thread_id, _cluster, home, is_write, address, gap):
+            append(thread_id, home, is_write, False, address, gap)
+
+        self._emit_records(emit, seed, total)
+        return builder.build()
 
 
 def splash2_workload(name: str, **overrides) -> Splash2Workload:

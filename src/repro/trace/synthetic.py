@@ -36,8 +36,8 @@ from __future__ import annotations
 import enum
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.coherence.sharing import (
     SharingProfile,
@@ -45,6 +45,7 @@ from repro.coherence.sharing import (
     shared_line_address,
 )
 from repro.trace.gaps import draw_gap
+from repro.trace.packed import PackedTrace, PackedTraceBuilder
 from repro.trace.record import AccessKind, TraceRecord, TraceStream
 
 #: Default request count from Table 3 of the paper.
@@ -196,23 +197,17 @@ class SyntheticWorkload:
             return neighbor_destination(cluster, self.num_clusters)
         raise ValueError(f"unknown pattern {self.pattern}")
 
-    def generate(
-        self, seed: int = 1, num_requests: Optional[int] = None
-    ) -> TraceStream:
-        """Generate the trace.
+    def _emit_records(self, emit, seed: int, total: int) -> None:
+        """Drive the generation loop, calling
+        ``emit(thread_id, cluster, home, is_write, address, gap, shared)``
+        once per record.
 
-        ``num_requests`` overrides the configured total, which is how the
-        harness scales the paper's 1 M-request runs down to something a pure
-        Python replay can finish quickly.
+        The single loop behind both trace representations: the rng draw
+        sequence depends only on the workload parameters and ``seed``, so
+        :meth:`generate` and :meth:`generate_packed` produce field-identical
+        records.
         """
-        total = num_requests if num_requests is not None else self.num_requests
         rng = random.Random(seed)
-        stream = TraceStream(
-            name=self.name,
-            num_clusters=self.num_clusters,
-            threads_per_cluster=self.threads_per_cluster,
-            description=self.description or f"synthetic {self.pattern.value}",
-        )
         total_threads = self.num_clusters * self.threads_per_cluster
         base, remainder = divmod(total, total_threads)
         # Threads of a real application are mid-execution when a trace window
@@ -238,18 +233,10 @@ class SyntheticWorkload:
                     line = sharing.draw_line(rng, shared_cumulative)
                     home = home_for_line(line, self.num_clusters)
                     address = shared_line_address(line, self.num_clusters)
-                    kind = (
-                        AccessKind.WRITE
-                        if rng.random() < sharing.write_fraction
-                        else AccessKind.READ
-                    )
+                    is_write = rng.random() < sharing.write_fraction
                     shared = True
                 else:
-                    kind = (
-                        AccessKind.WRITE
-                        if rng.random() < self.write_fraction
-                        else AccessKind.READ
-                    )
+                    is_write = rng.random() < self.write_fraction
                     home = self.destination(cluster, rng)
                     # Synthesize an address in the home cluster's region so
                     # the cache/coherence substrate can consume the same
@@ -257,18 +244,66 @@ class SyntheticWorkload:
                     address = (home << 26) | ((line_counter & 0xFFFFF) << 6)
                     line_counter += 1
                     shared = False
-                stream.add(
-                    TraceRecord(
-                        thread_id=thread_id,
-                        cluster_id=cluster,
-                        home_cluster=home,
-                        kind=kind,
-                        address=address,
-                        gap_cycles=gap,
-                        shared=shared,
-                    )
+                emit(thread_id, cluster, home, is_write, address, gap, shared)
+
+    def generate(
+        self, seed: int = 1, num_requests: Optional[int] = None
+    ) -> TraceStream:
+        """Generate the trace as a :class:`TraceStream` of record objects.
+
+        ``num_requests`` overrides the configured total, which is how the
+        harness scales the paper's 1 M-request runs down to something a pure
+        Python replay can finish quickly.
+        """
+        total = num_requests if num_requests is not None else self.num_requests
+        stream = TraceStream(
+            name=self.name,
+            num_clusters=self.num_clusters,
+            threads_per_cluster=self.threads_per_cluster,
+            description=self.description or f"synthetic {self.pattern.value}",
+        )
+        add = stream.add
+
+        def emit(thread_id, cluster, home, is_write, address, gap, shared):
+            add(
+                TraceRecord(
+                    thread_id=thread_id,
+                    cluster_id=cluster,
+                    home_cluster=home,
+                    kind=AccessKind.WRITE if is_write else AccessKind.READ,
+                    address=address,
+                    gap_cycles=gap,
+                    shared=shared,
                 )
+            )
+
+        self._emit_records(emit, seed, total)
         return stream
+
+    def generate_packed(
+        self, seed: int = 1, num_requests: Optional[int] = None
+    ) -> PackedTrace:
+        """Generate the trace directly in packed columnar form.
+
+        Streams records chunk-wise into the packed columns (three array
+        appends per miss, no :class:`TraceRecord` objects), which is what
+        makes paper-scale request counts practical.  Field-identical to
+        :meth:`generate` for the same seed.
+        """
+        total = num_requests if num_requests is not None else self.num_requests
+        builder = PackedTraceBuilder(
+            name=self.name,
+            num_clusters=self.num_clusters,
+            threads_per_cluster=self.threads_per_cluster,
+            description=self.description or f"synthetic {self.pattern.value}",
+        )
+        append = builder.append
+
+        def emit(thread_id, _cluster, home, is_write, address, gap, shared):
+            append(thread_id, home, is_write, shared, address, gap)
+
+        self._emit_records(emit, seed, total)
+        return builder.build()
 
 
 def uniform_workload(**overrides) -> SyntheticWorkload:

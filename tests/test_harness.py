@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.configs import CONFIGURATION_ORDER
 from repro.harness.experiments import (
     FULL_SCALE,
     QUICK_SCALE,

@@ -99,6 +99,12 @@ class TestRunnerApi:
         )
         assert all(r.workload == "Uniform" for r in results)
 
+    def test_shipments_released_after_pool_run(self):
+        """The parent frees every shared-memory shipment once results are in."""
+        runner = ParallelEvaluationRunner(matrix=_small_quick_matrix(), jobs=2)
+        runner.run()
+        assert runner._shipments == {}
+
     def test_progress_reported_in_serial_order(self):
         matrix = _small_quick_matrix()
         lines = []

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.harness.experiments import EvaluationMatrix, ExperimentScale
-from repro.harness.report import ReproductionReport, build_report
+from repro.harness.report import build_report
 from repro.harness.sensitivity import (
     SweepPoint,
     channel_bandwidth_sensitivity,

@@ -1,7 +1,6 @@
 """Tests for photonic device models: constants, waveguides, rings, lasers,
 splitters."""
 
-import math
 
 import pytest
 

@@ -136,7 +136,10 @@ class TestTopologyProperties:
 
 
 class TestInventoryProperties:
-    @given(st.integers(min_value=4, max_value=256).filter(lambda n: int(n**0.5) ** 2 == n))
+    # Generate the grid radix and square it rather than filtering integers
+    # down to perfect squares: the filter rejects ~95% of draws and can trip
+    # hypothesis's filter_too_much health check on an unlucky seed.
+    @given(st.integers(min_value=2, max_value=16).map(lambda radix: radix * radix))
     @settings(max_examples=10, deadline=None)
     def test_crossbar_rings_scale_quadratically(self, clusters):
         inventory = corona_inventory(clusters=clusters)

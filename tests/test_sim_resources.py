@@ -205,3 +205,127 @@ class TestTokenPool:
         pool.acquire(0.0, release_time_hint=100.0)
         pool.reset()
         assert pool.acquire(0.0, release_time_hint=1.0) == 0.0
+
+
+class TestNextAvailablePrunedFastPath:
+    """Regression tests for the pruned next_available fast path.
+
+    next_available used to call the generic gap scan over every committed
+    interval per server; it now mirrors reserve's pruned single-bisect fast
+    path, so long replays keep the query O(log pruned-intervals) and the
+    interval lists bounded.
+    """
+
+    def test_idle_resource_returns_now(self):
+        assert SerialResource("link").next_available(3.0) == 3.0
+
+    def test_covered_instant_returns_interval_end(self):
+        resource = SerialResource("link")
+        resource.reserve(2.0, 3.0)  # busy [2, 5)
+        assert resource.next_available(3.0) == pytest.approx(5.0)
+
+    def test_instant_in_gap_returns_now(self):
+        resource = SerialResource("link")
+        resource.reserve(0.0, 1.0)
+        resource.reserve(4.0, 1.0)
+        assert resource.next_available(2.0) == pytest.approx(2.0)
+
+    def test_queue_delay_consistency(self):
+        resource = SerialResource("link")
+        resource.reserve(0.0, 3.0)
+        assert resource.queue_delay(1.0) == pytest.approx(2.0)
+
+    def test_long_run_stays_pruned_and_correct(self):
+        # 2000 disjoint reservations spanning 40 us against the 5 us prune
+        # horizon: the committed-interval list must stay bounded, and
+        # next_available must keep answering from the pruned tail.
+        ns = 1e-9
+        resource = SerialResource("link")
+        for index in range(2000):
+            resource.reserve(index * 20 * ns, 10 * ns)
+        assert len(resource._ends[0]) < 600
+        tail_end = 1999 * 20 * ns + 10 * ns
+        # Covered instant inside the last interval -> that interval's end.
+        assert resource.next_available(tail_end - 5 * ns) == pytest.approx(
+            tail_end
+        )
+        # Instant in the gap before the last interval -> itself.
+        gap_instant = 1999 * 20 * ns - 5 * ns
+        assert resource.next_available(gap_instant) == pytest.approx(gap_instant)
+        # Instant beyond every reservation -> itself.
+        assert resource.next_available(2 * tail_end) == pytest.approx(
+            2 * tail_end
+        )
+
+    def test_next_available_itself_prunes(self):
+        # A backfilled reservation can commit an interval that is already
+        # behind the prune horizon (reserve prunes *before* inserting);
+        # next_available must shed it rather than scan past it forever.
+        us = 1e-6
+        resource = SerialResource("link")
+        resource.reserve(100.0 * us, 1.0 * us)  # high water at 100 us
+        resource.reserve(0.0, 0.5 * us)  # backfill, expired on arrival
+        assert len(resource._ends[0]) == 2
+        assert resource.next_available(100.5 * us) == pytest.approx(101.0 * us)
+        assert len(resource._ends[0]) == 1
+
+    def test_multi_server_earliest_end_wins(self):
+        resource = SerialResource("banks", servers=2)
+        resource.reserve(0.0, 4.0)  # server 0 busy [0, 4)
+        resource.reserve(0.0, 2.0)  # server 1 busy [0, 2)
+        assert resource.next_available(1.0) == pytest.approx(2.0)
+
+    def test_multi_server_free_server_short_circuits(self):
+        resource = SerialResource("banks", servers=2)
+        resource.reserve(0.0, 4.0)  # only server 0 busy
+        assert resource.next_available(1.0) == pytest.approx(1.0)
+
+
+class TestResourceEdgeCases:
+    """Edge cases CI now exercises on every push: queue overflow admission,
+    out-of-order token releases, and multi-server prune/backfill interplay."""
+
+    def test_bounded_queue_admission_overflow_path(self):
+        # Occupancy can exceed capacity because admit() books future-time
+        # admissions; admission_time must then wait for enough departures
+        # (the heapq.nsmallest overflow branch), not just the earliest one.
+        queue = BoundedQueue("q", capacity=2)
+        queue.admit(0.0, departure_time=10.0)
+        queue.admit(0.0, departure_time=20.0)
+        assert queue.admit(0.0, departure_time=30.0) == pytest.approx(10.0)
+        assert queue.admit(0.0, departure_time=40.0) == pytest.approx(20.0)
+        # Four residents, capacity 2: a fifth entry needs three departures.
+        assert queue.occupancy(5.0) == 4
+        assert queue.admission_time(5.0) == pytest.approx(30.0)
+        assert queue.max_occupancy_seen == 4
+
+    def test_token_pool_release_at_out_of_order(self):
+        pool = TokenPool("mshrs", tokens=2)
+        pool.acquire(0.0)
+        pool.acquire(0.0)
+        # Releases registered in reverse completion order: the heap must
+        # grant against the earliest release, not the insertion order.
+        pool.release_at(40.0)
+        pool.release_at(10.0)
+        assert pool.in_use(0.0) == 2
+        assert pool.acquire(0.0, release_time_hint=50.0) == pytest.approx(10.0)
+        assert pool.in_use(20.0) == 2  # 10.0 expired; 40.0 and 50.0 remain
+        assert pool.in_use(60.0) == 0
+
+    def test_multi_server_prune_preserves_backfill_within_horizon(self):
+        us = 1e-6
+        resource = SerialResource("banks", servers=2)
+        resource.reserve(0.0, 1.0 * us)  # server 0 [0, 1) us
+        resource.reserve(0.0, 1.0 * us)  # server 1 [0, 1) us
+        # Jump far beyond the 5 us prune horizon: the old intervals expire.
+        resource.reserve(100.0 * us, 1.0 * us)
+        resource.reserve(100.0 * us, 1.0 * us)
+        resource.reserve(102.0 * us, 1.0 * us)
+        assert all(len(ends) <= 2 for ends in resource._ends)
+        # Backfill into the idle gap just before the tail reservations must
+        # still work on both servers after pruning.
+        assert resource.reserve(97.0 * us, 1.0 * us) == pytest.approx(98.0 * us)
+        assert resource.reserve(97.0 * us, 1.0 * us) == pytest.approx(98.0 * us)
+        # Accounting is prune-independent.
+        assert resource.reservations == 7
+        assert resource.busy_time == pytest.approx(7.0 * us)

@@ -1,6 +1,5 @@
 """Tests for trace records, synthetic workloads, SPLASH-2 models and trace I/O."""
 
-import math
 
 import pytest
 
@@ -14,7 +13,6 @@ from repro.trace.splash2 import (
     splash2_workloads,
 )
 from repro.trace.synthetic import (
-    SyntheticPattern,
     bit_reversal_destination,
     bit_reversal_workload,
     hot_spot_workload,
@@ -22,7 +20,6 @@ from repro.trace.synthetic import (
     neighbor_workload,
     synthetic_workloads,
     tornado_destination,
-    tornado_workload,
     transpose_destination,
     transpose_workload,
     uniform_workload,
