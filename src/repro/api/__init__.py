@@ -1,0 +1,102 @@
+"""The stable, declarative Scenario API.
+
+This package is the supported surface for driving the reproduction
+programmatically.  Three pieces:
+
+* **Registries** (:mod:`repro.api.registry`) -- ``@register_configuration``,
+  ``@register_workload`` and ``@register_experiment`` decorators over
+  name -> factory tables, pre-seeded with the paper's five systems, its 17
+  workloads and the built-in experiments.  User modules add entries without
+  touching repro source.
+* **Scenario spec** (:mod:`repro.api.scenario`) -- a frozen dataclass tree
+  with an exact ``to_dict``/``from_dict`` JSON round-trip and validation
+  errors that name the offending field.
+* **``run()``** (:mod:`repro.api.run`) -- the single entry point: resolves a
+  scenario against the registries, routes it through the serial or parallel
+  runner, streams per-pair results, and writes the markdown/JSON/CSV sinks.
+
+Quickstart::
+
+    from repro.api import Scenario, SystemSpec, WorkloadSpec, run
+
+    scenario = Scenario(
+        name="xbar-uniform",
+        system=SystemSpec(configurations=("LMesh/ECM", "XBar/OCM")),
+        workloads=(WorkloadSpec(name="Uniform"),),
+    )
+    result = run(scenario, on_result=lambda r: print(r.configuration))
+    print(result.report.to_markdown())
+
+or, file-driven (the CLI's ``corona-repro run scenario.json``)::
+
+    from repro.api import load_scenario, run
+
+    result = run(load_scenario("scenario.json"))
+"""
+
+from repro.api.registry import (
+    CONFIGURATIONS,
+    EXPERIMENTS,
+    WORKLOADS,
+    Registry,
+    RegistryCollisionError,
+    RegistryError,
+    UnknownEntryError,
+    build_configuration,
+    build_workload,
+    register_configuration,
+    register_experiment,
+    register_workload,
+)
+from repro.api.run import (
+    ExperimentContext,
+    ScenarioMatrix,
+    ScenarioResult,
+    build_matrix,
+    run,
+)
+from repro.api.scenario import (
+    SCALE_TIERS,
+    SCENARIO_FORMAT,
+    ExperimentSpec,
+    OutputSpec,
+    ScaleSpec,
+    Scenario,
+    ScenarioError,
+    SystemSpec,
+    WorkloadSpec,
+    load_scenario,
+)
+
+__all__ = [
+    # registries
+    "CONFIGURATIONS",
+    "WORKLOADS",
+    "EXPERIMENTS",
+    "Registry",
+    "RegistryError",
+    "RegistryCollisionError",
+    "UnknownEntryError",
+    "register_configuration",
+    "register_workload",
+    "register_experiment",
+    "build_configuration",
+    "build_workload",
+    # scenario spec
+    "Scenario",
+    "ScenarioError",
+    "SystemSpec",
+    "WorkloadSpec",
+    "ScaleSpec",
+    "ExperimentSpec",
+    "OutputSpec",
+    "SCALE_TIERS",
+    "SCENARIO_FORMAT",
+    "load_scenario",
+    # execution
+    "run",
+    "build_matrix",
+    "ScenarioMatrix",
+    "ScenarioResult",
+    "ExperimentContext",
+]

@@ -1,0 +1,193 @@
+"""Name -> factory registries behind the Scenario API.
+
+Three tables make everything the harness can run addressable by name:
+
+* **configurations** -- ``name -> () -> SystemConfiguration``.  Seeded with
+  the paper's five systems (:mod:`repro.core.configs`).
+* **workloads** -- ``name -> (**params) -> workload``.  Seeded with the six
+  synthetic patterns and the eleven SPLASH-2 models, in the paper's plot
+  order (which is also the evaluation matrix's iteration order).
+* **experiments** -- ``name -> (context, **params) -> markdown section``.
+  Seeded in :mod:`repro.api.run` with the coherence sharing-fraction sweep
+  and the photonic sensitivity study.
+
+User modules extend any table without touching repro source::
+
+    from repro.api import register_configuration, register_workload
+
+    @register_configuration("XBar/ECM")
+    def xbar_ecm():
+        return SystemConfiguration(name="XBar/ECM", ...)
+
+    @register_workload("Ping-Pong")
+    def ping_pong(**params):
+        return MyWorkload(**params)
+
+A scenario file names such a module in its ``modules`` list and the runtime
+imports it before resolving names -- in the parent *and* (for non-fork start
+methods) in every worker process, so registered entries survive the trip
+through :class:`~repro.harness.parallel.ParallelEvaluationRunner`.
+
+Collisions raise :class:`RegistryCollisionError` (re-registering a name is
+almost always a typo; pass ``replace=True`` to shadow deliberately) and
+unknown names raise :class:`UnknownEntryError` listing what *is* registered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.configs import SystemConfiguration, all_configurations
+from repro.trace.splash2 import SPLASH2_ORDER, splash2_workload
+from repro.trace.synthetic import SyntheticPattern, synthetic_workload
+
+
+class RegistryError(ValueError):
+    """Base class for registry failures."""
+
+
+class RegistryCollisionError(RegistryError):
+    """A name was registered twice without ``replace=True``."""
+
+
+class UnknownEntryError(RegistryError, KeyError):
+    """A name was looked up that no entry carries."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep the message
+        return self.args[0]
+
+
+class Registry:
+    """One name -> factory table with decorator-based registration."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Callable] = {}
+
+    def register(
+        self,
+        name: Optional[str] = None,
+        *,
+        replace: bool = False,
+    ) -> Callable:
+        """Decorator registering a factory under ``name``.
+
+        With no ``name`` the factory's ``__name__`` is used.  Registering an
+        existing name raises :class:`RegistryCollisionError` unless
+        ``replace=True``.
+        """
+
+        def decorator(factory: Callable) -> Callable:
+            key = name if name is not None else factory.__name__
+            if not isinstance(key, str) or not key:
+                raise RegistryError(
+                    f"{self.kind} registry names must be non-empty strings, "
+                    f"got {key!r}"
+                )
+            if key in self._entries and not replace:
+                raise RegistryCollisionError(
+                    f"{self.kind} {key!r} is already registered; pass "
+                    f"replace=True to shadow it"
+                )
+            self._entries[key] = factory
+            return factory
+
+        return decorator
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name``."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownEntryError(
+                f"unknown {self.kind} {name!r}; registered: {self.names()}"
+            ) from None
+
+    def build(self, name: str, **params):
+        """Call the factory registered under ``name``."""
+        return self.get(name)(**params)
+
+    def names(self) -> List[str]:
+        """Registered names in registration (= paper plot) order."""
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The three public tables.
+CONFIGURATIONS = Registry("configuration")
+WORKLOADS = Registry("workload")
+EXPERIMENTS = Registry("experiment")
+
+
+def register_configuration(name: Optional[str] = None, *, replace: bool = False):
+    """Register a ``() -> SystemConfiguration`` factory by name."""
+    return CONFIGURATIONS.register(name, replace=replace)
+
+
+def register_workload(name: Optional[str] = None, *, replace: bool = False):
+    """Register a ``(**params) -> workload`` factory by name.
+
+    The built object must offer ``generate(seed, num_requests)`` (and
+    ideally ``generate_packed``), a ``name`` and a ``window`` -- the same
+    protocol the stock synthetic and SPLASH-2 workloads implement.
+    """
+    return WORKLOADS.register(name, replace=replace)
+
+
+def register_experiment(name: Optional[str] = None, *, replace: bool = False):
+    """Register a ``(context, **params) -> markdown`` experiment factory."""
+    return EXPERIMENTS.register(name, replace=replace)
+
+
+def build_configuration(name: str) -> SystemConfiguration:
+    """Build the configuration registered under ``name``."""
+    configuration = CONFIGURATIONS.build(name)
+    if not isinstance(configuration, SystemConfiguration):
+        raise RegistryError(
+            f"configuration factory {name!r} returned "
+            f"{type(configuration).__name__}, expected SystemConfiguration"
+        )
+    return configuration
+
+
+def build_workload(name: str, **params):
+    """Build the workload registered under ``name`` with ``params``."""
+    return WORKLOADS.build(name, **params)
+
+
+# ---------------------------------------------------------------------------
+# Seed entries: everything previously runnable, now addressable by name.
+# ---------------------------------------------------------------------------
+
+def _seed() -> None:
+    for configuration in all_configurations():
+        # Bind the loop variable via a default argument; the paper systems
+        # are immutable singletons, so the factory just hands them out.
+        CONFIGURATIONS.register(configuration.name)(
+            lambda _c=configuration: _c
+        )
+
+    _pattern_names = {
+        SyntheticPattern.UNIFORM: "Uniform",
+        SyntheticPattern.HOT_SPOT: "Hot Spot",
+        SyntheticPattern.TORNADO: "Tornado",
+        SyntheticPattern.TRANSPOSE: "Transpose",
+        SyntheticPattern.BIT_REVERSAL: "Bit Reversal",
+        SyntheticPattern.NEIGHBOR: "Neighbor",
+    }
+    for pattern, display_name in _pattern_names.items():
+        WORKLOADS.register(display_name)(
+            lambda _p=pattern.value, **params: synthetic_workload(_p, **params)
+        )
+    for benchmark in SPLASH2_ORDER:
+        WORKLOADS.register(benchmark)(
+            lambda _b=benchmark, **params: splash2_workload(_b, **params)
+        )
+
+
+_seed()

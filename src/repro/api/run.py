@@ -1,0 +1,386 @@
+"""``run(scenario) -> ScenarioResult``: the one stable execution entry point.
+
+Everything the CLI (and user code) runs goes through here: the scenario's
+names are resolved against the registries, a matrix implementing the
+:class:`~repro.harness.experiments.EvaluationMatrix` protocol is built, and
+the pairs are replayed by the serial or parallel runner -- the *same*
+runners the legacy ``evaluate`` path uses, so a scenario translated from
+legacy flags reproduces its results bit-identically.
+
+Per-pair :class:`~repro.core.results.WorkloadResult`\\ s stream to the
+``on_result`` callback as they finish (serial order), and the finished run
+is exported to every sink the scenario's ``output`` block names: the
+markdown report plus JSON/CSV result files carrying every stored field.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.api import registry
+from repro.api.scenario import Scenario, ScenarioError, WorkloadSpec
+from repro.core.config import CoronaConfig
+from repro.core.results import (
+    RESULT_CSV_COLUMNS,
+    WorkloadResult,
+    results_to_csv_rows,
+)
+from repro.harness.experiments import ExperimentScale
+from repro.harness.report import ReproductionReport
+
+#: Format tag written into JSON result files.
+RESULTS_FORMAT = "corona-results/1"
+
+
+class ScenarioMatrix:
+    """A scenario resolved into the evaluation-matrix protocol.
+
+    Implements the interface :class:`~repro.harness.runner.EvaluationRunner`,
+    :class:`~repro.harness.parallel.ParallelEvaluationRunner` and
+    :class:`~repro.harness.report.ReproductionReport` consume (``scale``,
+    ``coherence``, ``corona_config``, ``configuration_names``,
+    ``workloads()``, ``configurations()``, ``requests_for()``...), so the
+    scenario path exercises exactly the machinery the legacy matrix does.
+    """
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.scale: ExperimentScale = scenario.scale.resolve()
+        self.coherence = scenario.coherence
+        #: None when the scenario carries no overrides, so the runners keep
+        #: building from the CORONA_DEFAULT singleton (bit-identical path).
+        self.corona_config: Optional[CoronaConfig] = (
+            scenario.system.corona_config() if scenario.system.overrides else None
+        )
+        self.configuration_names: Sequence[str] = list(
+            scenario.system.configurations
+        )
+        self._configurations = [
+            self._build_configuration(index, name)
+            for index, name in enumerate(self.configuration_names)
+        ]
+        specs = list(scenario.workloads) or [
+            WorkloadSpec(name=name) for name in registry.WORKLOADS.names()
+        ]
+        self._workloads = [
+            self._build_workload(index, spec) for index, spec in enumerate(specs)
+        ]
+        self._spec_by_name: Dict[str, WorkloadSpec] = {}
+        for index, (spec, workload) in enumerate(zip(specs, self._workloads)):
+            if workload.name in self._spec_by_name:
+                raise ScenarioError(
+                    f"workloads[{index}]",
+                    f"duplicate workload name {workload.name!r}; rename one "
+                    f"via its params ('name' for synthetic, 'label' for "
+                    f"SPLASH-2 workloads)",
+                )
+            self._spec_by_name[workload.name] = spec
+
+    def _build_configuration(self, index: int, name: str):
+        try:
+            configuration = registry.build_configuration(name)
+        except registry.RegistryError as exc:
+            raise ScenarioError(
+                f"system.configurations[{index}]", str(exc)
+            ) from None
+        if configuration.name != name:
+            raise ScenarioError(
+                f"system.configurations[{index}]",
+                f"registry entry {name!r} built a configuration named "
+                f"{configuration.name!r}; the names must match so parallel "
+                f"workers and report columns resolve consistently",
+            )
+        return configuration
+
+    def _build_workload(self, index: int, spec: WorkloadSpec):
+        if "num_requests" in spec.params:
+            # A factory-level num_requests would be silently out-ranked by
+            # requests_for's spec/scale logic; insist on the spec field.
+            raise ScenarioError(
+                f"workloads[{index}].params.num_requests",
+                "set the workload's top-level \"num_requests\" field "
+                "instead; params.num_requests would not scale the run",
+            )
+        try:
+            workload = registry.build_workload(
+                spec.name, **spec.factory_params()
+            )
+        except registry.RegistryError as exc:
+            raise ScenarioError(f"workloads[{index}].name", str(exc)) from None
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ScenarioError(f"workloads[{index}].params", str(exc)) from None
+        expected_clusters = (
+            self.corona_config.num_clusters if self.corona_config else None
+        )
+        actual_clusters = getattr(workload, "num_clusters", None)
+        if (
+            expected_clusters is not None
+            and actual_clusters is not None
+            and actual_clusters != expected_clusters
+        ):
+            raise ScenarioError(
+                f"workloads[{index}].params",
+                f"workload spans {actual_clusters} clusters but "
+                f"system.overrides sets num_clusters={expected_clusters}; "
+                f"add \"num_clusters\": {expected_clusters} to the "
+                f"workload's params",
+            )
+        return workload
+
+    # -- EvaluationMatrix protocol ------------------------------------------
+    def workloads(self) -> List:
+        return list(self._workloads)
+
+    def workload_names(self) -> List[str]:
+        return [w.name for w in self._workloads]
+
+    def synthetic_names(self) -> List[str]:
+        return [
+            w.name for w in self._workloads if getattr(w, "is_synthetic", False)
+        ]
+
+    def splash_names(self) -> List[str]:
+        return [
+            w.name
+            for w in self._workloads
+            if not getattr(w, "is_synthetic", False)
+        ]
+
+    def configurations(self) -> List:
+        return list(self._configurations)
+
+    def requests_for(self, workload) -> int:
+        spec = self._spec_by_name.get(workload.name)
+        if spec is not None and spec.num_requests is not None:
+            return spec.num_requests
+        if getattr(workload, "is_synthetic", False):
+            return self.scale.synthetic_requests
+        profile = getattr(workload, "profile", None)
+        paper_requests = getattr(profile, "paper_requests", None)
+        if paper_requests is not None:
+            return self.scale.splash_requests(paper_requests)
+        return self.scale.synthetic_requests
+
+    def run_count(self) -> int:
+        return len(self._configurations) * len(self._workloads)
+
+
+def build_matrix(scenario: Scenario) -> ScenarioMatrix:
+    """Resolve ``scenario`` against the registries (imports its modules)."""
+    scenario.import_modules()
+    return ScenarioMatrix(scenario)
+
+
+@dataclass
+class ExperimentContext:
+    """What a registered experiment factory gets to work with."""
+
+    scenario: Scenario
+    matrix: ScenarioMatrix
+    results: List[WorkloadResult]
+    jobs: int = 1
+    progress: Optional[Callable[[str], None]] = None
+
+    @property
+    def scale(self) -> ExperimentScale:
+        return self.matrix.scale
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    results: List[WorkloadResult]
+    report: ReproductionReport
+    wall_clock_seconds: float = 0.0
+    written: Dict[str, Path] = field(default_factory=dict)
+
+    def to_markdown(self) -> str:
+        return self.report.to_markdown()
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The JSON result-sink payload (scenario + every result field)."""
+        return {
+            "format": RESULTS_FORMAT,
+            "scenario": self.scenario.to_dict(),
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+def _write_path(raw: str) -> Path:
+    path = Path(raw)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _write_outputs(result: ScenarioResult) -> None:
+    output = result.scenario.output
+    if output.report:
+        path = _write_path(output.report)
+        path.write_text(result.to_markdown(), encoding="utf-8")
+        result.written["report"] = path
+    if output.json:
+        path = _write_path(output.json)
+        path.write_text(
+            json.dumps(result.to_json_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        result.written["json"] = path
+    if output.csv:
+        path = _write_path(output.csv)
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(RESULT_CSV_COLUMNS)
+            writer.writerows(results_to_csv_rows(result.results))
+        result.written["csv"] = path
+
+
+def run(
+    scenario: Scenario,
+    *,
+    jobs: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    on_result: Optional[Callable[[WorkloadResult], None]] = None,
+) -> ScenarioResult:
+    """Execute ``scenario`` and return its results, report and sinks.
+
+    ``jobs`` overrides the scenario's worker count (``1`` = serial in
+    process, ``0`` = every CPU).  ``on_result`` receives each pair's
+    :class:`WorkloadResult` the moment it completes, in serial order --
+    the streaming hook for dashboards and long sweeps.  Results are
+    bit-identical between serial and parallel execution.
+    """
+    scenario.import_modules()
+    # Experiment names are checked before the (long) matrix run so a typo
+    # fails in milliseconds, not after the last pair finishes; everything
+    # else is validated by the matrix construction itself, which fires each
+    # registered factory exactly once.
+    for index, spec in enumerate(scenario.experiments):
+        if spec.name not in registry.EXPERIMENTS:
+            raise ScenarioError(
+                f"experiments[{index}].name",
+                f"unknown experiment {spec.name!r}; registered: "
+                f"{registry.EXPERIMENTS.names()}",
+            )
+    matrix = ScenarioMatrix(scenario)
+    effective_jobs = scenario.jobs if jobs is None else jobs
+    started = time.perf_counter()
+    if effective_jobs == 1:
+        from repro.harness.runner import EvaluationRunner
+
+        runner = EvaluationRunner(
+            matrix=matrix, progress=progress, on_result=on_result
+        )
+    else:
+        from repro.harness.parallel import ParallelEvaluationRunner
+
+        runner = ParallelEvaluationRunner(
+            matrix=matrix,
+            jobs=effective_jobs,
+            progress=progress,
+            on_result=on_result,
+            setup_modules=tuple(scenario.modules),
+        )
+    runner.run()
+    wall_clock = time.perf_counter() - started
+    report = ReproductionReport(
+        matrix=matrix,
+        results=list(runner.results),
+        wall_clock_seconds=runner.total_wall_clock_seconds(),
+    )
+    result = ScenarioResult(
+        scenario=scenario,
+        results=list(runner.results),
+        report=report,
+        wall_clock_seconds=wall_clock,
+    )
+    context = ExperimentContext(
+        scenario=scenario,
+        matrix=matrix,
+        results=result.results,
+        jobs=effective_jobs,
+        progress=progress,
+    )
+    for index, spec in enumerate(scenario.experiments):
+        try:
+            factory = registry.EXPERIMENTS.get(spec.name)
+        except registry.RegistryError as exc:
+            raise ScenarioError(f"experiments[{index}].name", str(exc)) from None
+        try:
+            section = factory(context, **dict(spec.params))
+        except TypeError as exc:
+            raise ScenarioError(f"experiments[{index}].params", str(exc)) from None
+        report.extra_sections.append(section)
+    _write_outputs(result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Seed experiments
+# ---------------------------------------------------------------------------
+
+@registry.register_experiment("coherence-sweep")
+def _coherence_sweep_experiment(
+    context: ExperimentContext,
+    fractions: Optional[Sequence[float]] = None,
+    configurations: Optional[Sequence[str]] = None,
+    num_requests: Optional[int] = None,
+    sharing: Optional[Dict[str, object]] = None,
+):
+    """The sharing-fraction sweep (photonic vs electrical coherence cost).
+
+    Defaults mirror ``evaluate --coherence``: the LMesh/ECM / HMesh/ECM /
+    XBar/OCM trio restricted to the scenario's configurations, at the
+    scenario scale's synthetic request count and seed.
+    """
+    from repro.harness.experiments import (
+        COHERENCE_SWEEP_CONFIGURATIONS,
+        COHERENCE_SWEEP_FRACTIONS,
+        coherence_sweep,
+        coherence_sweep_report,
+    )
+
+    names = configurations
+    if names is None:
+        names = [
+            name
+            for name in COHERENCE_SWEEP_CONFIGURATIONS
+            if name in context.matrix.configuration_names
+        ] or list(context.matrix.configuration_names)
+    points = coherence_sweep(
+        fractions=(
+            tuple(fractions) if fractions else COHERENCE_SWEEP_FRACTIONS
+        ),
+        configuration_names=names,
+        num_requests=num_requests or context.scale.synthetic_requests,
+        seed=context.scale.seed,
+        coherence=context.scenario.coherence,
+        sharing_kwargs=sharing,
+        jobs=context.jobs,
+        progress=context.progress,
+        # System overrides and user registrations apply to the sweep exactly
+        # as to the matrix (same architecture, worker-importable modules).
+        corona_config=context.matrix.corona_config,
+        modules=context.scenario.modules,
+    )
+    return coherence_sweep_report(points)
+
+
+@registry.register_experiment("sensitivity")
+def _sensitivity_experiment(context: ExperimentContext):
+    """The photonic-design sensitivity sweeps as a report section."""
+    from repro.harness.sensitivity import physical_design_sweeps_text
+
+    del context  # the sweeps are design-level, not results-level
+    return (
+        "## Photonic design sensitivity\n\n```\n"
+        + physical_design_sweeps_text()
+        + "\n```"
+    )

@@ -2,6 +2,17 @@
 
 Installed as ``corona-repro`` (see ``pyproject.toml``).  Subcommands:
 
+``run``
+    Execute a scenario JSON file through the Scenario API (the stable
+    entry point everything below is built on).
+``scenario``
+    ``init`` (write a template scenario file), ``validate`` (parse + check
+    names against the registries) and ``list`` (show every registered
+    configuration, workload and experiment).
+``trace``
+    ``info`` (inspect a trace file, either format) and ``convert``
+    (text <-> packed binary, the on-disk import hook for externally
+    generated traces).
 ``tables``
     Print Tables 1-4 regenerated from the models.
 ``inventory``
@@ -16,6 +27,12 @@ Installed as ``corona-repro`` (see ``pyproject.toml``).  Subcommands:
 ``sensitivity``
     Print the physical-design sensitivity sweeps (waveguide loss, ring loss,
     laser power).
+
+``simulate`` and ``evaluate`` are thin translators: each builds a
+:class:`~repro.api.scenario.Scenario` from its flags and executes it through
+:func:`repro.api.run`, so the legacy flags and a hand-written scenario file
+drive the exact same machinery (and produce bit-identical results --
+equivalence-tested).
 """
 
 from __future__ import annotations
@@ -24,49 +41,48 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.configs import CONFIGURATION_ORDER, configuration_by_name
-from repro.core.system import simulate_workload
+from repro.api import (
+    CONFIGURATIONS,
+    EXPERIMENTS,
+    WORKLOADS,
+    ExperimentSpec,
+    OutputSpec,
+    ScaleSpec,
+    Scenario,
+    ScenarioError,
+    SystemSpec,
+    WorkloadSpec,
+    load_scenario,
+)
+from repro.api import run as run_scenario
+from repro.core.configs import CONFIGURATION_ORDER
 from repro.harness.experiments import (
     COHERENCE_SWEEP_CONFIGURATIONS,
     COHERENCE_SWEEP_FRACTIONS,
-    FULL_SCALE,
-    PAPER_SCALE,
-    QUICK_SCALE,
-    EvaluationMatrix,
-    ExperimentScale,
-    coherence_sweep,
-    coherence_sweep_report,
 )
-from repro.harness.report import build_report
-from repro.harness.sensitivity import (
-    format_sweep,
-    required_laser_power_sensitivity,
-    ring_through_loss_sensitivity,
-    waveguide_loss_sensitivity,
-)
+from repro.harness.parallel import WorkerSetupError
+from repro.harness.sensitivity import physical_design_sweeps_text
 from repro.harness.tables import format_table, render_all_tables
 from repro.photonics.inventory import corona_inventory
 from repro.power.chip import corona_chip_power
 from repro.power.electrical import electrical_memory_interconnect_power_w
 from repro.power.optical import optical_memory_interconnect_power_w
-from repro.trace.splash2 import SPLASH2_ORDER, splash2_workload
-from repro.trace.synthetic import synthetic_workloads
-
-_SYNTHETIC_NAMES = [w.name for w in synthetic_workloads()]
+from repro.trace.splash2 import SPLASH2_ORDER
 
 
-def _workload_by_name(name: str):
-    for workload in synthetic_workloads():
-        if workload.name.lower() == name.lower():
-            return workload
-    for benchmark in SPLASH2_ORDER:
-        if benchmark.lower() == name.lower():
-            return splash2_workload(benchmark)
+def _workload_name(name: str) -> str:
+    """Canonical registry name for ``name`` (case-insensitive match)."""
+    for registered in WORKLOADS.names():
+        if registered.lower() == name.lower():
+            return registered
     raise SystemExit(
-        f"unknown workload {name!r}; choose one of "
-        f"{_SYNTHETIC_NAMES + SPLASH2_ORDER}"
+        f"unknown workload {name!r}; choose one of {WORKLOADS.names()}"
     )
 
+
+# ---------------------------------------------------------------------------
+# Static report commands (tables / inventory / power / sensitivity)
+# ---------------------------------------------------------------------------
 
 def _cmd_tables(_args: argparse.Namespace) -> int:
     print(render_all_tables())
@@ -104,29 +120,43 @@ def _cmd_power(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sensitivity(_args: argparse.Namespace) -> int:
+    print(physical_design_sweeps_text())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Legacy translators: simulate / evaluate -> Scenario
+# ---------------------------------------------------------------------------
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    workload = _workload_by_name(args.workload)
-    configurations = args.configurations or CONFIGURATION_ORDER
-    baseline_time = None
+    """One workload across configurations, as a streamed scenario run."""
+    workload = _workload_name(args.workload)
+    configurations = tuple(args.configurations or CONFIGURATION_ORDER)
+    scenario = Scenario(
+        name=f"simulate-{workload}",
+        system=SystemSpec(configurations=configurations),
+        workloads=(WorkloadSpec(name=workload, num_requests=args.requests),),
+        scale=ScaleSpec(seed=args.seed),
+    )
     print(
         f"{'configuration':<12}{'speedup':>9}{'bw (TB/s)':>11}"
         f"{'latency (ns)':>14}{'power (W)':>11}"
     )
-    for name in configurations:
-        result = simulate_workload(
-            configuration_by_name(name),
-            workload,
-            num_requests=args.requests,
-            seed=args.seed,
-        )
-        if baseline_time is None:
-            baseline_time = result.execution_time_s
+    baseline_time: List[float] = []
+
+    def stream(result) -> None:
+        if not baseline_time:
+            baseline_time.append(result.execution_time_s)
         print(
-            f"{name:<12}{baseline_time / result.execution_time_s:>9.2f}"
+            f"{result.configuration:<12}"
+            f"{baseline_time[0] / result.execution_time_s:>9.2f}"
             f"{result.achieved_bandwidth_tbps:>11.3f}"
             f"{result.average_latency_ns:>14.1f}"
             f"{result.network_power_w:>11.2f}"
         )
+
+    run_scenario(scenario, on_result=stream)
     return 0
 
 
@@ -146,27 +176,32 @@ def _filter_configurations(terms: Optional[List[str]]) -> List[str]:
     return matched
 
 
-def _cmd_evaluate(args: argparse.Namespace) -> int:
-    scale = {
-        "quick": QUICK_SCALE,
-        "default": ExperimentScale(),
-        "full": FULL_SCALE,
-        "paper": PAPER_SCALE,
-    }[args.scale]
+def _evaluate_workload_names(args: argparse.Namespace) -> List[str]:
+    """The matrix's workload names after --skip-splash/--workloads."""
+    names = [
+        name
+        for name in WORKLOADS.names()
+        if not (args.skip_splash and name in SPLASH2_ORDER)
+    ]
+    if args.workloads:
+        terms = [term.lower() for term in args.workloads]
+        names = [
+            name
+            for name in names
+            if any(term in name.lower() for term in terms)
+        ]
+        if not names:
+            raise SystemExit(
+                f"no workload matches {args.workloads!r}; known: "
+                f"{WORKLOADS.names()}"
+            )
+    return names
+
+
+def _scenario_from_evaluate(args: argparse.Namespace) -> Scenario:
+    """Translate the legacy ``evaluate`` flags into a scenario."""
     configuration_names = _filter_configurations(args.configs)
-    matrix = EvaluationMatrix(
-        scale=scale,
-        include_splash=not args.skip_splash,
-        configuration_names=configuration_names,
-        workload_filter=args.workloads,
-    )
-    if args.workloads and not matrix.workloads():
-        raise SystemExit(
-            f"no workload matches {args.workloads!r}; known: "
-            f"{EvaluationMatrix(scale=scale).workload_names()}"
-        )
-    progress = print if args.verbose else None
-    report = build_report(matrix, progress=progress, jobs=args.jobs)
+    experiments = ()
     if args.coherence:
         # The sweep honors --configs: restrict the default sweep trio to the
         # filtered configurations, falling back to the filtered set itself
@@ -176,52 +211,223 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             for name in COHERENCE_SWEEP_CONFIGURATIONS
             if name in configuration_names
         ] or configuration_names
-        points = coherence_sweep(
-            fractions=args.sharing_fractions,
-            configuration_names=sweep_configurations,
-            num_requests=scale.synthetic_requests,
-            seed=scale.seed,
-            jobs=args.jobs,
-            progress=progress,
+        experiments = (
+            ExperimentSpec(
+                name="coherence-sweep",
+                params={
+                    "fractions": list(args.sharing_fractions),
+                    "configurations": list(sweep_configurations),
+                },
+            ),
         )
-        report.extra_sections.append(coherence_sweep_report(points))
+    return Scenario(
+        name=f"evaluate-{args.scale}",
+        description="translated from the legacy `evaluate` flags",
+        system=SystemSpec(configurations=tuple(configuration_names)),
+        workloads=tuple(
+            WorkloadSpec(name=name) for name in _evaluate_workload_names(args)
+        ),
+        scale=ScaleSpec(tier=args.scale),
+        experiments=experiments,
+        jobs=args.jobs,
+        output=OutputSpec(report=args.output),
+    )
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_evaluate(args)
+    progress = print if args.verbose else None
+    result = run_scenario(scenario, jobs=args.jobs, progress=progress)
     if args.output:
-        path = report.write(args.output)
-        print(f"report written to {path}")
+        print(f"report written to {result.written['report']}")
     else:
-        print(report.to_markdown())
+        print(result.to_markdown())
     return 0
 
 
-def _cmd_sensitivity(_args: argparse.Namespace) -> int:
-    print(
-        format_sweep(
-            "Crossbar link-budget margin vs waveguide loss",
-            waveguide_loss_sensitivity(),
-            parameter_label="dB/cm",
-            metric_label="margin (dB)",
+# ---------------------------------------------------------------------------
+# Scenario API commands: run / scenario init|validate|list
+# ---------------------------------------------------------------------------
+
+def _scenario_error_message(path: str, exc: ScenarioError) -> str:
+    """Prefix a scenario error with its file path exactly once.
+
+    File-level errors from :func:`load_scenario` already carry the path as
+    their field (Path-normalized, e.g. ``./x.json`` becomes ``x.json``);
+    re-prefixing those would print ``x.json: x.json: ...``.
+    """
+    from pathlib import Path
+
+    message = str(exc)
+    if message.startswith(f"{Path(path)}:"):
+        return message
+    return f"{path}: {message}"
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        scenario = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        raise SystemExit(_scenario_error_message(args.scenario, exc)) from None
+    if args.output:
+        from dataclasses import replace
+
+        scenario = replace(
+            scenario, output=OutputSpec(report=args.output).derived()
         )
+    progress = print if args.verbose else None
+    try:
+        result = run_scenario(scenario, jobs=args.jobs, progress=progress)
+    except ScenarioError as exc:
+        raise SystemExit(_scenario_error_message(args.scenario, exc)) from None
+    except WorkerSetupError as exc:
+        raise SystemExit(str(exc)) from None
+    if result.written:
+        for kind, path in sorted(result.written.items()):
+            print(f"{kind} written to {path}")
+        print(
+            f"{len(result.results)} results "
+            f"({result.wall_clock_seconds:.1f} s wall clock)"
+        )
+    else:
+        print(result.to_markdown())
+    return 0
+
+
+def _template_scenario(args: argparse.Namespace) -> Scenario:
+    for name in args.configurations or []:
+        if name not in CONFIGURATIONS:
+            raise SystemExit(
+                f"unknown configuration {name!r}; choose one of "
+                f"{CONFIGURATIONS.names()}"
+            )
+    configurations = tuple(args.configurations or CONFIGURATION_ORDER)
+    workload_names = [
+        _workload_name(name) for name in (args.workloads or WORKLOADS.names())
+    ]
+    return Scenario(
+        name="example",
+        description=(
+            "Template scenario written by `corona-repro scenario init`. "
+            "Every field is optional and shown with its default; see the "
+            "README's Scenario API section for the schema."
+        ),
+        system=SystemSpec(configurations=configurations),
+        workloads=tuple(WorkloadSpec(name=name) for name in workload_names),
+        scale=ScaleSpec(tier=args.scale),
+        jobs=args.jobs,
+        output=OutputSpec(report=args.report).derived() if args.report
+        else OutputSpec(),
     )
-    print()
+
+
+def _cmd_scenario_init(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    path = Path(args.path)
+    if path.exists() and not args.force:
+        raise SystemExit(f"{path} exists; pass --force to overwrite")
+    scenario = _template_scenario(args)
+    scenario.save(path)
     print(
-        format_sweep(
-            "Crossbar link-budget margin vs per-ring through loss",
-            ring_through_loss_sensitivity(),
-            parameter_label="dB/ring",
-            metric_label="margin (dB)",
-        )
+        f"wrote {path}: {len(scenario.system.configurations)} configurations "
+        f"x {len(scenario.workloads)} workloads at scale "
+        f"{scenario.scale.tier!r}"
     )
-    print()
+    print(f"run it with: corona-repro run {path}")
+    return 0
+
+
+def _cmd_scenario_validate(args: argparse.Namespace) -> int:
+    try:
+        scenario = load_scenario(args.path)
+        scenario.validate()
+    except ScenarioError as exc:
+        raise SystemExit(
+            f"INVALID: {_scenario_error_message(args.path, exc)}"
+        ) from None
+    workloads = len(scenario.workloads) or len(WORKLOADS)
     print(
-        format_sweep(
-            "Crossbar laser wall-plug power vs waveguide loss",
-            required_laser_power_sensitivity(),
-            parameter_label="dB/cm",
-            metric_label="laser power (W)",
-        )
+        f"{args.path}: OK ({len(scenario.system.configurations)} "
+        f"configurations x {workloads} workloads = "
+        f"{len(scenario.system.configurations) * workloads} pairs, "
+        f"scale {scenario.scale.tier!r}, jobs {scenario.jobs})"
     )
     return 0
 
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    import importlib
+
+    for module in args.modules or []:
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise SystemExit(f"cannot import {module!r}: {exc}") from None
+    sections = [
+        ("configurations", CONFIGURATIONS),
+        ("workloads", WORKLOADS),
+        ("experiments", EXPERIMENTS),
+    ]
+    for title, registry_table in sections:
+        print(f"{title} ({len(registry_table)}):")
+        for name in registry_table.names():
+            doc = (registry_table.get(name).__doc__ or "").strip()
+            summary = doc.splitlines()[0] if doc else ""
+            print(f"  {name:<14} {summary}".rstrip())
+        print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Trace file commands
+# ---------------------------------------------------------------------------
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.trace.io import trace_summary
+
+    try:
+        summary = trace_summary(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    width = max(len(key) for key in summary)
+    for key, value in summary.items():
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        print(f"{key:<{width}}  {value}")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro.trace.io import (
+        read_trace_packed,
+        sniff_trace_format,
+        write_trace,
+        write_trace_binary,
+    )
+
+    try:
+        source_format = sniff_trace_format(args.input)
+        packed = read_trace_packed(args.input)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    target = args.to
+    if target == "auto":
+        target = "text" if source_format == "binary" else "binary"
+    if target == "binary":
+        write_trace_binary(packed, args.output)
+    else:
+        write_trace(packed, args.output)
+    print(
+        f"converted {args.input} ({source_format}, "
+        f"{packed.total_requests:,} records) -> {args.output} ({target})"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -229,6 +435,116 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of Corona (ISCA 2008): tables, figures and simulations.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_p = subparsers.add_parser(
+        "run",
+        help="execute a scenario JSON file",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "scenario files:\n"
+            "  A scenario file serializes everything a run needs:\n"
+            "  configurations (by registry name, plus CoronaConfig\n"
+            "  overrides), workloads with parameters and sharing profiles,\n"
+            "  the scale tier, coherence settings, follow-on experiments,\n"
+            "  worker count and output sinks.  Start from\n"
+            "  `corona-repro scenario init`, check a file with\n"
+            "  `corona-repro scenario validate`, and see the registered\n"
+            "  names with `corona-repro scenario list`.  User modules named\n"
+            "  in the scenario's \"modules\" list can register custom\n"
+            "  configurations and workloads (see examples/custom_scenario.py)."
+        ),
+    )
+    run_p.add_argument("scenario", help="path to a scenario JSON file")
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="override the scenario's worker count (1 = serial, 0 = all CPUs)",
+    )
+    run_p.add_argument(
+        "--output",
+        help=(
+            "write the markdown report here (JSON/CSV result files are "
+            "derived next to it), overriding the scenario's output block"
+        ),
+    )
+    run_p.add_argument("--verbose", action="store_true")
+    run_p.set_defaults(handler=_cmd_run)
+
+    scenario_p = subparsers.add_parser(
+        "scenario", help="create, validate and introspect scenario files"
+    )
+    scenario_sub = scenario_p.add_subparsers(dest="scenario_command", required=True)
+
+    init_p = scenario_sub.add_parser(
+        "init", help="write a template scenario file"
+    )
+    init_p.add_argument(
+        "path", nargs="?", default="scenario.json",
+        help="where to write the template (default: scenario.json)",
+    )
+    init_p.add_argument(
+        "--configurations", nargs="+", metavar="NAME",
+        help="configuration registry names (default: the paper's five)",
+    )
+    init_p.add_argument(
+        "--workloads", nargs="+", metavar="NAME",
+        help="workload registry names (default: all seventeen)",
+    )
+    init_p.add_argument(
+        "--scale", choices=("quick", "default", "full", "paper"),
+        default="quick",
+    )
+    init_p.add_argument("--jobs", type=int, default=1)
+    init_p.add_argument(
+        "--report", help="set the output report path (JSON/CSV derived)"
+    )
+    init_p.add_argument("--force", action="store_true")
+    init_p.set_defaults(handler=_cmd_scenario_init)
+
+    validate_p = scenario_sub.add_parser(
+        "validate", help="parse a scenario and check names against registries"
+    )
+    validate_p.add_argument("path")
+    validate_p.set_defaults(handler=_cmd_scenario_validate)
+
+    list_p = scenario_sub.add_parser(
+        "list", help="show registered configurations, workloads, experiments"
+    )
+    list_p.add_argument(
+        "--modules", nargs="+", metavar="MODULE",
+        help="import these modules first (to include their registrations)",
+    )
+    list_p.set_defaults(handler=_cmd_scenario_list)
+
+    trace_p = subparsers.add_parser(
+        "trace", help="inspect and convert trace files"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    info_p = trace_sub.add_parser(
+        "info", help="print a trace file's header and statistics"
+    )
+    info_p.add_argument("path")
+    info_p.set_defaults(handler=_cmd_trace_info)
+
+    convert_p = trace_sub.add_parser(
+        "convert",
+        help="convert between the text and packed binary trace formats",
+        description=(
+            "Convert corona-trace files between the diffable v1 text format "
+            "and the packed bin2 binary format (24 bytes/record, loads "
+            "without per-record parsing).  Externally generated traces in "
+            "either format drop straight into the replay engine."
+        ),
+    )
+    convert_p.add_argument("input")
+    convert_p.add_argument("output")
+    convert_p.add_argument(
+        "--to", choices=("auto", "text", "binary"), default="auto",
+        help="target format (auto = the opposite of the input's)",
+    )
+    convert_p.set_defaults(handler=_cmd_trace_convert)
 
     subparsers.add_parser("tables", help="print Tables 1-4").set_defaults(
         handler=_cmd_tables
@@ -283,7 +599,11 @@ def build_parser() -> argparse.ArgumentParser:
             + ", ".join(COHERENCE_SWEEP_CONFIGURATIONS)
             + ",\n"
             "  comparing broadcast-bus invalidation delivery (photonic)\n"
-            "  against per-sharer unicasts (electrical meshes)."
+            "  against per-sharer unicasts (electrical meshes).\n"
+            "scenario api:\n"
+            "  evaluate is a thin translator now: the flags build a Scenario\n"
+            "  and execute it through repro.api.run, bit-identically to a\n"
+            "  scenario file with the same content (corona-repro run)."
         ),
     )
     evaluate.add_argument(

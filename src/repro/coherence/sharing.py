@@ -86,6 +86,23 @@ class SharingProfile:
     def enabled(self) -> bool:
         return self.fraction > 0.0
 
+    @classmethod
+    def from_dict(cls, data) -> "SharingProfile":
+        """Build a profile from a mapping of field names.
+
+        Unknown keys raise a :class:`ValueError` naming the key -- scenario
+        files route their ``sharing`` blocks through here so a typo fails
+        with the offending field instead of a bare ``TypeError``.
+        """
+        known = ("fraction", "num_lines", "zipf_s", "write_fraction")
+        unknown = set(data) - set(known)
+        if unknown:
+            raise ValueError(
+                f"unknown SharingProfile field {sorted(unknown)[0]!r}; "
+                f"known: {list(known)}"
+            )
+        return cls(**dict(data))
+
     def cumulative_weights(self) -> List[float]:
         """Cumulative (unnormalized) Zipf weights over the pool, for bisect."""
         total = 0.0
@@ -98,6 +115,42 @@ class SharingProfile:
     def draw_line(self, rng: random.Random, cumulative: List[float]) -> int:
         """Draw a shared line index according to the popularity distribution."""
         return bisect_left(cumulative, rng.random() * cumulative[-1])
+
+
+def default_sharing_profile() -> SharingProfile:
+    """A generic moderately-shared profile (``sharing: "default"`` in
+    scenario files for workloads without a calibrated per-benchmark profile;
+    SPLASH-2 models carry their own, see
+    :data:`repro.trace.splash2.SPLASH2_SHARING_PROFILES`)."""
+    return SharingProfile(fraction=0.3)
+
+
+def resolve_sharing(sharing, default_factory) -> "SharingProfile | None":
+    """Normalize a workload's ``sharing`` parameter to a profile (or None).
+
+    Accepts a :class:`SharingProfile`, ``None``, the string ``"default"``
+    (resolved via ``default_factory``) or a mapping of profile fields --
+    the forms a scenario file can carry -- and rejects anything else with a
+    :class:`ValueError`, so a misplaced value fails at workload construction
+    (where scenario validation sees it) rather than mid-generation.
+    """
+    if sharing is None or isinstance(sharing, SharingProfile):
+        return sharing
+    if isinstance(sharing, str):
+        if sharing != "default":
+            raise ValueError(
+                f"sharing must be a SharingProfile, a mapping of its fields, "
+                f"None or 'default', got {sharing!r}"
+            )
+        return default_factory()
+    try:
+        items = dict(sharing)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"sharing must be a SharingProfile, a mapping of its fields, "
+            f"None or 'default', got {type(sharing).__name__}"
+        ) from None
+    return SharingProfile.from_dict(items)
 
 
 def home_for_line(line: int, num_clusters: int) -> int:

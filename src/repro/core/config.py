@@ -10,8 +10,8 @@ power roll-up and the benchmark harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Mapping, Tuple
 
 from repro.cores.cluster import ClusterParameters
 from repro.cores.core import CoreParameters
@@ -100,6 +100,38 @@ class CoronaConfig:
     def bytes_per_flop(self) -> float:
         """The design target of roughly one byte per flop of memory bandwidth."""
         return self.memory_total_bandwidth_bytes_per_s / self.peak_flops
+
+    # -- re-parameterization ---------------------------------------------------
+    def with_overrides(self, overrides: Mapping[str, object]) -> "CoronaConfig":
+        """A copy of this configuration with ``overrides`` applied by name.
+
+        ``overrides`` maps top-level field names to new values; the nested
+        ``cluster`` and ``core`` parameter blocks accept a mapping of their
+        own field names (``{"cluster": {"cores": 2}}``).  Unknown field names
+        raise a :class:`ValueError` that names the offending key, which is
+        what lets scenario files fail with a message pointing at the bad
+        field instead of a ``TypeError`` from ``dataclasses.replace``.
+        """
+        known = {f.name for f in fields(self)}
+        resolved: Dict[str, object] = {}
+        for key, value in overrides.items():
+            if key not in known:
+                raise ValueError(
+                    f"unknown CoronaConfig field {key!r}; known: {sorted(known)}"
+                )
+            if key in ("cluster", "core") and isinstance(value, Mapping):
+                target = getattr(self, key)
+                nested_known = {f.name for f in fields(target)}
+                unknown = set(value) - nested_known
+                if unknown:
+                    raise ValueError(
+                        f"unknown {key} field {sorted(unknown)[0]!r}; "
+                        f"known: {sorted(nested_known)}"
+                    )
+                resolved[key] = replace(target, **dict(value))
+            else:
+                resolved[key] = value
+        return replace(self, **resolved) if resolved else self
 
     # -- reporting -------------------------------------------------------------
     def resource_configuration_rows(self) -> List[Tuple[str, str]]:

@@ -57,7 +57,14 @@ class SystemConfiguration:
         return self.network_name == "XBar" and self.memory_name == "OCM"
 
 
-def _crossbar_factory(config: CoronaConfig) -> Interconnect:
+def crossbar_network(config: CoronaConfig) -> Interconnect:
+    """The Section 3.2 optical crossbar, sized from ``config``.
+
+    Public so user modules (scenario ``modules`` entries, the Scenario API's
+    ``@register_configuration`` factories) can compose custom
+    :class:`SystemConfiguration`s from the same building blocks the five
+    paper configurations use.
+    """
     return OpticalCrossbar(
         num_clusters=config.num_clusters,
         clock_hz=config.clock_hz,
@@ -67,23 +74,27 @@ def _crossbar_factory(config: CoronaConfig) -> Interconnect:
     )
 
 
-def _hmesh_factory(config: CoronaConfig) -> Interconnect:
+def hmesh_network(config: CoronaConfig) -> Interconnect:
+    """The high-performance (1.28 TB/s) electrical mesh baseline."""
     return high_performance_mesh(
         num_clusters=config.num_clusters, clock_hz=config.clock_hz
     )
 
 
-def _lmesh_factory(config: CoronaConfig) -> Interconnect:
+def lmesh_network(config: CoronaConfig) -> Interconnect:
+    """The low-performance (0.64 TB/s) electrical mesh baseline."""
     return low_performance_mesh(
         num_clusters=config.num_clusters, clock_hz=config.clock_hz
     )
 
 
-def _ocm_factory(config: CoronaConfig) -> MemorySystem:
+def ocm_memory(config: CoronaConfig) -> MemorySystem:
+    """Optically connected memory: 10.24 TB/s aggregate at 64 controllers."""
     return OpticallyConnectedMemory(num_controllers=config.num_clusters)
 
 
-def _ecm_factory(config: CoronaConfig) -> MemorySystem:
+def ecm_memory(config: CoronaConfig) -> MemorySystem:
+    """Electrically connected memory: the 0.96 TB/s package-pin baseline."""
     return ElectricallyConnectedMemory(num_controllers=config.num_clusters)
 
 
@@ -92,36 +103,36 @@ _CONFIGURATIONS: List[SystemConfiguration] = [
         name="LMesh/ECM",
         network_name="LMesh",
         memory_name="ECM",
-        network_factory=_lmesh_factory,
-        memory_factory=_ecm_factory,
+        network_factory=lmesh_network,
+        memory_factory=ecm_memory,
     ),
     SystemConfiguration(
         name="HMesh/ECM",
         network_name="HMesh",
         memory_name="ECM",
-        network_factory=_hmesh_factory,
-        memory_factory=_ecm_factory,
+        network_factory=hmesh_network,
+        memory_factory=ecm_memory,
     ),
     SystemConfiguration(
         name="LMesh/OCM",
         network_name="LMesh",
         memory_name="OCM",
-        network_factory=_lmesh_factory,
-        memory_factory=_ocm_factory,
+        network_factory=lmesh_network,
+        memory_factory=ocm_memory,
     ),
     SystemConfiguration(
         name="HMesh/OCM",
         network_name="HMesh",
         memory_name="OCM",
-        network_factory=_hmesh_factory,
-        memory_factory=_ocm_factory,
+        network_factory=hmesh_network,
+        memory_factory=ocm_memory,
     ),
     SystemConfiguration(
         name="XBar/OCM",
         network_name="XBar",
         memory_name="OCM",
-        network_factory=_crossbar_factory,
-        memory_factory=_ocm_factory,
+        network_factory=crossbar_network,
+        memory_factory=ocm_memory,
         network_static_power_w=26.0,
         has_broadcast_bus=True,
     ),

@@ -9,7 +9,7 @@ geometric-mean speedups quoted in Section 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.sim.stats import geometric_mean
@@ -80,6 +80,41 @@ class WorkloadResult:
     @property
     def average_cache_to_cache_latency_ns(self) -> float:
         return self.average_cache_to_cache_latency_s * 1e9
+
+    # -- serialization (Scenario API result sinks) ---------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """All stored fields as a JSON-ready mapping (exact round-trip)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkloadResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Unknown keys raise a :class:`ValueError` naming the key, so stale
+        result files fail loudly instead of silently dropping fields.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown WorkloadResult field {sorted(unknown)[0]!r}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**data)
+
+
+#: Column order of :func:`results_to_csv_rows`: the stored dataclass fields.
+RESULT_CSV_COLUMNS: List[str] = [f.name for f in fields(WorkloadResult)]
+
+
+def results_to_csv_rows(
+    results: Iterable[WorkloadResult],
+) -> List[List[object]]:
+    """Results as rows matching :data:`RESULT_CSV_COLUMNS` (header excluded)."""
+    return [
+        [getattr(result, column) for column in RESULT_CSV_COLUMNS]
+        for result in results
+    ]
 
 
 @dataclass

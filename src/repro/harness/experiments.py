@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.coherence import CoherenceConfig, SharingProfile
+from repro.core.config import CoronaConfig
 from repro.core.configs import CONFIGURATION_ORDER, all_configurations
 from repro.core.results import WorkloadResult
 from repro.trace.splash2 import SPLASH2_ORDER, splash2_workloads
@@ -99,7 +100,10 @@ class EvaluationMatrix:
     ``--workloads`` flag, letting a single (configuration, workload) pair run
     without the full matrix.  ``coherence`` enables the timed MOESI directory
     for every replay of the matrix (shared-tagged records only; the stock
-    workloads carry none unless given a sharing profile).
+    workloads carry none unless given a sharing profile).  ``corona_config``
+    re-parameterizes the architecture for every simulator of the matrix
+    (``None`` keeps the paper's design point -- the Scenario API sets this
+    from ``system.overrides``).
     """
 
     scale: ExperimentScale = field(default_factory=ExperimentScale)
@@ -110,6 +114,7 @@ class EvaluationMatrix:
     include_splash: bool = True
     workload_filter: Optional[Sequence[str]] = None
     coherence: Optional[CoherenceConfig] = None
+    corona_config: Optional[CoronaConfig] = None
 
     def _matches_filter(self, name: str) -> bool:
         if self.workload_filter is None:
@@ -195,6 +200,8 @@ def coherence_sweep(
     sharing_kwargs: Optional[Dict] = None,
     jobs: int = 1,
     progress=None,
+    corona_config: Optional[CoronaConfig] = None,
+    modules: Sequence[str] = (),
 ) -> List[CoherenceSweepPoint]:
     """Sweep the sharing fraction of a Uniform workload across configurations.
 
@@ -205,11 +212,19 @@ def coherence_sweep(
     bus or fan out as per-sharer unicasts.  ``jobs`` > 1 fans the
     (fraction, configuration) pairs over worker processes exactly like the
     evaluation matrix; results are bit-identical to the serial sweep.
+
+    ``corona_config`` re-parameterizes the architecture (the sweep traces are
+    generated at its cluster count) and ``modules`` are imported in workers
+    before configuration names resolve -- both supplied by the Scenario API
+    when a scenario carries system overrides or user registrations.
     """
     from repro.harness.parallel import run_pairs  # local: avoids module cycle
 
     coherence = coherence or CoherenceConfig()
     sharing_kwargs = dict(sharing_kwargs or {})
+    workload_kwargs = (
+        {"num_clusters": corona_config.num_clusters} if corona_config else {}
+    )
     pairs = []
     labels = []
     for fraction in fractions:
@@ -217,10 +232,14 @@ def coherence_sweep(
             name=f"Uniform s={fraction:g}",
             sharing=SharingProfile(fraction=fraction, **sharing_kwargs),
             description=f"Uniform with sharing fraction {fraction:g}",
+            **workload_kwargs,
         )
         trace = workload.generate(seed=seed, num_requests=num_requests)
         for name in configuration_names:
-            pairs.append((name, trace, workload.window, coherence))
+            pairs.append(
+                (name, trace, workload.window, coherence, corona_config,
+                 tuple(modules))
+            )
             labels.append(fraction)
 
     results = run_pairs(pairs, jobs=jobs, progress=progress)

@@ -21,11 +21,28 @@ from repro.core.results import (
 )
 
 
+def plot_configuration_order(present: Sequence[str]) -> List[str]:
+    """Column/plot order for a set of configuration names.
+
+    The paper's five come first (in :data:`CONFIGURATION_ORDER`), then any
+    user-registered scenario configurations in their given order -- shared
+    by the figure tables and the report sections so both stay in agreement.
+    """
+    return [c for c in CONFIGURATION_ORDER if c in present] + [
+        c for c in present if c not in CONFIGURATION_ORDER
+    ]
+
+
 def _ordered(
     table: Dict[str, Dict[str, float]],
     workload_order: Optional[Sequence[str]] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Re-key a results table in plot order (workloads, then configurations)."""
+    """Re-key a results table in plot order (workloads, then configurations).
+
+    Configurations outside the paper's five (user-registered scenario
+    systems) follow the builtins in their original result order rather than
+    being dropped.
+    """
     workloads = list(workload_order) if workload_order else sorted(table)
     ordered: Dict[str, Dict[str, float]] = {}
     for workload in workloads:
@@ -34,8 +51,7 @@ def _ordered(
         by_config = table[workload]
         ordered[workload] = {
             config: by_config[config]
-            for config in CONFIGURATION_ORDER
-            if config in by_config
+            for config in plot_configuration_order(list(by_config))
         }
     return ordered
 

@@ -46,15 +46,16 @@ pool and no shipping, still producing the same results.
 from __future__ import annotations
 
 import atexit
+import importlib
 import multiprocessing
 import os
 import secrets
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.coherence import CoherenceConfig
-from repro.core.configs import configuration_by_name
+from repro.core.config import CORONA_DEFAULT, CoronaConfig
 from repro.core.results import WorkloadResult
 from repro.core.system import SystemSimulator
 from repro.harness.experiments import EvaluationMatrix
@@ -73,6 +74,50 @@ def available_cpus() -> int:
         return len(os.sched_getaffinity(0)) or 1
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return os.cpu_count() or 1
+
+
+class WorkerSetupError(RuntimeError):
+    """A worker process could not set up a pair's configuration.
+
+    Raised (and re-raised in the parent *without* the worker traceback) when
+    a configuration name cannot be resolved in the worker or a scenario
+    module fails to import there -- the actionable message replaces the old
+    opaque ``KeyError`` wall from deep inside the pool.
+    """
+
+
+def _resolve_configuration(name: str, modules: Sequence[str] = ()):
+    """Resolve a configuration name inside a worker process.
+
+    ``modules`` are the scenario's user modules: under the ``fork`` start
+    method the parent's registry is inherited and they are already loaded,
+    but under ``spawn``/``forkserver`` each worker starts from a fresh
+    interpreter, so they must be re-imported before the name can resolve.
+    Failures raise :class:`WorkerSetupError` with a remediation hint.
+    """
+    for module in modules:
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            raise WorkerSetupError(
+                f"worker could not import scenario module {module!r}: {exc}. "
+                f"Registered factories must live in an importable module "
+                f"(on PYTHONPATH in the workers too), not e.g. __main__."
+            ) from None
+    from repro.api import registry  # deferred: keeps import graph acyclic
+
+    try:
+        return registry.build_configuration(name)
+    except registry.RegistryError as exc:
+        hint = (
+            " If the configuration is registered by a user module, list that "
+            "module in the scenario's 'modules' so workers can import it."
+            if not modules
+            else ""
+        )
+        raise WorkerSetupError(
+            f"worker could not resolve configuration {name!r}: {exc}.{hint}"
+        ) from None
 
 
 # ---------------------------------------------------------------------------
@@ -237,6 +282,8 @@ def _replay_pair(
     trace,
     window: int,
     coherence: Optional[CoherenceConfig] = None,
+    corona_config: Optional[CoronaConfig] = None,
+    modules: Sequence[str] = (),
 ) -> Tuple[WorkloadResult, float]:
     """Worker body: replay one (configuration, workload) pair.
 
@@ -246,11 +293,17 @@ def _replay_pair(
     the replay wall-clock seconds measured in the worker.  ``coherence`` (a
     picklable frozen dataclass) enables the timed MOESI directory in the
     worker's simulator, so coherence statistics flow through the parallel
-    path exactly as through the serial one.
+    path exactly as through the serial one; ``corona_config`` likewise ships
+    scenario system overrides.  ``configuration_name`` resolves through the
+    Scenario API registry (seeded with the five paper systems), with
+    ``modules`` imported first so user-registered configurations exist in
+    the worker too.
     """
+    configuration = _resolve_configuration(configuration_name, modules)
     trace = _resolve_trace(trace)
     simulator = SystemSimulator(
-        configuration=configuration_by_name(configuration_name),
+        configuration=configuration,
+        corona_config=corona_config or CORONA_DEFAULT,
         window_depth=window,
         coherence=coherence,
     )
@@ -279,7 +332,13 @@ def _fan_out_pairs(pairs: Iterable[tuple], jobs: int, count: int):
     with multiprocessing.Pool(processes=jobs) as pool:
         handles = [pool.apply_async(_replay_pair, pair) for pair in pairs]
         for handle in handles:
-            yield handle.get()
+            try:
+                yield handle.get()
+            except WorkerSetupError as exc:
+                # Re-raise clean: the remote traceback (pool internals plus
+                # the worker's frames) adds nothing to this actionable,
+                # already-complete message.
+                raise WorkerSetupError(str(exc)) from None
 
 
 def run_pairs(
@@ -287,13 +346,15 @@ def run_pairs(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[WorkloadResult]:
-    """Replay ``(configuration_name, trace, window, coherence)`` tuples.
+    """Replay ``(configuration_name, trace, window, coherence[,
+    corona_config, modules])`` tuples.
 
     The helper behind the coherence sweep (and usable for any ad-hoc pair
     list); see :func:`_fan_out_pairs` for the jobs semantics.  When a pool is
     used, each distinct trace is packed once and shipped through a
     :class:`TraceShipment` (shared memory first), exactly like the matrix
-    runner.
+    runner.  The optional trailing elements ship scenario system overrides
+    and worker setup modules, exactly like the matrix runner's pair stream.
     """
     effective = min(jobs if jobs and jobs > 0 else available_cpus(), len(pairs)) or 1
     shipments: Dict[int, TraceShipment] = {}
@@ -303,25 +364,23 @@ def run_pairs(
         if effective > 1:
             # Shipments are created here, before _fan_out_pairs forks the
             # pool, so the fork-registry fallback is safe (fork_ok default).
-            for configuration_name, trace, window, coherence in pairs:
+            for configuration_name, trace, *rest in pairs:
                 shipment = shipments.get(id(trace))
                 if shipment is None:
                     shipment = TraceShipment(as_packed(trace))
                     shipments[id(trace)] = shipment
-                calls.append(
-                    (configuration_name, shipment.handle, window, coherence)
-                )
+                calls.append((configuration_name, shipment.handle, *rest))
         else:
             # In-process: still pack each distinct trace exactly once, so a
             # stream replayed against K configurations is not re-packed K
             # times by SystemSimulator.run.
             packed_by_trace: Dict[int, PackedTrace] = {}
-            for configuration_name, trace, window, coherence in pairs:
+            for configuration_name, trace, *rest in pairs:
                 packed = packed_by_trace.get(id(trace))
                 if packed is None:
                     packed = as_packed(trace)
                     packed_by_trace[id(trace)] = packed
-                calls.append((configuration_name, packed, window, coherence))
+                calls.append((configuration_name, packed, *rest))
         for result, _seconds in _fan_out_pairs(calls, effective, len(calls)):
             results.append(result)
             if progress is not None:
@@ -346,11 +405,20 @@ class ParallelEvaluationRunner:
     progress:
         Optional callback receiving one line per finished pair (reported in
         serial order).
+    on_result:
+        Optional callback receiving each pair's :class:`WorkloadResult` as
+        it completes (serial order) -- the Scenario API's streaming hook.
+    setup_modules:
+        Modules every worker imports before resolving configuration names
+        (a scenario's ``modules`` list); required for user-registered
+        configurations under non-``fork`` start methods.
     """
 
     matrix: EvaluationMatrix
     jobs: int = 0
     progress: Optional[Callable[[str], None]] = None
+    on_result: Optional[Callable[[WorkloadResult], None]] = None
+    setup_modules: Tuple[str, ...] = ()
     results: List[WorkloadResult] = field(default_factory=list)
     run_seconds: Dict[tuple, float] = field(default_factory=dict)
     _traces: Dict[str, PackedTrace] = field(default_factory=dict, repr=False)
@@ -428,6 +496,10 @@ class ParallelEvaluationRunner:
                     self.matrix.coherence,
                 )
 
+    def _corona_config(self) -> Optional[CoronaConfig]:
+        """Scenario system overrides to ship to workers (None = default)."""
+        return getattr(self.matrix, "corona_config", None)
+
     def _execute(
         self, count: int, only_workload: Optional[str] = None
     ) -> List[WorkloadResult]:
@@ -436,10 +508,19 @@ class ParallelEvaluationRunner:
         stream = self._pair_stream(ship=effective > 1, only_workload=only_workload)
         submitted: List[Tuple[str, str]] = []
 
+        corona_config = self._corona_config()
+
         def calls():
             for configuration_name, workload_name, trace, window, coherence in stream:
                 submitted.append((configuration_name, workload_name))
-                yield (configuration_name, trace, window, coherence)
+                yield (
+                    configuration_name,
+                    trace,
+                    window,
+                    coherence,
+                    corona_config,
+                    self.setup_modules,
+                )
 
         produced: List[WorkloadResult] = []
         try:
@@ -456,6 +537,8 @@ class ParallelEvaluationRunner:
                 self.run_seconds[submitted[position]] = seconds
                 self.results.append(result)
                 produced.append(result)
+                if self.on_result is not None:
+                    self.on_result(result)
                 self._report(result)
         finally:
             self._close_shipments()

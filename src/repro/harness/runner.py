@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.core.config import CORONA_DEFAULT
 from repro.core.results import WorkloadResult
 from repro.core.system import SystemSimulator
 from repro.harness.experiments import EvaluationMatrix
@@ -20,10 +21,17 @@ from repro.trace.packed import PackedTrace, generate_packed_trace
 
 @dataclass
 class EvaluationRunner:
-    """Runs every (configuration, workload) pair of a matrix."""
+    """Runs every (configuration, workload) pair of a matrix.
+
+    ``on_result`` is the streaming hook of the Scenario API: it receives
+    each pair's :class:`WorkloadResult` the moment the replay finishes.
+    A matrix carrying a ``corona_config`` (scenario system overrides) has
+    every simulator built from it; ``None`` keeps the default design point.
+    """
 
     matrix: EvaluationMatrix
     progress: Optional[Callable[[str], None]] = None
+    on_result: Optional[Callable[[WorkloadResult], None]] = None
     results: List[WorkloadResult] = field(default_factory=list)
     run_seconds: Dict[tuple, float] = field(default_factory=dict)
     _traces: Dict[str, PackedTrace] = field(default_factory=dict, repr=False)
@@ -50,6 +58,8 @@ class EvaluationRunner:
         trace = self._trace_for(workload)
         simulator = SystemSimulator(
             configuration=configuration,
+            corona_config=getattr(self.matrix, "corona_config", None)
+            or CORONA_DEFAULT,
             window_depth=self._windows[workload.name],
             coherence=self.matrix.coherence,
         )
@@ -59,6 +69,8 @@ class EvaluationRunner:
             time.perf_counter() - started
         )
         self.results.append(result)
+        if self.on_result is not None:
+            self.on_result(result)
         self._report(
             f"{workload.name:<10} {configuration.name:<10} "
             f"exec={result.execution_time_s * 1e6:9.2f} us "

@@ -175,3 +175,33 @@ def format_sweep(
             f"{'yes' if point.feasible else 'NO'}"
         )
     return "\n".join(lines)
+
+
+def physical_design_sweeps_text() -> str:
+    """The three photonic-design sweeps, formatted and blank-line separated.
+
+    Single source for ``corona-repro sensitivity`` and the registered
+    ``sensitivity`` scenario experiment, so the two surfaces cannot drift.
+    """
+    return "\n\n".join(
+        [
+            format_sweep(
+                "Crossbar link-budget margin vs waveguide loss",
+                waveguide_loss_sensitivity(),
+                parameter_label="dB/cm",
+                metric_label="margin (dB)",
+            ),
+            format_sweep(
+                "Crossbar link-budget margin vs per-ring through loss",
+                ring_through_loss_sensitivity(),
+                parameter_label="dB/ring",
+                metric_label="margin (dB)",
+            ),
+            format_sweep(
+                "Crossbar laser wall-plug power vs waveguide loss",
+                required_laser_power_sensitivity(),
+                parameter_label="dB/cm",
+                metric_label="laser power (W)",
+            ),
+        ]
+    )

@@ -31,7 +31,7 @@ from array import array
 from pathlib import Path
 from typing import Union
 
-from repro.trace.packed import AnyTrace, PackedTrace, as_packed
+from repro.trace.packed import KIND_BIT, AnyTrace, PackedTrace, as_packed
 from repro.trace.record import AccessKind, TraceRecord, TraceStream
 
 _HEADER_PREFIX = "# corona-trace v1"
@@ -186,6 +186,57 @@ def write_trace_binary(trace: AnyTrace, path: Union[str, Path]) -> None:
             if not isinstance(column, array):
                 column = array(code, column)
             handle.write(_native_to_little(column).tobytes())
+
+
+def sniff_trace_format(path: Union[str, Path]) -> str:
+    """``"binary"`` or ``"text"`` by magic bytes (errors on neither)."""
+    path = Path(path)
+    with path.open("rb") as probe:
+        head = probe.read(max(len(_BINARY_MAGIC), len(_HEADER_PREFIX)))
+    if head.startswith(_BINARY_MAGIC):
+        return "binary"
+    if head.startswith(_HEADER_PREFIX.encode("ascii")):
+        return "text"
+    raise ValueError(
+        f"{path}: neither a corona-trace v1 text file nor a bin2 binary "
+        f"(starts with {head[:20]!r})"
+    )
+
+
+def read_trace_packed(path: Union[str, Path]) -> PackedTrace:
+    """Read either trace format into a :class:`PackedTrace` (the binary
+    format loads without per-record parsing)."""
+    if sniff_trace_format(path) == "binary":
+        return read_trace_binary(path)
+    return as_packed(read_trace(path))
+
+
+def trace_summary(path: Union[str, Path]) -> dict:
+    """Inspection record for ``corona-repro trace info``: format, shape and
+    first-order statistics of a trace file."""
+    path = Path(path)
+    fmt = sniff_trace_format(path)
+    packed = read_trace_packed(path)
+    total = packed.total_requests
+    writes = sum(1 for word in packed.meta if word & KIND_BIT)
+    return {
+        "path": str(path),
+        "format": fmt,
+        "name": packed.name,
+        "description": packed.description,
+        "num_clusters": packed.num_clusters,
+        "threads_per_cluster": packed.threads_per_cluster,
+        "threads_with_records": len(packed.thread_ids),
+        "records": total,
+        "reads": total - writes,
+        "writes": writes,
+        "shared_fraction": packed.shared_fraction(),
+        "mean_gap_cycles": (
+            sum(packed.gaps) / total if total else 0.0
+        ),
+        "distinct_homes": len(packed.destination_histogram()),
+        "file_bytes": path.stat().st_size,
+    }
 
 
 def read_trace_binary(path: Union[str, Path]) -> PackedTrace:

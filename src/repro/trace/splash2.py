@@ -29,8 +29,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
+from repro.coherence.sharing import (
+    SharingProfile,
+    home_for_line,
+    resolve_sharing,
+    shared_line_address,
+)
 from repro.trace.gaps import draw_gap
 from repro.trace.packed import PackedTrace, PackedTraceBuilder
 from repro.trace.record import AccessKind, TraceRecord, TraceStream
@@ -240,6 +246,47 @@ SPLASH2_PROFILES: Dict[str, Splash2Profile] = {
     ]
 }
 
+#: Calibrated per-benchmark sharing profiles for coherence-enabled replays.
+#: The SPLASH-2 characterization literature (and the suite's own
+#: documentation) describes each application's sharing style; the profiles
+#: translate those descriptions into the :class:`SharingProfile` axes:
+#: *fraction* (how much of the miss stream touches truly shared data),
+#: *zipf_s* (how concentrated the sharing is -- task queues and pivot blocks
+#: are hot, boundary exchanges are diffuse) and *write_fraction* (read-mostly
+#: scene data vs migratory accumulators).  They are **opt-in**: a stock
+#: :class:`Splash2Workload` carries no profile, so every existing trace,
+#: result and benchmark stays bit-identical.  Request them per workload with
+#: ``sharing="default"`` (or any explicit profile) -- scenario files say
+#: ``{"name": "Barnes", "sharing": "default"}``.
+SPLASH2_SHARING_PROFILES: Dict[str, SharingProfile] = {
+    # Octree cells migrate between owners as bodies move.
+    "Barnes": SharingProfile(fraction=0.25, zipf_s=0.9, write_fraction=0.20),
+    # Supernodal panels are fetched by several consumers before updates.
+    "Cholesky": SharingProfile(fraction=0.20, zipf_s=0.7, write_fraction=0.30),
+    # The transpose is all-to-all communication, but little data is touched
+    # by many clusters repeatedly: small fraction, flat popularity.
+    "FFT": SharingProfile(fraction=0.05, zipf_s=0.3, write_fraction=0.40),
+    # Interaction lists are read by neighbours, accumulated by owners.
+    "FMM": SharingProfile(fraction=0.20, zipf_s=0.8, write_fraction=0.15),
+    # Every thread chases the current pivot block after a barrier: few,
+    # very hot lines.
+    "LU": SharingProfile(
+        fraction=0.30, num_lines=256, zipf_s=1.2, write_fraction=0.25
+    ),
+    # Nearest-neighbour boundary rows: diffuse, write-carrying exchange.
+    "Ocean": SharingProfile(fraction=0.10, zipf_s=0.4, write_fraction=0.35),
+    # Distributed task queue plus shared patch radiosities: hot and mixed.
+    "Radiosity": SharingProfile(fraction=0.35, zipf_s=1.1, write_fraction=0.30),
+    # Global histogram / rank arrays, write-heavy during permutation.
+    "Radix": SharingProfile(fraction=0.15, zipf_s=0.9, write_fraction=0.50),
+    # Read-mostly scene geometry plus a hot task queue.
+    "Raytrace": SharingProfile(fraction=0.30, zipf_s=1.0, write_fraction=0.05),
+    # Read-mostly voxel/opacity maps.
+    "Volrend": SharingProfile(fraction=0.25, zipf_s=0.8, write_fraction=0.05),
+    # Small per-molecule force arrays, lightly shared.
+    "Water-Sp": SharingProfile(fraction=0.10, zipf_s=0.6, write_fraction=0.25),
+}
+
 #: Plot order used by the paper's figures.
 SPLASH2_ORDER: List[str] = [
     "Barnes",
@@ -258,20 +305,40 @@ SPLASH2_ORDER: List[str] = [
 
 @dataclass
 class Splash2Workload:
-    """A SPLASH-2 workload generator built around a calibrated profile."""
+    """A SPLASH-2 workload generator built around a calibrated profile.
+
+    ``sharing`` is **off by default** so results stay bit-identical to the
+    sharing-free models: pass ``"default"`` to adopt the benchmark's
+    calibrated :data:`SPLASH2_SHARING_PROFILES` entry, or any explicit
+    :class:`~repro.coherence.sharing.SharingProfile`.  ``label`` renames the
+    workload in traces and reports (scenario sweeps replaying one benchmark
+    under several profiles need distinct names).
+    """
 
     profile: Splash2Profile
     num_clusters: int = 64
     threads_per_cluster: int = 16
     num_requests: Optional[int] = None
+    sharing: Optional[Union[str, SharingProfile]] = None
+    label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_requests is None:
             self.num_requests = self.profile.paper_requests
 
+        def benchmark_default() -> SharingProfile:
+            profile = SPLASH2_SHARING_PROFILES.get(self.profile.name)
+            if profile is None:
+                from repro.coherence.sharing import default_sharing_profile
+
+                profile = default_sharing_profile()
+            return profile
+
+        self.sharing = resolve_sharing(self.sharing, benchmark_default)
+
     @property
     def name(self) -> str:
-        return self.profile.name
+        return self.label or self.profile.name
 
     @property
     def window(self) -> int:
@@ -304,11 +371,14 @@ class Splash2Workload:
 
     def _emit_records(self, emit, seed: int, total: int) -> None:
         """Drive the generation loop, calling
-        ``emit(thread_id, cluster, home, is_write, address, gap)`` per miss.
+        ``emit(thread_id, cluster, home, is_write, address, gap, shared)``
+        per miss.
 
         Shared by :meth:`generate` and :meth:`generate_packed`; the rng draw
-        sequence depends only on the profile and ``seed``, so both
-        representations carry field-identical records.
+        sequence depends only on the profile, the sharing profile and
+        ``seed``, so both representations carry field-identical records.
+        With no sharing profile the draw sequence is exactly the historical
+        one, keeping sharing-free traces bit-identical.
         """
         profile = self.profile
         if total < 1:
@@ -319,6 +389,8 @@ class Splash2Workload:
         # Stagger thread starts: the trace window opens mid-execution, so the
         # threads should not all fire their first miss at t = 0.
         stagger_cycles = 8.0 * profile.mean_gap_cycles
+        sharing = self.sharing if self.sharing and self.sharing.enabled else None
+        shared_cumulative = sharing.cumulative_weights() if sharing else None
         line_counter = 0
         for thread_id in range(total_threads):
             cluster = thread_id // self.threads_per_cluster
@@ -340,11 +412,21 @@ class Splash2Workload:
                 gap = draw_gap(rng, mean_gap)
                 if miss_index == 0 and stagger_cycles > 0:
                     gap += rng.uniform(0.0, stagger_cycles)
+                if sharing is not None and rng.random() < sharing.fraction:
+                    # Shared miss: target the benchmark's shared-line pool
+                    # (dedicated address region, own write mix) exactly like
+                    # the synthetic generators do.
+                    line = sharing.draw_line(rng, shared_cumulative)
+                    home = home_for_line(line, self.num_clusters)
+                    address = shared_line_address(line, self.num_clusters)
+                    is_write = rng.random() < sharing.write_fraction
+                    emit(thread_id, cluster, home, is_write, address, gap, True)
+                    continue
                 is_write = rng.random() < profile.write_fraction
                 home = self._destination(cluster, rng, in_burst, burst_home)
                 address = (home << 26) | ((line_counter & 0xFFFFF) << 6)
                 line_counter += 1
-                emit(thread_id, cluster, home, is_write, address, gap)
+                emit(thread_id, cluster, home, is_write, address, gap, False)
 
     def generate(
         self, seed: int = 1, num_requests: Optional[int] = None
@@ -356,14 +438,14 @@ class Splash2Workload:
         """
         total = num_requests if num_requests is not None else self.num_requests
         stream = TraceStream(
-            name=self.profile.name,
+            name=self.name,
             num_clusters=self.num_clusters,
             threads_per_cluster=self.threads_per_cluster,
             description=self._description(),
         )
         add = stream.add
 
-        def emit(thread_id, cluster, home, is_write, address, gap):
+        def emit(thread_id, cluster, home, is_write, address, gap, shared):
             add(
                 TraceRecord(
                     thread_id=thread_id,
@@ -372,6 +454,7 @@ class Splash2Workload:
                     kind=AccessKind.WRITE if is_write else AccessKind.READ,
                     address=address,
                     gap_cycles=gap,
+                    shared=shared,
                 )
             )
 
@@ -385,15 +468,15 @@ class Splash2Workload:
         (field-identical to :meth:`generate`, no per-record objects)."""
         total = num_requests if num_requests is not None else self.num_requests
         builder = PackedTraceBuilder(
-            name=self.profile.name,
+            name=self.name,
             num_clusters=self.num_clusters,
             threads_per_cluster=self.threads_per_cluster,
             description=self._description(),
         )
         append = builder.append
 
-        def emit(thread_id, _cluster, home, is_write, address, gap):
-            append(thread_id, home, is_write, False, address, gap)
+        def emit(thread_id, _cluster, home, is_write, address, gap, shared):
+            append(thread_id, home, is_write, shared, address, gap)
 
         self._emit_records(emit, seed, total)
         return builder.build()

@@ -37,11 +37,13 @@ import enum
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.coherence.sharing import (
     SharingProfile,
+    default_sharing_profile,
     home_for_line,
+    resolve_sharing,
     shared_line_address,
 )
 from repro.trace.gaps import draw_gap
@@ -158,10 +160,11 @@ class SyntheticWorkload:
     write_fraction: float = 0.3
     window: int = 8
     hot_cluster: int = 0
-    sharing: Optional[SharingProfile] = None
+    sharing: Optional[Union[str, SharingProfile]] = None
     description: str = ""
 
     def __post_init__(self) -> None:
+        self.sharing = resolve_sharing(self.sharing, default_sharing_profile)
         if self.num_requests < 1:
             raise ValueError(
                 f"request count must be >= 1, got {self.num_requests}"
@@ -378,6 +381,28 @@ def neighbor_workload(**overrides) -> SyntheticWorkload:
     return SyntheticWorkload(**params)
 
 
+#: Factory per pattern, for name-based construction (the Scenario API's
+#: workload registry seeds itself from this table).
+_PATTERN_FACTORIES: Dict[SyntheticPattern, "object"] = {}
+
+
+def synthetic_workload(pattern: str, **overrides) -> SyntheticWorkload:
+    """Build a synthetic workload by pattern name (e.g. ``"uniform"``).
+
+    ``pattern`` accepts the :class:`SyntheticPattern` values; ``overrides``
+    are :class:`SyntheticWorkload` fields (``mean_gap_cycles``, ``sharing``,
+    ``name``...).
+    """
+    try:
+        key = SyntheticPattern(pattern.lower().replace(" ", "_"))
+    except ValueError:
+        known = [p.value for p in SyntheticPattern]
+        raise ValueError(
+            f"unknown synthetic pattern {pattern!r}; known: {known}"
+        ) from None
+    return _PATTERN_FACTORIES[key](**overrides)
+
+
 def synthetic_workloads(**overrides) -> List[SyntheticWorkload]:
     """All synthetic workloads: the paper's four (in its plot order)
     followed by the Bit Reversal and Neighbor extensions."""
@@ -389,3 +414,15 @@ def synthetic_workloads(**overrides) -> List[SyntheticWorkload]:
         bit_reversal_workload(**overrides),
         neighbor_workload(**overrides),
     ]
+
+
+_PATTERN_FACTORIES.update(
+    {
+        SyntheticPattern.UNIFORM: uniform_workload,
+        SyntheticPattern.HOT_SPOT: hot_spot_workload,
+        SyntheticPattern.TORNADO: tornado_workload,
+        SyntheticPattern.TRANSPOSE: transpose_workload,
+        SyntheticPattern.BIT_REVERSAL: bit_reversal_workload,
+        SyntheticPattern.NEIGHBOR: neighbor_workload,
+    }
+)

@@ -40,6 +40,15 @@ class TestExampleSmoke:
         assert "Corona quickstart" in result.stdout
         assert "speedup over LMesh/ECM" in result.stdout
 
+    def test_custom_scenario_runs_end_to_end(self):
+        result = _run_example("custom_scenario.py", "1500")
+        assert result.returncode == 0, result.stderr
+        # The user-registered configuration and workload (absent from the
+        # built-in tables) must both appear in the streamed results.
+        assert "XBar/ECM" in result.stdout
+        assert "Shuffle" in result.stdout
+        assert "crossbar alone buys" in result.stdout
+
     def test_coherence_broadcast_runs_end_to_end(self):
         result = _run_example("coherence_broadcast.py")
         assert result.returncode == 0, result.stderr

@@ -234,3 +234,104 @@ class TestCli:
     def test_simulate_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["simulate", "NotAWorkload"])
+
+
+class TestScenarioCli:
+    """The Scenario API subcommands: run / scenario init|validate|list /
+    trace info|convert."""
+
+    def _init_small_scenario(self, tmp_path, capsys):
+        """init a one-pair template and shrink it for test speed."""
+        import json
+
+        path = tmp_path / "scenario.json"
+        assert main([
+            "scenario", "init", str(path),
+            "--configurations", "XBar/OCM",
+            "--workloads", "Uniform",
+        ]) == 0
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        data["scale"]["synthetic_requests"] = 500
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_init_validate_run_flow(self, tmp_path, capsys):
+        path = self._init_small_scenario(tmp_path, capsys)
+        assert main(["scenario", "validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert main(["run", str(path)]) == 0
+        assert "# Corona reproduction report" in capsys.readouterr().out
+
+    def test_run_writes_derived_sinks(self, tmp_path, capsys):
+        path = self._init_small_scenario(tmp_path, capsys)
+        report = tmp_path / "report.md"
+        assert main(["run", str(path), "--output", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "report written to" in out
+        assert report.exists()
+        assert report.with_suffix(".results.json").exists()
+        assert report.with_suffix(".results.csv").exists()
+
+    def test_init_rejects_unknown_configuration(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown configuration"):
+            main([
+                "scenario", "init", str(tmp_path / "s.json"),
+                "--configurations", "Bogus/XYZ",
+            ])
+        assert not (tmp_path / "s.json").exists()
+
+    def test_init_refuses_overwrite(self, tmp_path, capsys):
+        path = self._init_small_scenario(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="--force"):
+            main(["scenario", "init", str(path)])
+        assert main(["scenario", "init", str(path), "--force",
+                     "--workloads", "Neighbor"]) == 0
+
+    def test_validate_reports_bad_field(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"scale": {"tier": "warp"}}')
+        with pytest.raises(SystemExit, match="scale.tier"):
+            main(["scenario", "validate", str(path)])
+
+    def test_run_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", str(tmp_path / "nope.json")])
+
+    def test_scenario_list_shows_registries(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("XBar/OCM", "Uniform", "Water-Sp", "coherence-sweep"):
+            assert expected in out
+
+    def test_trace_info_and_convert(self, tmp_path, capsys):
+        from repro.trace.io import read_trace_binary, write_trace
+        from repro.trace.synthetic import uniform_workload
+
+        text_path = tmp_path / "uni.trace"
+        write_trace(
+            uniform_workload().generate(seed=1, num_requests=600), text_path
+        )
+        assert main(["trace", "info", str(text_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "600" in out
+
+        binary_path = tmp_path / "uni.bin"
+        assert main([
+            "trace", "convert", str(text_path), str(binary_path),
+        ]) == 0
+        capsys.readouterr()
+        assert read_trace_binary(binary_path).total_requests == 600
+
+        # auto direction: binary input converts back to text.
+        round_trip = tmp_path / "round.trace"
+        assert main([
+            "trace", "convert", str(binary_path), str(round_trip),
+        ]) == 0
+        assert round_trip.read_text() == text_path.read_text()
+
+    def test_trace_info_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"not a trace at all")
+        with pytest.raises(SystemExit, match="neither"):
+            main(["trace", "info", str(path)])
