@@ -37,15 +37,18 @@ or, file-driven (the CLI's ``corona-repro run scenario.json``)::
 from repro.api.registry import (
     CONFIGURATIONS,
     EXPERIMENTS,
+    SWEEPS,
     WORKLOADS,
     Registry,
     RegistryCollisionError,
     RegistryError,
     UnknownEntryError,
     build_configuration,
+    build_sweep,
     build_workload,
     register_configuration,
     register_experiment,
+    register_sweep,
     register_workload,
 )
 from repro.api.run import (
@@ -73,6 +76,7 @@ __all__ = [
     "CONFIGURATIONS",
     "WORKLOADS",
     "EXPERIMENTS",
+    "SWEEPS",
     "Registry",
     "RegistryError",
     "RegistryCollisionError",
@@ -80,8 +84,10 @@ __all__ = [
     "register_configuration",
     "register_workload",
     "register_experiment",
+    "register_sweep",
     "build_configuration",
     "build_workload",
+    "build_sweep",
     # scenario spec
     "Scenario",
     "ScenarioError",

@@ -1,15 +1,21 @@
 """Name -> factory registries behind the Scenario API.
 
-Three tables make everything the harness can run addressable by name:
+Four tables make everything the harness can run addressable by name:
 
 * **configurations** -- ``name -> () -> SystemConfiguration``.  Seeded with
   the paper's five systems (:mod:`repro.core.configs`).
 * **workloads** -- ``name -> (**params) -> workload``.  Seeded with the six
   synthetic patterns and the eleven SPLASH-2 models, in the paper's plot
-  order (which is also the evaluation matrix's iteration order).
+  order (which is also the evaluation matrix's iteration order), plus the
+  *explicit-only* ``trace-file`` wrapper for on-disk traces (explicit-only
+  entries require parameters, so an empty ``workloads`` list -- "run every
+  registered workload" -- skips them; see :meth:`Registry.default_names`).
 * **experiments** -- ``name -> (context, **params) -> markdown section``.
   Seeded in :mod:`repro.api.run` with the coherence sharing-fraction sweep
   and the photonic sensitivity study.
+* **sweeps** -- ``name -> (**params) -> SweepSpec``.  Seeded in
+  :mod:`repro.sweeps.library` (importing :mod:`repro.sweeps` registers the
+  stock specs) with the coherence and sensitivity grids.
 
 User modules extend any table without touching repro source::
 
@@ -63,18 +69,23 @@ class Registry:
     def __init__(self, kind: str) -> None:
         self.kind = kind
         self._entries: Dict[str, Callable] = {}
+        self._explicit_only: set = set()
 
     def register(
         self,
         name: Optional[str] = None,
         *,
         replace: bool = False,
+        explicit_only: bool = False,
     ) -> Callable:
         """Decorator registering a factory under ``name``.
 
         With no ``name`` the factory's ``__name__`` is used.  Registering an
         existing name raises :class:`RegistryCollisionError` unless
-        ``replace=True``.
+        ``replace=True``.  ``explicit_only`` entries need parameters to
+        build (e.g. the ``trace-file`` workload needs a path), so they are
+        excluded from :meth:`default_names` -- the expansion used when a
+        scenario asks for *every* registered entry.
         """
 
         def decorator(factory: Callable) -> Callable:
@@ -90,6 +101,10 @@ class Registry:
                     f"replace=True to shadow it"
                 )
             self._entries[key] = factory
+            if explicit_only:
+                self._explicit_only.add(key)
+            else:
+                self._explicit_only.discard(key)
             return factory
 
         return decorator
@@ -103,13 +118,22 @@ class Registry:
                 f"unknown {self.kind} {name!r}; registered: {self.names()}"
             ) from None
 
-    def build(self, name: str, **params):
-        """Call the factory registered under ``name``."""
+    def build(self, name: str, /, **params):
+        """Call the factory registered under ``name``.
+
+        ``name`` is positional-only so ``params`` may itself carry a
+        ``name`` key (the documented rename for synthetic workloads).
+        """
         return self.get(name)(**params)
 
     def names(self) -> List[str]:
         """Registered names in registration (= paper plot) order."""
         return list(self._entries)
+
+    def default_names(self) -> List[str]:
+        """Names eligible for "every registered entry" expansion: the
+        registration order minus explicit-only entries."""
+        return [name for name in self._entries if name not in self._explicit_only]
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -118,10 +142,11 @@ class Registry:
         return len(self._entries)
 
 
-#: The three public tables.
+#: The four public tables.
 CONFIGURATIONS = Registry("configuration")
 WORKLOADS = Registry("workload")
 EXPERIMENTS = Registry("experiment")
+SWEEPS = Registry("sweep")
 
 
 def register_configuration(name: Optional[str] = None, *, replace: bool = False):
@@ -129,19 +154,49 @@ def register_configuration(name: Optional[str] = None, *, replace: bool = False)
     return CONFIGURATIONS.register(name, replace=replace)
 
 
-def register_workload(name: Optional[str] = None, *, replace: bool = False):
+def register_workload(
+    name: Optional[str] = None,
+    *,
+    replace: bool = False,
+    explicit_only: bool = False,
+):
     """Register a ``(**params) -> workload`` factory by name.
 
     The built object must offer ``generate(seed, num_requests)`` (and
     ideally ``generate_packed``), a ``name`` and a ``window`` -- the same
     protocol the stock synthetic and SPLASH-2 workloads implement.
+    ``explicit_only`` entries (parameter-requiring wrappers like
+    ``trace-file``) are skipped when a scenario's empty ``workloads`` list
+    expands to every registered workload.
     """
-    return WORKLOADS.register(name, replace=replace)
+    return WORKLOADS.register(name, replace=replace, explicit_only=explicit_only)
 
 
 def register_experiment(name: Optional[str] = None, *, replace: bool = False):
     """Register a ``(context, **params) -> markdown`` experiment factory."""
     return EXPERIMENTS.register(name, replace=replace)
+
+
+def register_sweep(name: Optional[str] = None, *, replace: bool = False):
+    """Register a ``(**params) -> SweepSpec`` factory by name.
+
+    Registered sweeps are runnable by name through ``corona-repro sweep
+    run <name>`` and :func:`repro.sweeps.build_registered_sweep`.
+    """
+    return SWEEPS.register(name, replace=replace)
+
+
+def build_sweep(name: str, **params):
+    """Build the sweep spec registered under ``name`` with ``params``."""
+    spec = SWEEPS.build(name, **params)
+    from repro.sweeps.spec import SweepSpec  # deferred: sweeps imports api
+
+    if not isinstance(spec, SweepSpec):
+        raise RegistryError(
+            f"sweep factory {name!r} returned {type(spec).__name__}, "
+            f"expected SweepSpec"
+        )
+    return spec
 
 
 def build_configuration(name: str) -> SystemConfiguration:
@@ -155,8 +210,10 @@ def build_configuration(name: str) -> SystemConfiguration:
     return configuration
 
 
-def build_workload(name: str, **params):
-    """Build the workload registered under ``name`` with ``params``."""
+def build_workload(name: str, /, **params):
+    """Build the workload registered under ``name`` with ``params``
+    (which may include a ``name`` rename -- the registry key is
+    positional-only)."""
     return WORKLOADS.build(name, **params)
 
 
@@ -188,6 +245,12 @@ def _seed() -> None:
         WORKLOADS.register(benchmark)(
             lambda _b=benchmark, **params: splash2_workload(_b, **params)
         )
+
+    from repro.trace.file import trace_file_workload
+
+    # Explicit-only: building it needs a path, so "run every registered
+    # workload" must not trip over it.
+    WORKLOADS.register("trace-file", explicit_only=True)(trace_file_workload)
 
 
 _seed()

@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.api import registry
-from repro.api.scenario import Scenario, ScenarioError, WorkloadSpec
+from repro.api.scenario import OutputSpec, Scenario, ScenarioError, WorkloadSpec
 from repro.core.config import CoronaConfig
 from repro.core.results import (
     RESULT_CSV_COLUMNS,
@@ -65,7 +65,7 @@ class ScenarioMatrix:
             for index, name in enumerate(self.configuration_names)
         ]
         specs = list(scenario.workloads) or [
-            WorkloadSpec(name=name) for name in registry.WORKLOADS.names()
+            WorkloadSpec(name=name) for name in registry.WORKLOADS.default_names()
         ]
         self._workloads = [
             self._build_workload(index, spec) for index, spec in enumerate(specs)
@@ -158,6 +158,11 @@ class ScenarioMatrix:
         spec = self._spec_by_name.get(workload.name)
         if spec is not None and spec.num_requests is not None:
             return spec.num_requests
+        fixed = getattr(workload, "fixed_requests", None)
+        if fixed is not None:
+            # Trace-file workloads replay their whole file by default; the
+            # scale tier cannot grow or shrink fixed on-disk data.
+            return fixed
         if getattr(workload, "is_synthetic", False):
             return self.scale.synthetic_requests
         profile = getattr(workload, "profile", None)
@@ -165,6 +170,12 @@ class ScenarioMatrix:
         if paper_requests is not None:
             return self.scale.splash_requests(paper_requests)
         return self.scale.synthetic_requests
+
+    def workload_spec(self, workload_name: str) -> Optional[WorkloadSpec]:
+        """The spec an effective workload name was built from (None for
+        names outside this matrix) -- the sweep engine keys its cross-point
+        trace cache on the spec's canonical dict form."""
+        return self._spec_by_name.get(workload_name)
 
     def run_count(self) -> int:
         return len(self._configurations) * len(self._workloads)
@@ -178,13 +189,20 @@ def build_matrix(scenario: Scenario) -> ScenarioMatrix:
 
 @dataclass
 class ExperimentContext:
-    """What a registered experiment factory gets to work with."""
+    """What a registered experiment factory gets to work with.
+
+    ``written`` is shared with the enclosing :class:`ScenarioResult`:
+    experiments that emit structured sinks (JSON/CSV files of their own, the
+    sweep-backed ones do) record the paths here so they surface in the CLI's
+    "written to" summary alongside the scenario's sinks.
+    """
 
     scenario: Scenario
     matrix: ScenarioMatrix
     results: List[WorkloadResult]
     jobs: int = 1
     progress: Optional[Callable[[str], None]] = None
+    written: Dict[str, Path] = field(default_factory=dict)
 
     @property
     def scale(self) -> ExperimentScale:
@@ -307,6 +325,7 @@ def run(
         results=result.results,
         jobs=effective_jobs,
         progress=progress,
+        written=result.written,
     )
     for index, spec in enumerate(scenario.experiments):
         try:
@@ -333,19 +352,27 @@ def _coherence_sweep_experiment(
     configurations: Optional[Sequence[str]] = None,
     num_requests: Optional[int] = None,
     sharing: Optional[Dict[str, object]] = None,
+    json: Optional[str] = None,
+    csv: Optional[str] = None,
 ):
     """The sharing-fraction sweep (photonic vs electrical coherence cost).
 
     Defaults mirror ``evaluate --coherence``: the LMesh/ECM / HMesh/ECM /
     XBar/OCM trio restricted to the scenario's configurations, at the
-    scenario scale's synthetic request count and seed.
+    scenario scale's synthetic request count and seed.  Re-expressed as a
+    declarative sweep spec (:func:`repro.sweeps.coherence_sweep_spec`) and
+    executed by the sweep engine -- the numbers are exactly the legacy
+    :func:`~repro.harness.experiments.coherence_sweep` numbers
+    (equivalence-tested), and ``json``/``csv`` params additionally emit the
+    long-form per-point records the report section cannot carry.
     """
     from repro.harness.experiments import (
         COHERENCE_SWEEP_CONFIGURATIONS,
         COHERENCE_SWEEP_FRACTIONS,
-        coherence_sweep,
+        CoherenceSweepPoint,
         coherence_sweep_report,
     )
+    from repro.sweeps import coherence_sweep_spec, run_sweep
 
     names = configurations
     if names is None:
@@ -354,31 +381,80 @@ def _coherence_sweep_experiment(
             for name in COHERENCE_SWEEP_CONFIGURATIONS
             if name in context.matrix.configuration_names
         ] or list(context.matrix.configuration_names)
-    points = coherence_sweep(
-        fractions=(
-            tuple(fractions) if fractions else COHERENCE_SWEEP_FRACTIONS
-        ),
-        configuration_names=names,
+    fractions = tuple(fractions) if fractions else COHERENCE_SWEEP_FRACTIONS
+    spec = coherence_sweep_spec(
+        fractions=fractions,
+        configurations=names,
         num_requests=num_requests or context.scale.synthetic_requests,
         seed=context.scale.seed,
         coherence=context.scenario.coherence,
         sharing_kwargs=sharing,
-        jobs=context.jobs,
-        progress=context.progress,
         # System overrides and user registrations apply to the sweep exactly
         # as to the matrix (same architecture, worker-importable modules).
-        corona_config=context.matrix.corona_config,
+        overrides=context.scenario.system.overrides,
         modules=context.scenario.modules,
+        output=OutputSpec(json=json, csv=csv),
     )
+    outcome = run_sweep(spec, jobs=context.jobs, progress=context.progress)
+    for kind, path in outcome.written.items():
+        context.written[f"coherence-sweep-{kind}"] = path
+    points = [
+        CoherenceSweepPoint(
+            sharing_fraction=fraction,
+            results=tuple(
+                record.result
+                for record in outcome.records
+                if record.axis_values["fraction"] == fraction
+            ),
+        )
+        for fraction in fractions
+    ]
     return coherence_sweep_report(points)
 
 
 @registry.register_experiment("sensitivity")
-def _sensitivity_experiment(context: ExperimentContext):
-    """The photonic-design sensitivity sweeps as a report section."""
-    from repro.harness.sensitivity import physical_design_sweeps_text
+def _sensitivity_experiment(
+    context: ExperimentContext,
+    json: Optional[str] = None,
+    csv: Optional[str] = None,
+):
+    """The photonic-design sensitivity sweeps as a report section.
 
-    del context  # the sweeps are design-level, not results-level
+    ``json``/``csv`` params additionally write the sweep points as
+    structured records (one row per swept parameter value) -- the machine
+    channel for the numbers the text tables render.
+    """
+    import csv as csv_module
+    import json as json_module
+
+    from repro.harness.sensitivity import (
+        physical_design_sweep_records,
+        physical_design_sweeps_text,
+    )
+
+    if json or csv:
+        records = physical_design_sweep_records()
+        if json:
+            path = _write_path(json)
+            path.write_text(
+                json_module.dumps(
+                    {"format": "corona-sensitivity/1", "records": records},
+                    indent=2,
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+            context.written["sensitivity-json"] = path
+        if csv:
+            path = _write_path(csv)
+            with path.open("w", encoding="utf-8", newline="") as handle:
+                writer = csv_module.writer(handle)
+                columns = list(records[0])
+                writer.writerow(columns)
+                writer.writerows(
+                    [record[column] for column in columns] for record in records
+                )
+            context.written["sensitivity-csv"] = path
     return (
         "## Photonic design sensitivity\n\n```\n"
         + physical_design_sweeps_text()

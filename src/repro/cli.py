@@ -9,6 +9,11 @@ Installed as ``corona-repro`` (see ``pyproject.toml``).  Subcommands:
     ``init`` (write a template scenario file), ``validate`` (parse + check
     names against the registries) and ``list`` (show every registered
     configuration, workload and experiment).
+``sweep``
+    ``run`` (execute a sweep spec file or a registered sweep by name, with
+    ``--directory`` checkpointing and resume), ``expand`` (preview the grid
+    points a spec expands to) and ``status`` (progress of a sweep
+    directory).
 ``trace``
     ``info`` (inspect a trace file, either format) and ``convert``
     (text <-> packed binary, the on-disk import hook for externally
@@ -180,7 +185,7 @@ def _evaluate_workload_names(args: argparse.Namespace) -> List[str]:
     """The matrix's workload names after --skip-splash/--workloads."""
     names = [
         name
-        for name in WORKLOADS.names()
+        for name in WORKLOADS.default_names()
         if not (args.skip_splash and name in SPLASH2_ORDER)
     ]
     if args.workloads:
@@ -303,7 +308,8 @@ def _template_scenario(args: argparse.Namespace) -> Scenario:
             )
     configurations = tuple(args.configurations or CONFIGURATION_ORDER)
     workload_names = [
-        _workload_name(name) for name in (args.workloads or WORKLOADS.names())
+        _workload_name(name)
+        for name in (args.workloads or WORKLOADS.default_names())
     ]
     return Scenario(
         name="example",
@@ -359,6 +365,9 @@ def _cmd_scenario_validate(args: argparse.Namespace) -> int:
 def _cmd_scenario_list(args: argparse.Namespace) -> int:
     import importlib
 
+    from repro.api import SWEEPS
+
+    importlib.import_module("repro.sweeps")  # registers the stock sweeps
     for module in args.modules or []:
         try:
             importlib.import_module(module)
@@ -368,6 +377,7 @@ def _cmd_scenario_list(args: argparse.Namespace) -> int:
         ("configurations", CONFIGURATIONS),
         ("workloads", WORKLOADS),
         ("experiments", EXPERIMENTS),
+        ("sweeps", SWEEPS),
     ]
     for title, registry_table in sections:
         print(f"{title} ({len(registry_table)}):")
@@ -376,6 +386,109 @@ def _cmd_scenario_list(args: argparse.Namespace) -> int:
             summary = doc.splitlines()[0] if doc else ""
             print(f"  {name:<14} {summary}".rstrip())
         print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Sweep commands: run / expand / status
+# ---------------------------------------------------------------------------
+
+def _load_sweep_argument(spec_argument: str):
+    """A sweep spec from a JSON file path or a registered sweep name.
+
+    Parse/validation failures exit with the clean field-path message (like
+    every other subcommand), never a raw traceback.
+    """
+    from pathlib import Path
+
+    from repro import sweeps
+
+    try:
+        if Path(spec_argument).exists():
+            return sweeps.load_sweep(spec_argument)
+        if spec_argument in sweeps.SWEEPS:
+            return sweeps.build_registered_sweep(spec_argument)
+    except ScenarioError as exc:  # SweepError subclasses ScenarioError
+        raise SystemExit(_scenario_error_message(spec_argument, exc)) from None
+    raise SystemExit(
+        f"{spec_argument!r} is neither a sweep spec file nor a registered "
+        f"sweep; registered: {sweeps.SWEEPS.names()} (write a spec with the "
+        f"README's \"Parameter sweeps\" snippet)"
+    )
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.sweeps import run_sweep
+
+    spec = _load_sweep_argument(args.spec)
+    try:
+        outcome = run_sweep(
+            spec,
+            directory=args.directory,
+            jobs=args.jobs,
+            progress=print if args.verbose else None,
+            resume=not args.fresh,
+        )
+    except ScenarioError as exc:  # SweepError subclasses ScenarioError
+        raise SystemExit(str(exc)) from None
+    except WorkerSetupError as exc:
+        raise SystemExit(str(exc)) from None
+    if outcome.skipped_point_ids:
+        print(
+            f"resumed: {len(outcome.skipped_point_ids)} completed points "
+            f"skipped, {len(outcome.executed_point_ids)} executed"
+        )
+    print(
+        f"sweep '{spec.name}': {len(outcome.records)} records from "
+        f"{len(outcome.points)} points "
+        f"({outcome.wall_clock_seconds:.1f} s wall clock)"
+    )
+    for kind, path in sorted(outcome.written.items()):
+        print(f"{kind} written to {path}")
+    return 0
+
+
+def _cmd_sweep_expand(args: argparse.Namespace) -> int:
+    from repro.sweeps import expand
+
+    spec = _load_sweep_argument(args.spec)
+    try:
+        points = expand(spec)
+    except ScenarioError as exc:
+        raise SystemExit(str(exc)) from None
+    axis_names = [axis.name for axis in spec.axes]
+    print(
+        f"sweep '{spec.name}': {len(points)} points over "
+        f"axes {axis_names}"
+    )
+    for point in points:
+        values = ", ".join(
+            f"{name}={value!r}" for name, value in point.axis_values.items()
+        )
+        workload_count = len(point.scenario.workloads) or len(
+            WORKLOADS.default_names()
+        )
+        pairs = len(point.scenario.system.configurations) * workload_count
+        print(f"  {point.point_id}  [{values}]  ({pairs} pairs)")
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from repro.sweeps import sweep_status
+
+    try:
+        status = sweep_status(args.directory)
+    except ScenarioError as exc:
+        raise SystemExit(str(exc)) from None
+    state = "complete" if status.complete else "in progress"
+    print(
+        f"sweep '{status.name}': {len(status.completed_ids)}/{status.total} "
+        f"points complete ({state})"
+    )
+    for point_id in status.completed_ids:
+        print(f"  done     {point_id}")
+    for point_id in status.pending_ids:
+        print(f"  pending  {point_id}")
     return 0
 
 
@@ -516,6 +629,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="import these modules first (to include their registrations)",
     )
     list_p.set_defaults(handler=_cmd_scenario_list)
+
+    sweep_p = subparsers.add_parser(
+        "sweep",
+        help="run, preview and track declarative parameter sweeps",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "sweep specs:\n"
+            "  A sweep spec (corona-sweep/1 JSON) is a base scenario plus\n"
+            "  named axes, each writing a list of values into one field\n"
+            "  path (e.g. \"workloads[0].params.mean_gap_cycles\" or\n"
+            "  \"system.configurations\").  Axes cross as a cartesian\n"
+            "  product; an axis with \"zip\" advances in lockstep with the\n"
+            "  named axis.  `sweep run SPEC --directory OUT` checkpoints\n"
+            "  each completed point to OUT/points.jsonl; re-running the\n"
+            "  same spec on the same directory resumes, skipping completed\n"
+            "  points.  SPEC is a file path or a registered sweep name\n"
+            "  (`corona-repro scenario list` shows those).  Results land as\n"
+            "  long-form records -- point id + axis values + every result\n"
+            "  field -- in OUT/results.json and OUT/results.csv."
+        ),
+    )
+    sweep_sub = sweep_p.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run_p = sweep_sub.add_parser(
+        "run", help="execute a sweep spec (file or registered name)"
+    )
+    sweep_run_p.add_argument(
+        "spec", help="sweep spec JSON file, or a registered sweep name"
+    )
+    sweep_run_p.add_argument(
+        "--directory",
+        help="checkpoint/resume directory (also receives default sinks)",
+    )
+    sweep_run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="override the spec's worker count (1 = serial, 0 = all CPUs)",
+    )
+    sweep_run_p.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard any previous checkpoints instead of resuming",
+    )
+    sweep_run_p.add_argument("--verbose", action="store_true")
+    sweep_run_p.set_defaults(handler=_cmd_sweep_run)
+
+    sweep_expand_p = sweep_sub.add_parser(
+        "expand", help="print the grid points a sweep spec expands to"
+    )
+    sweep_expand_p.add_argument(
+        "spec", help="sweep spec JSON file, or a registered sweep name"
+    )
+    sweep_expand_p.set_defaults(handler=_cmd_sweep_expand)
+
+    sweep_status_p = sweep_sub.add_parser(
+        "status", help="report a sweep directory's completed/pending points"
+    )
+    sweep_status_p.add_argument("directory")
+    sweep_status_p.set_defaults(handler=_cmd_sweep_status)
 
     trace_p = subparsers.add_parser(
         "trace", help="inspect and convert trace files"

@@ -117,6 +117,30 @@ def results_to_csv_rows(
     ]
 
 
+def long_form_columns(axis_names: Sequence[str]) -> List[str]:
+    """CSV header of a long-form sweep sink: the point id, one ``axis.<name>``
+    column per sweep axis (prefixed so axis names can never collide with
+    result fields), then every stored :class:`WorkloadResult` field."""
+    return [
+        "point_id",
+        *(f"axis.{name}" for name in axis_names),
+        *RESULT_CSV_COLUMNS,
+    ]
+
+
+def long_form_row(
+    point_id: str,
+    axis_values: Sequence[object],
+    result: WorkloadResult,
+) -> List[object]:
+    """One long-form sweep row matching :func:`long_form_columns`."""
+    return [
+        point_id,
+        *axis_values,
+        *(getattr(result, column) for column in RESULT_CSV_COLUMNS),
+    ]
+
+
 @dataclass
 class ConfigurationResult:
     """All workload results for one system configuration."""

@@ -148,6 +148,11 @@ class EvaluationMatrix:
 
     def requests_for(self, workload) -> int:
         """Scaled request count for one workload."""
+        fixed = getattr(workload, "fixed_requests", None)
+        if fixed is not None:
+            # Trace-file workloads carry their own record count; the scale
+            # tier cannot grow or shrink fixed on-disk data.
+            return fixed
         if getattr(workload, "is_synthetic", False):
             return self.scale.synthetic_requests
         return self.scale.splash_requests(workload.profile.paper_requests)

@@ -345,16 +345,21 @@ def run_pairs(
     pairs: List[tuple],
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    on_result: Optional[Callable[[WorkloadResult], None]] = None,
 ) -> List[WorkloadResult]:
     """Replay ``(configuration_name, trace, window, coherence[,
     corona_config, modules])`` tuples.
 
-    The helper behind the coherence sweep (and usable for any ad-hoc pair
-    list); see :func:`_fan_out_pairs` for the jobs semantics.  When a pool is
-    used, each distinct trace is packed once and shipped through a
-    :class:`TraceShipment` (shared memory first), exactly like the matrix
-    runner.  The optional trailing elements ship scenario system overrides
-    and worker setup modules, exactly like the matrix runner's pair stream.
+    The helper behind the coherence and parameter sweeps (and usable for any
+    ad-hoc pair list); see :func:`_fan_out_pairs` for the jobs semantics.
+    When a pool is used, each distinct trace is packed once and shipped
+    through a :class:`TraceShipment` (shared memory first), exactly like the
+    matrix runner.  The optional trailing elements ship scenario system
+    overrides and worker setup modules, exactly like the matrix runner's
+    pair stream.  ``on_result`` receives each pair's result the moment it is
+    collected (submission = serial order) -- the streaming hook the sweep
+    engine uses to checkpoint completed points as soon as their last pair
+    lands.
     """
     effective = min(jobs if jobs and jobs > 0 else available_cpus(), len(pairs)) or 1
     shipments: Dict[int, TraceShipment] = {}
@@ -383,6 +388,8 @@ def run_pairs(
                 calls.append((configuration_name, packed, *rest))
         for result, _seconds in _fan_out_pairs(calls, effective, len(calls)):
             results.append(result)
+            if on_result is not None:
+                on_result(result)
             if progress is not None:
                 progress(f"{result.workload} {result.configuration} done")
     finally:

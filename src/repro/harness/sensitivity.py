@@ -177,6 +177,31 @@ def format_sweep(
     return "\n".join(lines)
 
 
+def _physical_sweeps() -> List[tuple]:
+    """``(title, points, parameter_label, metric_label)`` per physical sweep
+    -- the single source behind the text tables and the structured records."""
+    return [
+        (
+            "Crossbar link-budget margin vs waveguide loss",
+            waveguide_loss_sensitivity(),
+            "dB/cm",
+            "margin (dB)",
+        ),
+        (
+            "Crossbar link-budget margin vs per-ring through loss",
+            ring_through_loss_sensitivity(),
+            "dB/ring",
+            "margin (dB)",
+        ),
+        (
+            "Crossbar laser wall-plug power vs waveguide loss",
+            required_laser_power_sensitivity(),
+            "dB/cm",
+            "laser power (W)",
+        ),
+    ]
+
+
 def physical_design_sweeps_text() -> str:
     """The three photonic-design sweeps, formatted and blank-line separated.
 
@@ -184,24 +209,26 @@ def physical_design_sweeps_text() -> str:
     ``sensitivity`` scenario experiment, so the two surfaces cannot drift.
     """
     return "\n\n".join(
-        [
-            format_sweep(
-                "Crossbar link-budget margin vs waveguide loss",
-                waveguide_loss_sensitivity(),
-                parameter_label="dB/cm",
-                metric_label="margin (dB)",
-            ),
-            format_sweep(
-                "Crossbar link-budget margin vs per-ring through loss",
-                ring_through_loss_sensitivity(),
-                parameter_label="dB/ring",
-                metric_label="margin (dB)",
-            ),
-            format_sweep(
-                "Crossbar laser wall-plug power vs waveguide loss",
-                required_laser_power_sensitivity(),
-                parameter_label="dB/cm",
-                metric_label="laser power (W)",
-            ),
-        ]
+        format_sweep(title, points, parameter_label=parameter, metric_label=metric)
+        for title, points, parameter, metric in _physical_sweeps()
     )
+
+
+def physical_design_sweep_records() -> List[dict]:
+    """The physical sweeps as flat records (one per swept value) for the
+    experiment's JSON/CSV sinks -- the structured channel next to the text
+    tables of :func:`physical_design_sweeps_text`."""
+    records: List[dict] = []
+    for title, points, parameter_label, metric_label in _physical_sweeps():
+        for point in points:
+            records.append(
+                {
+                    "sweep": title,
+                    "parameter_label": parameter_label,
+                    "metric_label": metric_label,
+                    "parameter": point.parameter,
+                    "metric": point.metric,
+                    "feasible": point.feasible,
+                }
+            )
+    return records

@@ -1,0 +1,172 @@
+"""Stock sweep specs: the built-in studies re-expressed declaratively.
+
+Importing :mod:`repro.sweeps` registers these under ``@register_sweep``, so
+``corona-repro sweep run coherence-sweep`` (or ``sensitivity``) runs them by
+name.  They are also the re-expression of the two seed *experiments*: the
+``coherence-sweep`` experiment now builds :func:`coherence_sweep_spec` and
+executes it through the sweep engine, reproducing the legacy
+:func:`~repro.harness.experiments.coherence_sweep` numbers exactly
+(equivalence-tested) while additionally emitting the long-form JSON/CSV
+records a report section cannot carry.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.api.registry import register_sweep
+from repro.api.scenario import (
+    OutputSpec,
+    ScaleSpec,
+    Scenario,
+    SystemSpec,
+    WorkloadSpec,
+)
+from repro.coherence.engine import CoherenceConfig
+from repro.coherence.sharing import SharingProfile
+from repro.core.config import CORONA_DEFAULT
+from repro.harness.experiments import (
+    COHERENCE_SWEEP_CONFIGURATIONS,
+    COHERENCE_SWEEP_FRACTIONS,
+)
+from repro.sweeps.spec import SweepAxis, SweepSpec
+
+
+def coherence_sweep_spec(
+    fractions: Sequence[float] = COHERENCE_SWEEP_FRACTIONS,
+    configurations: Sequence[str] = COHERENCE_SWEEP_CONFIGURATIONS,
+    num_requests: int = 8_000,
+    seed: int = 1,
+    coherence: Optional[CoherenceConfig] = None,
+    sharing_kwargs: Optional[Mapping[str, object]] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+    modules: Sequence[str] = (),
+    jobs: int = 1,
+    output: OutputSpec = OutputSpec(),
+) -> SweepSpec:
+    """The sharing-fraction sweep as a declarative grid.
+
+    One point per (sharing fraction, configuration) pair -- the fraction
+    axis zips with a label axis renaming the workload ``Uniform s=<f>``
+    exactly like the legacy sweep, and the configuration axis rewrites
+    ``system.configurations`` one name at a time.  Points sharing a
+    fraction share a workload signature, so the engine generates each
+    fraction's trace once, like the legacy loop did.
+    """
+    overrides = dict(overrides or {})
+    params: dict = {"name": f"Uniform s={fractions[0]:g}"}
+    if overrides:
+        # Trace shape follows the overridden architecture, exactly like the
+        # legacy sweep's workload_kwargs.
+        params["num_clusters"] = CORONA_DEFAULT.with_overrides(
+            overrides
+        ).num_clusters
+    base = Scenario(
+        name="coherence-sweep-base",
+        description="one (fraction, configuration) point of the grid",
+        system=SystemSpec(
+            configurations=(configurations[0],), overrides=overrides
+        ),
+        workloads=(
+            WorkloadSpec(
+                name="Uniform",
+                params=params,
+                sharing=SharingProfile(
+                    fraction=fractions[0], **dict(sharing_kwargs or {})
+                ),
+                num_requests=num_requests,
+            ),
+        ),
+        scale=ScaleSpec(tier="quick", seed=seed),
+        coherence=coherence or CoherenceConfig(),
+        modules=tuple(modules),
+    )
+    return SweepSpec(
+        name="coherence-sweep",
+        description=(
+            "Sharing-fraction sweep of a Uniform workload: broadcast-bus "
+            "invalidation delivery (photonic) vs per-sharer unicasts "
+            "(electrical meshes)."
+        ),
+        base=base,
+        axes=(
+            SweepAxis(
+                name="fraction",
+                path="workloads[0].sharing.fraction",
+                values=tuple(fractions),
+            ),
+            SweepAxis(
+                name="label",
+                path="workloads[0].params.name",
+                values=tuple(f"Uniform s={f:g}" for f in fractions),
+                zip_with="fraction",
+            ),
+            SweepAxis(
+                name="configuration",
+                path="system.configurations",
+                values=tuple([name] for name in configurations),
+            ),
+        ),
+        jobs=jobs,
+        output=output,
+    )
+
+
+@register_sweep("coherence-sweep")
+def _registered_coherence_sweep(**params) -> SweepSpec:
+    """Sharing-fraction coherence-cost grid (see ``evaluate --coherence``)."""
+    return coherence_sweep_spec(**params)
+
+
+def sensitivity_sweep_spec(
+    depths: Sequence[int] = (1, 2, 4, 8, 16),
+    configuration: str = "XBar/OCM",
+    num_requests: int = 8_000,
+    seed: int = 1,
+    jobs: int = 1,
+    output: OutputSpec = OutputSpec(),
+) -> SweepSpec:
+    """The architectural half of the sensitivity study as a grid.
+
+    Sweeps the per-thread outstanding-miss window of a Uniform replay on
+    one configuration -- the declarative re-expression of
+    :func:`~repro.harness.sensitivity.window_depth_sensitivity` (the
+    physical link-budget sweeps have no replay, so they stay functions; the
+    ``sensitivity`` experiment emits their records directly).
+    """
+    base = Scenario(
+        name="sensitivity-base",
+        description="one window-depth point of the sensitivity grid",
+        system=SystemSpec(configurations=(configuration,)),
+        workloads=(
+            WorkloadSpec(
+                name="Uniform",
+                params={"window": depths[0]},
+                num_requests=num_requests,
+            ),
+        ),
+        scale=ScaleSpec(tier="quick", seed=seed),
+    )
+    return SweepSpec(
+        name="sensitivity",
+        description=(
+            "Memory-level-parallelism sensitivity: achieved bandwidth vs "
+            "per-thread outstanding-miss window."
+        ),
+        base=base,
+        axes=(
+            SweepAxis(
+                name="window",
+                path="workloads[0].params.window",
+                values=tuple(depths),
+            ),
+        ),
+        jobs=jobs,
+        output=output,
+    )
+
+
+@register_sweep("sensitivity")
+def _registered_sensitivity_sweep(**params) -> SweepSpec:
+    """Window-depth (MLP) sensitivity grid on the Corona crossbar."""
+    return sensitivity_sweep_spec(**params)

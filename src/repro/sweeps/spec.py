@@ -1,0 +1,539 @@
+"""The declarative sweep specification: one spec, many scenarios.
+
+A :class:`SweepSpec` is a frozen, JSON-round-tripping description of a
+parameter-grid study over the Scenario API: a *base* scenario plus named
+*axes*, each of which writes a list of values into one field path of the
+base -- ``system.overrides.num_clusters``, ``workloads[0].params.window``,
+``workloads[*].sharing.fraction``, ``scale.seed``, ``coherence.
+broadcast_threshold``, ``system.configurations``...  Axes combine as a
+cartesian product by default; an axis carrying ``zip`` advances in lockstep
+with the named axis instead (the two must be equally long), which is how a
+varying parameter and its human-readable label travel together.
+
+:func:`expand` turns a spec into an explicit list of
+:class:`SweepPoint`\\ s -- ``(point_id, axis_values, scenario)`` -- with
+deterministic, filesystem-safe point ids (an expansion-order index plus an
+``axis=value`` slug), the unit the execution engine schedules, checkpoints
+and resumes.
+
+Every parse, path or combination error raises :class:`SweepError` whose
+message starts with the offending field path (``axes[2].values: ...``),
+exactly like :class:`~repro.api.scenario.ScenarioError` does for scenarios.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.scenario import (
+    OutputSpec,
+    Scenario,
+    ScenarioError,
+    _expect_int,
+    _expect_list,
+    _expect_mapping,
+    _expect_str,
+    _reject_unknown,
+)
+
+#: Format tag written into sweep spec files.
+SWEEP_FORMAT = "corona-sweep/1"
+
+
+class SweepError(ScenarioError):
+    """A sweep spec failed to parse, validate or expand.
+
+    ``field`` holds the dotted path of the offending field (e.g.
+    ``axes[1].values``); the message always starts with it.  Subclasses
+    :class:`~repro.api.scenario.ScenarioError` so callers (the CLI) handle
+    scenario-level and sweep-level failures uniformly.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Field paths
+# ---------------------------------------------------------------------------
+
+_SEGMENT = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)((?:\[(?:\d+|\*)\])*)\Z")
+_INDEX = re.compile(r"\[(\d+|\*)\]")
+
+#: Path token: ("key", name) descends into a mapping, ("index", i) into a
+#: list, ("index", None) is the ``[*]`` wildcard (expanded per list entry).
+PathToken = Tuple[str, object]
+
+
+def parse_path(path: str, where: str) -> Tuple[PathToken, ...]:
+    """Parse a dotted field path into tokens, naming ``where`` on errors."""
+    if not isinstance(path, str) or not path:
+        raise SweepError(where, "a non-empty field path string is required")
+    tokens: List[PathToken] = []
+    for segment in path.split("."):
+        match = _SEGMENT.match(segment)
+        if match is None:
+            raise SweepError(
+                where,
+                f"bad path segment {segment!r} in {path!r}; expected dotted "
+                f"names with optional [index] or [*] suffixes, e.g. "
+                f"\"workloads[0].params.window\"",
+            )
+        tokens.append(("key", match.group(1)))
+        for index in _INDEX.findall(match.group(2)):
+            tokens.append(("index", None if index == "*" else int(index)))
+    return tuple(tokens)
+
+
+def _render_tokens(tokens: Sequence[PathToken]) -> str:
+    parts: List[str] = []
+    for kind, value in tokens:
+        if kind == "key":
+            parts.append(("." if parts else "") + str(value))
+        else:
+            parts.append("*" if value is None else f"[{value}]")
+    return "".join(part if part != "*" else "[*]" for part in parts)
+
+
+def _concrete_paths(
+    data: Mapping, tokens: Sequence[PathToken], path: str, where: str
+) -> List[Tuple[PathToken, ...]]:
+    """Expand ``[*]`` wildcards against ``data``, validating every index.
+
+    Returns the concrete token tuples the path resolves to (one unless a
+    wildcard fans out).  Missing intermediate *mapping* keys are fine (the
+    write creates them); a list index past the end, or an index into a
+    non-list, is an error naming ``where``.
+    """
+    concrete: List[List[PathToken]] = [[]]
+    nodes: List[object] = [data]
+    for position, (kind, value) in enumerate(tokens):
+        next_concrete: List[List[PathToken]] = []
+        next_nodes: List[object] = []
+        for prefix, node in zip(concrete, nodes):
+            if kind == "key":
+                if node is not None and not isinstance(node, Mapping):
+                    raise SweepError(
+                        where,
+                        f"{_render_tokens(tokens[:position]) or 'the base'} is "
+                        f"{type(node).__name__}, cannot descend into "
+                        f"{value!r} (path {path!r})",
+                    )
+                child = None if node is None else node.get(value)
+                next_concrete.append(prefix + [(kind, value)])
+                next_nodes.append(child)
+            else:
+                if not isinstance(node, (list, tuple)):
+                    raise SweepError(
+                        where,
+                        f"{_render_tokens(tokens[:position])} is not a list "
+                        f"in the base scenario (path {path!r})",
+                    )
+                if value is None:  # wildcard
+                    if not node:
+                        raise SweepError(
+                            where,
+                            f"{_render_tokens(tokens[:position])}[*] matches "
+                            f"nothing: the base list is empty (path {path!r})",
+                        )
+                    for index, child in enumerate(node):
+                        next_concrete.append(prefix + [("index", index)])
+                        next_nodes.append(child)
+                else:
+                    if value >= len(node):
+                        raise SweepError(
+                            where,
+                            f"{_render_tokens(tokens[:position])}[{value}] is "
+                            f"out of range: the base has {len(node)} entries "
+                            f"(path {path!r})",
+                        )
+                    next_concrete.append(prefix + [(kind, value)])
+                    next_nodes.append(node[value])
+        concrete = next_concrete
+        nodes = next_nodes
+    return [tuple(entry) for entry in concrete]
+
+
+def _apply_value(
+    data: Dict, tokens: Sequence[PathToken], value: object, path: str, where: str
+) -> None:
+    """Write ``value`` at a concrete token path inside the scenario dict.
+
+    Intermediate mapping keys that are missing or ``null`` are created as
+    empty objects, so an axis can target ``coherence.broadcast_threshold``
+    or ``workloads[0].sharing.fraction`` even when the base leaves the
+    parent unset.
+    """
+    container: object = data
+    for position, (kind, token) in enumerate(tokens[:-1]):
+        if kind == "key":
+            if not isinstance(container, dict):
+                raise SweepError(
+                    where,
+                    f"{_render_tokens(tokens[:position]) or 'the base'} is "
+                    f"{type(container).__name__}, cannot set into it "
+                    f"(path {path!r})",
+                )
+            child = container.get(token)
+            if child is None:
+                child = {}
+                container[token] = child
+            container = child
+        else:
+            container = container[token]
+    kind, token = tokens[-1]
+    if kind == "key":
+        if not isinstance(container, dict):
+            raise SweepError(
+                where,
+                f"{_render_tokens(tokens[:-1]) or 'the base'} is "
+                f"{type(container).__name__}, cannot set field {token!r} "
+                f"(path {path!r})",
+            )
+        container[token] = copy.deepcopy(value)
+    else:
+        if not isinstance(container, list):
+            raise SweepError(
+                where,
+                f"{_render_tokens(tokens[:-1])} is not a list (path {path!r})",
+            )
+        container[token] = copy.deepcopy(value)
+
+
+# ---------------------------------------------------------------------------
+# Spec nodes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One named axis of the grid.
+
+    ``path`` is the scenario field the axis writes (dotted, with ``[i]``
+    list indices and ``[*]`` for every entry); ``values`` are the JSON-clean
+    values swept over it.  ``zip_with`` names an *earlier* axis to advance
+    in lockstep with instead of crossing cartesianly.
+    """
+
+    name: str
+    path: str
+    values: Tuple[object, ...] = ()
+    zip_with: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "values": list(self.values),
+            "zip": self.zip_with,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str) -> "SweepAxis":
+        data = _expect_mapping(data, path)
+        _reject_unknown(data, ("name", "path", "values", "zip"), path)
+        if "name" not in data:
+            raise SweepError(f"{path}.name", "axis name is required")
+        if "path" not in data:
+            raise SweepError(f"{path}.path", "axis path is required")
+        name = _expect_str(data["name"], f"{path}.name")
+        target = _expect_str(data["path"], f"{path}.path")
+        values = tuple(_expect_list(data.get("values", []), f"{path}.values"))
+        zip_with = data.get("zip")
+        if zip_with is not None:
+            zip_with = _expect_str(zip_with, f"{path}.zip")
+        return cls(name=name, path=target, values=values, zip_with=zip_with)
+
+
+_SWEEP_FIELDS = (
+    "format",
+    "name",
+    "description",
+    "base",
+    "axes",
+    "jobs",
+    "output",
+)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A complete, serializable parameter-grid study.
+
+    ``base`` is a full :class:`~repro.api.scenario.Scenario` *except* that
+    its ``experiments``, ``output`` and ``jobs`` fields must stay at their
+    defaults -- per-point experiment sections make no sense and the sweep
+    carries its own ``output`` sinks and ``jobs`` count.  The axes write
+    into the base's dict form, so anything a scenario file can say, an axis
+    can sweep.
+    """
+
+    name: str = "sweep"
+    description: str = ""
+    base: Scenario = field(default_factory=Scenario)
+    axes: Tuple[SweepAxis, ...] = ()
+    jobs: int = 1
+    output: OutputSpec = field(default_factory=OutputSpec)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The spec as a JSON-clean mapping (exact round-trip)."""
+        return {
+            "format": SWEEP_FORMAT,
+            "name": self.name,
+            "description": self.description,
+            "base": self.base.to_dict(),
+            "axes": [axis.to_dict() for axis in self.axes],
+            "jobs": self.jobs,
+            "output": self.output.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        """Parse a sweep spec, raising :class:`SweepError` /
+        :class:`ScenarioError` naming any bad field."""
+        data = _expect_mapping(data, "sweep")
+        _reject_unknown(data, _SWEEP_FIELDS, "")
+        fmt = data.get("format", SWEEP_FORMAT)
+        if fmt != SWEEP_FORMAT:
+            raise SweepError(
+                "format",
+                f"unsupported sweep format {fmt!r}; this build reads "
+                f"{SWEEP_FORMAT!r}",
+            )
+        base = Scenario.from_dict(_expect_mapping(data.get("base", {}), "base"))
+        axes = tuple(
+            SweepAxis.from_dict(entry, f"axes[{index}]")
+            for index, entry in enumerate(
+                _expect_list(data.get("axes", []), "axes")
+            )
+        )
+        jobs = _expect_int(data.get("jobs", 1), "jobs")
+        if jobs < 0:
+            raise SweepError("jobs", "must be >= 0 (0 = every CPU)")
+        spec = cls(
+            name=_expect_str(data.get("name", "sweep"), "name"),
+            description=_expect_str(data.get("description", ""), "description"),
+            base=base,
+            axes=axes,
+            jobs=jobs,
+            output=OutputSpec.from_dict(data.get("output", {})),
+        )
+        spec.check()
+        return spec
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    # -- validation ----------------------------------------------------------
+    def check(self) -> None:
+        """Validate the axes against the base: names unique, values present,
+        zip targets known, paths parse and resolve, no two axes writing the
+        same (or a nested) field.  Raises :class:`SweepError` naming the
+        offending field path."""
+        if self.base.experiments:
+            raise SweepError(
+                "base.experiments",
+                "sweep points replay the evaluation matrix only; run "
+                "experiments on the collected records instead",
+            )
+        if self.base.output != OutputSpec():
+            raise SweepError(
+                "base.output",
+                "per-point sinks are not written; set the sweep-level "
+                "\"output\" block instead",
+            )
+        if self.base.jobs != 1:
+            raise SweepError(
+                "base.jobs",
+                "per-point worker counts are ignored; set the sweep-level "
+                "\"jobs\" field instead",
+            )
+        base_dict = self.base.to_dict()
+        seen_names: Dict[str, int] = {}
+        claimed: Dict[str, Tuple[int, str]] = {}
+        for index, axis in enumerate(self.axes):
+            where = f"axes[{index}]"
+            if not axis.name:
+                raise SweepError(f"{where}.name", "axis name must be non-empty")
+            if axis.name in seen_names:
+                raise SweepError(
+                    f"{where}.name",
+                    f"duplicate axis name {axis.name!r} (also axes"
+                    f"[{seen_names[axis.name]}])",
+                )
+            seen_names[axis.name] = index
+            if not axis.values:
+                raise SweepError(
+                    f"{where}.values", "an axis needs at least one value"
+                )
+            if axis.zip_with is not None:
+                if axis.zip_with not in seen_names or axis.zip_with == axis.name:
+                    raise SweepError(
+                        f"{where}.zip",
+                        f"zip target {axis.zip_with!r} is not an earlier "
+                        f"axis; declared so far: "
+                        f"{[a.name for a in self.axes[:index]]}",
+                    )
+            tokens = parse_path(axis.path, f"{where}.path")
+            for concrete in _concrete_paths(
+                base_dict, tokens, axis.path, f"{where}.path"
+            ):
+                rendered = _render_tokens(concrete)
+                for other_rendered, (other_index, other_name) in claimed.items():
+                    if rendered == other_rendered or rendered.startswith(
+                        other_rendered + "."
+                    ) or rendered.startswith(
+                        other_rendered + "["
+                    ) or other_rendered.startswith(
+                        rendered + "."
+                    ) or other_rendered.startswith(rendered + "["):
+                        raise SweepError(
+                            f"{where}.path",
+                            f"{rendered} collides with axis "
+                            f"{other_name!r} (axes[{other_index}]) writing "
+                            f"{other_rendered}; two axes may not override "
+                            f"the same field",
+                        )
+                claimed[rendered] = (index, axis.name)
+        self.groups()  # validate zipped axis lengths eagerly too
+
+    # -- combination structure ----------------------------------------------
+    def groups(self) -> List[List[int]]:
+        """Axis indices grouped for expansion: zipped axes share a group
+        (advancing in lockstep), groups cross as a cartesian product in
+        declaration order (first group varies slowest).  Raises
+        :class:`SweepError` on zipped length mismatches."""
+        by_name = {axis.name: index for index, axis in enumerate(self.axes)}
+        group_of: Dict[int, int] = {}
+        groups: List[List[int]] = []
+        for index, axis in enumerate(self.axes):
+            if axis.zip_with is not None:
+                target = group_of[by_name[axis.zip_with]]
+                anchor = self.axes[groups[target][0]]
+                if len(axis.values) != len(anchor.values):
+                    raise SweepError(
+                        f"axes[{index}].values",
+                        f"axis {axis.name!r} is zipped with "
+                        f"{anchor.name!r} but has {len(axis.values)} values "
+                        f"where {anchor.name!r} has {len(anchor.values)}",
+                    )
+                groups[target].append(index)
+                group_of[index] = target
+            else:
+                group_of[index] = len(groups)
+                groups.append([index])
+        return groups
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded grid point: a runnable scenario plus its coordinates."""
+
+    point_id: str
+    axis_values: Mapping[str, object]
+    scenario: Scenario
+
+
+def _slug(value: object) -> str:
+    """A short filesystem-safe rendering of one axis value."""
+    if isinstance(value, float):
+        text = f"{value:g}"
+    elif isinstance(value, (list, tuple)):
+        text = "+".join(_slug(entry) for entry in value)
+    elif isinstance(value, Mapping):
+        text = "+".join(f"{key}-{_slug(val)}" for key, val in value.items())
+    else:
+        text = str(value)
+    return re.sub(r"[^A-Za-z0-9._+-]+", "-", text).strip("-") or "x"
+
+
+def point_id_for(index: int, axis_values: Mapping[str, object]) -> str:
+    """The deterministic id of one point: expansion index + value slug."""
+    slug = "-".join(
+        f"{_slug(name)}={_slug(value)}" for name, value in axis_values.items()
+    )
+    if len(slug) > 96:
+        slug = slug[:96].rstrip("-")
+    return f"{index:03d}-{slug}" if slug else f"{index:03d}"
+
+
+def expand(spec: SweepSpec) -> List[SweepPoint]:
+    """Expand a sweep spec into its explicit grid points.
+
+    Point order is deterministic: the cartesian product of the axis groups
+    in declaration order, first group outermost.  Each point's scenario is
+    the base's dict form with every axis value applied at its path, re-read
+    through :class:`Scenario.from_dict` -- so a value that would be illegal
+    in a scenario file is illegal here too, with the same field-path error.
+    """
+    spec.check()
+    groups = spec.groups()
+    base_dict = spec.base.to_dict()
+    tokens_per_axis = [
+        parse_path(axis.path, f"axes[{index}].path")
+        for index, axis in enumerate(spec.axes)
+    ]
+    concrete_per_axis = [
+        _concrete_paths(base_dict, tokens, spec.axes[index].path,
+                        f"axes[{index}].path")
+        for index, tokens in enumerate(tokens_per_axis)
+    ]
+    lengths = [len(spec.axes[group[0]].values) for group in groups]
+    points: List[SweepPoint] = []
+    for index, selection in enumerate(
+        itertools.product(*(range(length) for length in lengths))
+    ):
+        axis_values: Dict[str, object] = {}
+        point_dict = copy.deepcopy(base_dict)
+        for group, position in zip(groups, selection):
+            for axis_index in group:
+                axis = spec.axes[axis_index]
+                value = axis.values[position]
+                axis_values[axis.name] = value
+                for concrete in concrete_per_axis[axis_index]:
+                    _apply_value(
+                        point_dict, concrete, value, axis.path,
+                        f"axes[{axis_index}].path",
+                    )
+        # Declaration order, not application order, for stable columns.
+        axis_values = {
+            axis.name: axis_values[axis.name] for axis in spec.axes
+        }
+        point_id = point_id_for(index, axis_values)
+        try:
+            scenario = Scenario.from_dict(point_dict)
+        except ScenarioError as exc:
+            raise SweepError(
+                exc.field,
+                f"(expanding point {point_id}) "
+                f"{str(exc).split(': ', 1)[1] if ': ' in str(exc) else exc}",
+            ) from None
+        points.append(
+            SweepPoint(
+                point_id=point_id, axis_values=axis_values, scenario=scenario
+            )
+        )
+    return points
+
+
+def load_sweep(path: Union[str, Path]) -> SweepSpec:
+    """Read a sweep spec JSON file, raising :class:`SweepError` on bad JSON
+    or a bad field."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SweepError(str(path), f"cannot read sweep file: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SweepError(str(path), f"not valid JSON: {exc}") from None
+    return SweepSpec.from_dict(data)

@@ -18,6 +18,9 @@ provides:
   shared-memory worker pipeline consume.
 * :mod:`repro.trace.io` -- text and packed-binary serialization of traces so
   generated traces can be cached on disk and replayed.
+* :mod:`repro.trace.file` -- :class:`TraceFileWorkload`, wrapping an on-disk
+  trace (either format) in the workload protocol so externally generated
+  traces are scenario- and sweep-addressable (registered as ``trace-file``).
 """
 
 from repro.trace.packed import (
@@ -52,6 +55,11 @@ from repro.trace.io import (
     write_trace,
     write_trace_binary,
 )
+from repro.trace.file import (
+    TraceFileWorkload,
+    trace_file_workload,
+    truncate_packed,
+)
 
 __all__ = [
     "AccessKind",
@@ -81,4 +89,7 @@ __all__ = [
     "read_trace_binary",
     "write_trace",
     "write_trace_binary",
+    "TraceFileWorkload",
+    "trace_file_workload",
+    "truncate_packed",
 ]

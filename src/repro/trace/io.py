@@ -25,6 +25,7 @@ parsing, which is what makes paper-scale trace files practical.
 
 from __future__ import annotations
 
+import re
 import struct
 import sys
 from array import array
@@ -62,16 +63,18 @@ def write_trace(stream: AnyTrace, path: Union[str, Path]) -> None:
             )
 
 
+#: ``key=value`` header tokens; quoted values may contain spaces (the name
+#: is written with ``!r``, so e.g. ``name='Uniform s=0.3'`` is one token).
+_HEADER_TOKEN = re.compile(r"(\w+)=('[^']*'|\"[^\"]*\"|\S+)")
+
+
 def _parse_header(line: str) -> dict:
     if not line.startswith(_HEADER_PREFIX):
         raise ValueError(
             f"not a corona-trace v1 file (header is {line[:40]!r}...)"
         )
     fields = {}
-    for token in line[len(_HEADER_PREFIX):].split():
-        if "=" not in token:
-            continue
-        key, value = token.split("=", 1)
+    for key, value in _HEADER_TOKEN.findall(line[len(_HEADER_PREFIX):]):
         fields[key] = value
     required = {"name", "clusters", "threads_per_cluster"}
     missing = required - set(fields)
@@ -209,6 +212,47 @@ def read_trace_packed(path: Union[str, Path]) -> PackedTrace:
     if sniff_trace_format(path) == "binary":
         return read_trace_binary(path)
     return as_packed(read_trace(path))
+
+
+def read_trace_metadata(path: Union[str, Path]) -> dict:
+    """A trace file's shape without loading its columns.
+
+    Reads only the header: ``name``, ``num_clusters``,
+    ``threads_per_cluster`` and -- for the binary format, whose fixed-size
+    header stores it -- ``num_records`` (``None`` for text files, whose
+    record count requires a full scan).  The cheap peek behind
+    :class:`~repro.trace.file.TraceFileWorkload`'s lazy loading.
+    """
+    path = Path(path)
+    if sniff_trace_format(path) == "binary":
+        with path.open("rb") as handle:
+            handle.read(len(_BINARY_MAGIC))
+            header = handle.read(_BINARY_HEADER.size)
+            if len(header) != _BINARY_HEADER.size:
+                raise ValueError(f"{path}: truncated binary trace header")
+            (
+                num_clusters,
+                threads_per_cluster,
+                _num_threads,
+                num_records,
+                name_len,
+                _description_len,
+            ) = _BINARY_HEADER.unpack(header)
+            name = handle.read(name_len).decode("utf-8")
+        return {
+            "name": name,
+            "num_clusters": num_clusters,
+            "threads_per_cluster": threads_per_cluster,
+            "num_records": num_records,
+        }
+    with path.open("r", encoding="utf-8") as handle:
+        fields = _parse_header(handle.readline().rstrip("\n"))
+    return {
+        "name": fields["name"].strip("'\""),
+        "num_clusters": int(fields["clusters"]),
+        "threads_per_cluster": int(fields["threads_per_cluster"]),
+        "num_records": None,
+    }
 
 
 def trace_summary(path: Union[str, Path]) -> dict:

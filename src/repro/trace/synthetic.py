@@ -180,6 +180,10 @@ class SyntheticWorkload:
                 f"mean gap must be non-negative, got {self.mean_gap_cycles}"
             )
 
+    #: Params that only shape the replay, never the generated trace (the
+    #: sweep engine's trace cache ignores them when keying signatures).
+    replay_only_params = ("window",)
+
     @property
     def is_synthetic(self) -> bool:
         return True

@@ -364,7 +364,11 @@ class TestRunEntryPoint:
 
     def test_empty_workloads_means_all_registered(self):
         matrix = build_matrix(Scenario())
-        assert matrix.workload_names() == WORKLOADS.names()
+        # Explicit-only entries (trace-file needs a path) are not part of
+        # the "every registered workload" expansion.
+        assert matrix.workload_names() == WORKLOADS.default_names()
+        assert "trace-file" in WORKLOADS.names()
+        assert "trace-file" not in WORKLOADS.default_names()
         assert matrix.run_count() == 5 * 17
 
     def test_overrides_flow_into_simulators(self):

@@ -49,6 +49,16 @@ class TestExampleSmoke:
         assert "Shuffle" in result.stdout
         assert "crossbar alone buys" in result.stdout
 
+    def test_sweep_study_runs_end_to_end(self):
+        result = _run_example("sweep_study.py", "1500")
+        assert result.returncode == 0, result.stderr
+        assert "Sweep study" in result.stdout
+        # Trace reuse across points sharing a workload (4 gaps, 12 points).
+        assert "4 traces generated for 12 points" in result.stdout
+        # Resume skipped everything on the second run.
+        assert "12 points skipped, 0 executed" in result.stdout
+        assert "12/12 complete" in result.stdout
+
     def test_coherence_broadcast_runs_end_to_end(self):
         result = _run_example("coherence_broadcast.py")
         assert result.returncode == 0, result.stderr
