@@ -30,8 +30,10 @@ from repro.core.results import (
     WorkloadResult,
     results_to_csv_rows,
 )
+from repro.faults import FaultSpec
 from repro.harness.experiments import ExperimentScale
 from repro.harness.report import ReproductionReport
+from repro.harness.resilience import PairFailure, RetryPolicy
 
 #: Format tag written into JSON result files.
 RESULTS_FORMAT = "corona-results/1"
@@ -52,6 +54,9 @@ class ScenarioMatrix:
         self.scenario = scenario
         self.scale: ExperimentScale = scenario.scale.resolve()
         self.coherence = scenario.coherence
+        #: ``None`` (fault-free, bit-identical path) or the scenario's
+        #: :class:`~repro.faults.FaultSpec`, installed into every simulator.
+        self.faults: Optional[FaultSpec] = scenario.faults
         #: None when the scenario carries no overrides, so the runners keep
         #: building from the CORONA_DEFAULT singleton (bit-identical path).
         self.corona_config: Optional[CoronaConfig] = (
@@ -218,18 +223,24 @@ class ScenarioResult:
     report: ReproductionReport
     wall_clock_seconds: float = 0.0
     written: Dict[str, Path] = field(default_factory=dict)
+    #: Pairs that failed after retries (``allow_failures`` runs only; a
+    #: strict run raises instead of producing a result).
+    failures: List[PairFailure] = field(default_factory=list)
 
     def to_markdown(self) -> str:
         return self.report.to_markdown()
 
     def to_json_dict(self) -> Dict[str, object]:
         """The JSON result-sink payload (scenario + every result field)."""
-        return {
+        payload = {
             "format": RESULTS_FORMAT,
             "scenario": self.scenario.to_dict(),
             "wall_clock_seconds": self.wall_clock_seconds,
             "results": [result.to_dict() for result in self.results],
         }
+        if self.failures:
+            payload["failures"] = [f.to_dict() for f in self.failures]
+        return payload
 
 
 def _write_path(raw: str) -> Path:
@@ -266,6 +277,7 @@ def run(
     jobs: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     on_result: Optional[Callable[[WorkloadResult], None]] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> ScenarioResult:
     """Execute ``scenario`` and return its results, report and sinks.
 
@@ -274,6 +286,13 @@ def run(
     :class:`WorkloadResult` the moment it completes, in serial order --
     the streaming hook for dashboards and long sweeps.  Results are
     bit-identical between serial and parallel execution.
+
+    ``policy`` is the resilience contract
+    (:class:`~repro.harness.resilience.RetryPolicy`): per-pair timeouts
+    (parallel runs), bounded retries with backoff, and -- under
+    ``allow_failures`` -- partial results with the failed pairs recorded
+    on :attr:`ScenarioResult.failures` instead of an exception.  ``None``
+    keeps the historical fail-fast behavior.
     """
     scenario.import_modules()
     # Experiment names are checked before the (long) matrix run so a typo
@@ -294,7 +313,7 @@ def run(
         from repro.harness.runner import EvaluationRunner
 
         runner = EvaluationRunner(
-            matrix=matrix, progress=progress, on_result=on_result
+            matrix=matrix, progress=progress, on_result=on_result, policy=policy
         )
     else:
         from repro.harness.parallel import ParallelEvaluationRunner
@@ -305,12 +324,29 @@ def run(
             progress=progress,
             on_result=on_result,
             setup_modules=tuple(scenario.modules),
+            policy=policy,
         )
     runner.run()
     wall_clock = time.perf_counter() - started
+    failures = list(getattr(runner, "failures", []) or [])
+    report_results = list(runner.results)
+    if failures:
+        # Partial matrix: figures normalize per workload against a baseline
+        # configuration, so workloads missing any configuration's result are
+        # dropped from the *report* (the result list and sinks keep every
+        # completed pair).
+        expected = set(matrix.configuration_names)
+        covered: Dict[str, set] = {}
+        for res in report_results:
+            covered.setdefault(res.workload, set()).add(res.configuration)
+        report_results = [
+            res
+            for res in report_results
+            if covered.get(res.workload, set()) >= expected
+        ]
     report = ReproductionReport(
         matrix=matrix,
-        results=list(runner.results),
+        results=report_results,
         wall_clock_seconds=runner.total_wall_clock_seconds(),
     )
     result = ScenarioResult(
@@ -318,6 +354,7 @@ def run(
         results=list(runner.results),
         report=report,
         wall_clock_seconds=wall_clock,
+        failures=failures,
     )
     context = ExperimentContext(
         scenario=scenario,

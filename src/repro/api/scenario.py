@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.coherence.engine import CoherenceConfig
 from repro.coherence.sharing import SharingProfile
 from repro.core.config import CORONA_DEFAULT, CoronaConfig
+from repro.faults import FaultError, FaultSpec
 from repro.core.configs import CONFIGURATION_ORDER
 from repro.harness.experiments import (
     FULL_SCALE,
@@ -353,6 +354,16 @@ class OutputSpec:
         return cls(**values)
 
 
+def _faults_from_dict(data, path: str) -> Optional[FaultSpec]:
+    if data is None:
+        return None
+    data = _expect_mapping(data, path)
+    try:
+        return FaultSpec.from_dict(data)
+    except FaultError as exc:
+        raise ScenarioError(f"{path}.{exc.field}", exc.reason) from None
+
+
 def _coherence_from_dict(data, path: str) -> Optional[CoherenceConfig]:
     if data is None:
         return None
@@ -373,6 +384,7 @@ _SCENARIO_FIELDS = (
     "workloads",
     "scale",
     "coherence",
+    "faults",
     "experiments",
     "jobs",
     "modules",
@@ -397,6 +409,7 @@ class Scenario:
     workloads: Tuple[WorkloadSpec, ...] = ()
     scale: ScaleSpec = field(default_factory=ScaleSpec)
     coherence: Optional[CoherenceConfig] = None
+    faults: Optional[FaultSpec] = None
     experiments: Tuple[ExperimentSpec, ...] = ()
     jobs: int = 1
     modules: Tuple[str, ...] = ()
@@ -413,6 +426,7 @@ class Scenario:
             "workloads": [w.to_dict() for w in self.workloads],
             "scale": self.scale.to_dict(),
             "coherence": None if self.coherence is None else asdict(self.coherence),
+            "faults": None if self.faults is None else self.faults.to_dict(),
             "experiments": [e.to_dict() for e in self.experiments],
             "jobs": self.jobs,
             "modules": list(self.modules),
@@ -459,6 +473,7 @@ class Scenario:
             workloads=workloads,
             scale=ScaleSpec.from_dict(data.get("scale", {})),
             coherence=_coherence_from_dict(data.get("coherence"), "coherence"),
+            faults=_faults_from_dict(data.get("faults"), "faults"),
             experiments=experiments,
             jobs=jobs,
             modules=modules,

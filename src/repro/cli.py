@@ -66,6 +66,11 @@ from repro.harness.experiments import (
     COHERENCE_SWEEP_FRACTIONS,
 )
 from repro.harness.parallel import WorkerSetupError
+from repro.harness.resilience import (
+    PairFailureError,
+    RetryPolicy,
+    summarize_failures,
+)
 from repro.harness.sensitivity import physical_design_sweeps_text
 from repro.harness.tables import format_table, render_all_tables
 from repro.photonics.inventory import corona_inventory
@@ -269,6 +274,43 @@ def _scenario_error_message(path: str, exc: ScenarioError) -> str:
     return f"{path}: {message}"
 
 
+#: Exit code when pairs/points failed after exhausting their retries (a
+#: clean partial run under ``--allow-failures`` still exits 0).
+EXIT_FAILURES = 3
+
+
+def _policy_from_args(args: argparse.Namespace) -> Optional[RetryPolicy]:
+    """The resilience policy the ``--timeout/--retries/--allow-failures``
+    flags describe, or None when none was given (historic behavior)."""
+    if (
+        args.timeout is None
+        and args.retries is None
+        and not args.allow_failures
+    ):
+        return None
+    policy = RetryPolicy(
+        timeout_s=args.timeout,
+        allow_failures=args.allow_failures,
+    )
+    if args.retries is not None:
+        from dataclasses import replace
+
+        policy = replace(policy, max_retries=args.retries)
+    return policy
+
+
+def _print_failures(failures) -> None:
+    counts = summarize_failures(failures)
+    rendering = ", ".join(f"{count} {kind}" for kind, count in counts.items())
+    print(f"{len(failures)} pair(s) failed after retries ({rendering}):")
+    for failure in failures:
+        print(
+            f"  {failure.workload} {failure.configuration} "
+            f"[{failure.kind}, {failure.attempts} attempt(s)] "
+            f"{failure.message}"
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         scenario = load_scenario(args.scenario)
@@ -282,11 +324,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     progress = print if args.verbose else None
     try:
-        result = run_scenario(scenario, jobs=args.jobs, progress=progress)
+        result = run_scenario(
+            scenario,
+            jobs=args.jobs,
+            progress=progress,
+            policy=_policy_from_args(args),
+        )
     except ScenarioError as exc:
         raise SystemExit(_scenario_error_message(args.scenario, exc)) from None
     except WorkerSetupError as exc:
         raise SystemExit(str(exc)) from None
+    except PairFailureError as exc:
+        _print_failures(exc.failures)
+        return EXIT_FAILURES
     if result.written:
         for kind, path in sorted(result.written.items()):
             print(f"{kind} written to {path}")
@@ -296,6 +346,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     else:
         print(result.to_markdown())
+    if result.failures:
+        # --allow-failures: the partial run is the requested outcome; report
+        # what was skipped and exit clean.
+        _print_failures(result.failures)
+        print("continuing with partial results (--allow-failures)")
     return 0
 
 
@@ -428,11 +483,23 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             progress=print if args.verbose else None,
             resume=not args.fresh,
+            policy=_policy_from_args(args),
         )
     except ScenarioError as exc:  # SweepError subclasses ScenarioError
         raise SystemExit(str(exc)) from None
     except WorkerSetupError as exc:
         raise SystemExit(str(exc)) from None
+    except PairFailureError as exc:
+        # Completed points are checkpointed and the sinks written before the
+        # engine raises; re-running the same command retries just the failed
+        # points.
+        _print_failures(exc.failures)
+        if args.directory:
+            print(
+                f"completed points are checkpointed in {args.directory}; "
+                f"re-run the same command to retry only the failed points"
+            )
+        return EXIT_FAILURES
     if outcome.skipped_point_ids:
         print(
             f"resumed: {len(outcome.skipped_point_ids)} completed points "
@@ -443,8 +510,17 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         f"{len(outcome.points)} points "
         f"({outcome.wall_clock_seconds:.1f} s wall clock)"
     )
+    if outcome.retried_pairs:
+        print(f"{outcome.retried_pairs} pair attempt(s) were retried")
     for kind, path in sorted(outcome.written.items()):
         print(f"{kind} written to {path}")
+    if outcome.failures:
+        flat = [f for fs in outcome.failures.values() for f in fs]
+        _print_failures(flat)
+        print(
+            f"{len(outcome.failures)} point(s) recorded as failed "
+            f"(continuing with partial results; they re-run on resume)"
+        )
     return 0
 
 
@@ -485,10 +561,20 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
         f"sweep '{status.name}': {len(status.completed_ids)}/{status.total} "
         f"points complete ({state})"
     )
+    if status.failed_ids or status.retried_pairs or status.quarantined_pairs:
+        print(
+            f"resilience: {len(status.failed_ids)} failed point(s), "
+            f"{status.retried_pairs} retried pair(s), "
+            f"{status.quarantined_pairs} quarantined pair(s)"
+        )
+    failed = set(status.failed_ids)
     for point_id in status.completed_ids:
         print(f"  done     {point_id}")
+    for point_id in status.failed_ids:
+        print(f"  failed   {point_id}")
     for point_id in status.pending_ids:
-        print(f"  pending  {point_id}")
+        if point_id not in failed:
+            print(f"  pending  {point_id}")
     return 0
 
 
@@ -542,6 +628,39 @@ def _cmd_trace_convert(args: argparse.Namespace) -> int:
 # Parser
 # ---------------------------------------------------------------------------
 
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The retry/timeout/partial-results flags shared by run and sweep run."""
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-pair wall-clock timeout; a hung pair's worker is killed "
+            "and the pair retried (parallel runs only)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "max retries per pair for crashes/timeouts (default 2); "
+            "deterministic errors are never retried"
+        ),
+    )
+    parser.add_argument(
+        "--allow-failures",
+        action="store_true",
+        help=(
+            "record pairs that stay broken as structured failures and "
+            "continue with partial results (exit 0) instead of aborting "
+            f"with exit code {EXIT_FAILURES}"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="corona-repro",
@@ -582,6 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_p.add_argument("--verbose", action="store_true")
+    _add_resilience_arguments(run_p)
     run_p.set_defaults(handler=_cmd_run)
 
     scenario_p = subparsers.add_parser(
@@ -674,6 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="discard any previous checkpoints instead of resuming",
     )
     sweep_run_p.add_argument("--verbose", action="store_true")
+    _add_resilience_arguments(sweep_run_p)
     sweep_run_p.set_defaults(handler=_cmd_sweep_run)
 
     sweep_expand_p = sweep_sub.add_parser(

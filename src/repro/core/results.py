@@ -53,6 +53,20 @@ class WorkloadResult:
     dirty_writebacks: int = 0
     #: Fraction of the replay the broadcast bus spent modulating.
     broadcast_occupancy: float = 0.0
+    # -- fault injection (zero/False on fault-free replays) -----------------
+    faults_enabled: bool = False
+    #: DWDM wavelengths detuned out of optical channels at install time.
+    fault_wavelengths_disabled: int = 0
+    #: Links/waveguide bundles running at reduced bandwidth.
+    fault_links_degraded: int = 0
+    #: Arbitration tokens lost (and regenerated) during the replay.
+    fault_tokens_lost: int = 0
+    #: Total grant time spent waiting on token regeneration.
+    fault_token_regen_wait_s: float = 0.0
+    #: Transient DRAM timeouts retried during the replay.
+    fault_dram_timeouts: int = 0
+    #: Total extra latency charged by DRAM retries.
+    fault_dram_retry_s: float = 0.0
 
     @property
     def network_power_w(self) -> float:

@@ -59,6 +59,8 @@ from typing import Dict, List, Optional
 
 from repro.coherence.engine import CoherenceConfig, CoherenceEngine, CoherentMiss
 from repro.core.config import CoronaConfig, CORONA_DEFAULT
+from repro.faults.inject import build_injector
+from repro.faults.spec import FaultSpec
 from repro.core.configs import SystemConfiguration
 from repro.core.results import WorkloadResult
 from repro.cores.hub import Hub
@@ -289,6 +291,8 @@ class SystemSimulator:
         "coherence",
         "broadcast_bus",
         "_stage_memory",
+        "fault_spec",
+        "fault_injector",
     )
 
     def __init__(
@@ -301,6 +305,7 @@ class SystemSimulator:
         mshrs_per_cluster: int = 64,
         hub_queue_depth: int = 64,
         coherence: Optional[CoherenceConfig] = None,
+        faults: Optional[FaultSpec] = None,
     ) -> None:
         if window_depth < 1:
             raise ValueError(f"window depth must be >= 1, got {window_depth}")
@@ -308,6 +313,13 @@ class SystemSimulator:
         self.corona_config = corona_config
         self.network = network or configuration.build_network(corona_config)
         self.memory = memory or configuration.build_memory(corona_config)
+        # Fault injection (opt-in, same discipline as coherence below): with
+        # ``faults=None`` -- or an all-zero spec -- nothing is installed and
+        # the replay is bit-identical to a fault-free build.
+        self.fault_spec = faults
+        self.fault_injector = build_injector(faults)
+        if self.fault_injector is not None:
+            self.fault_injector.install(self.network, self.memory)
         self.window_depth = window_depth
         self.hubs: Dict[int, Hub] = {
             cluster: Hub(
@@ -863,6 +875,20 @@ class SystemSimulator:
             )
         else:
             coherence_fields = {}
+        injector = self.fault_injector
+        if injector is not None:
+            fstats = injector.stats
+            fault_fields = dict(
+                faults_enabled=True,
+                fault_wavelengths_disabled=fstats.wavelengths_disabled,
+                fault_links_degraded=fstats.links_degraded,
+                fault_tokens_lost=fstats.tokens_lost,
+                fault_token_regen_wait_s=fstats.token_regen_wait_s,
+                fault_dram_timeouts=fstats.dram_timeouts,
+                fault_dram_retry_s=fstats.dram_retry_s,
+            )
+        else:
+            fault_fields = {}
         return WorkloadResult(
             workload=trace.name,
             configuration=self.configuration.name,
@@ -881,6 +907,7 @@ class SystemSimulator:
             average_queueing_delay_s=self.stats.queueing.mean,
             is_synthetic="splash" not in trace.description.lower(),
             **coherence_fields,
+            **fault_fields,
         )
 
 
@@ -892,6 +919,7 @@ def simulate_workload(
     corona_config: CoronaConfig = CORONA_DEFAULT,
     window_depth: Optional[int] = None,
     coherence: Optional[CoherenceConfig] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> WorkloadResult:
     """Convenience wrapper: generate a workload's trace and replay it.
 
@@ -900,7 +928,9 @@ def simulate_workload(
     workloads that also offer ``generate_packed`` stream straight into the
     packed columns, skipping record-object construction entirely.  Pass a
     :class:`~repro.coherence.engine.CoherenceConfig` to enable the timed
-    MOESI directory for shared-tagged records.
+    MOESI directory for shared-tagged records, and/or a
+    :class:`~repro.faults.spec.FaultSpec` to replay on deterministically
+    degraded hardware.
     """
     trace = generate_packed_trace(workload, seed=seed, num_requests=num_requests)
     depth = window_depth if window_depth is not None else getattr(workload, "window", 4)
@@ -909,5 +939,6 @@ def simulate_workload(
         corona_config=corona_config,
         window_depth=depth,
         coherence=coherence,
+        faults=faults,
     )
     return simulator.run(trace)

@@ -1,0 +1,45 @@
+"""Order-independent pseudo-randomness for fault decisions.
+
+Fault schedules must be *bit-identical* between ``--jobs 1`` and ``--jobs N``
+runs, so no fault decision may depend on global RNG state or on the order in
+which pairs happen to execute.  :func:`stable_uniform` derives a uniform
+variate purely from ``(seed, site, a, b)`` integer keys using a
+splitmix64-style finalizer -- unlike ``hash()`` it is independent of
+``PYTHONHASHSEED``, and unlike ``random.Random`` it carries no state between
+draws.  Callers key each draw by a static site code plus per-site
+coordinates (channel and wavelength index, link endpoints, access counter),
+which makes every decision reproducible in isolation.
+"""
+
+from __future__ import annotations
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+# splitmix64 finalizer constants (Steele et al., "Fast splittable
+# pseudorandom number generators").
+_C1 = 0x9E3779B97F4A7C15
+_C2 = 0xBF58476D1CE4E5B9
+_C3 = 0x94D049BB133111EB
+_TWO64 = float(2**64)
+
+
+def _mix(z: int) -> int:
+    z = ((z ^ (z >> 30)) * _C2) & _MASK
+    z = ((z ^ (z >> 27)) * _C3) & _MASK
+    return z ^ (z >> 31)
+
+
+def stable_uniform(seed: int, site: int, a: int, b: int = 0) -> float:
+    """A uniform variate in ``[0, 1)`` keyed by four integers.
+
+    ``seed`` is the user-visible fault seed, ``site`` a static code naming
+    the decision class, ``a``/``b`` the per-site coordinates.  The same four
+    keys always yield the same variate; nearby keys are decorrelated by the
+    chained splitmix64 finalizer.
+    """
+    z = _mix((seed * _C1 + 1) & _MASK)
+    z = _mix(z ^ ((site * _C2) & _MASK))
+    z = _mix(z ^ ((a * _C3) & _MASK))
+    if b:
+        z = _mix(z ^ ((b * _C1) & _MASK))
+    return z / _TWO64

@@ -1,0 +1,197 @@
+"""Turning a :class:`~repro.faults.spec.FaultSpec` into concrete degradation.
+
+A :class:`FaultInjector` is built fresh for each simulator (its counters are
+per-replay) and *installs* the spec's faults into the just-built network and
+memory system:
+
+* **Optical crossbar** -- per-channel detuned-wavelength draws plus
+  dead-bundle draws shrink each channel's usable bandwidth (the
+  ``_fault_channel_bw`` table the transfer hot path consults), and a
+  per-grant token-loss draw adds the regeneration timeout to the grant time.
+  The bandwidth a partially detuned channel retains follows the photonic
+  channel model (:meth:`~repro.photonics.dwdm.DwdmChannel.
+  degraded_bandwidth_bytes_per_s`): surviving wavelengths keep their full
+  per-wavelength rate.
+* **Electrical mesh** -- per-link dead draws install serialization
+  multipliers (``_fault_link_slow``); a degraded link still delivers, just
+  slower, so routes never sever and replays never deadlock.
+* **Memory controllers** -- a per-access transient-timeout draw (keyed by
+  the controller's deterministic access counter) adds the retry latency to
+  the DRAM stage.
+
+Every draw keys :func:`~repro.faults.determinism.stable_uniform` with a
+static site code plus static coordinates, so the schedule depends only on
+the spec's seed -- never on worker count or pair execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.determinism import stable_uniform
+from repro.faults.spec import FaultSpec
+from repro.network.crossbar import OpticalCrossbar
+from repro.network.mesh import ElectricalMesh
+
+#: Wavelengths per crossbar channel (4 waveguides x 64-wavelength combs),
+#: matching :func:`repro.photonics.dwdm.corona_crossbar_channel`.
+CROSSBAR_CHANNEL_WAVELENGTHS = 256
+
+# Static site codes keying stable_uniform draws; one per decision class.
+_SITE_DETUNING = 1
+_SITE_DEAD_OPTICAL = 2
+_SITE_DEAD_LINK = 3
+_SITE_TOKEN = 4
+_SITE_DRAM = 5
+
+
+class FaultStats:
+    """Mutable per-replay counters of what the injector actually did."""
+
+    __slots__ = (
+        "wavelengths_disabled",
+        "links_degraded",
+        "tokens_lost",
+        "token_regen_wait_s",
+        "dram_timeouts",
+        "dram_retry_s",
+    )
+
+    def __init__(self) -> None:
+        self.wavelengths_disabled = 0
+        self.links_degraded = 0
+        self.tokens_lost = 0
+        self.token_regen_wait_s = 0.0
+        self.dram_timeouts = 0
+        self.dram_retry_s = 0.0
+
+
+class FaultInjector:
+    """Installs one spec's faults into a freshly built system."""
+
+    __slots__ = ("spec", "stats", "_token_regen_s")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.stats = FaultStats()
+        self._token_regen_s = 0.0
+
+    # -- installation --------------------------------------------------------
+    def install(self, network, memory) -> None:
+        """Degrade ``network`` and ``memory`` according to the spec.
+
+        Interconnect types the injector does not model (user-registered
+        networks) are left untouched; their runs simply report zero fault
+        counters.
+        """
+        if isinstance(network, OpticalCrossbar):
+            self._install_crossbar(network)
+        elif isinstance(network, ElectricalMesh):
+            self._install_mesh(network)
+        if memory is not None and self.spec.dram_timeout_rate > 0.0:
+            for controller in memory.controllers.values():
+                controller.fault_dram = self.dram_extra_delay
+
+    def _install_crossbar(self, network: OpticalCrossbar) -> None:
+        spec = self.spec
+        detune = spec.ring_detuning_fraction
+        dead = spec.dead_link_fraction
+        if detune > 0.0 or dead > 0.0:
+            base = network.channel_bandwidth_bytes_per_s
+            table = []
+            degraded = False
+            for channel in range(network.num_clusters):
+                photonic = (
+                    network.photonic_channels.get(channel)
+                    if network.photonic_channels is not None
+                    else None
+                )
+                wavelengths = (
+                    photonic.phit_bits
+                    if photonic is not None
+                    else CROSSBAR_CHANNEL_WAVELENGTHS
+                )
+                disabled = 0
+                if detune > 0.0:
+                    for wavelength in range(wavelengths):
+                        if (
+                            stable_uniform(
+                                spec.seed, _SITE_DETUNING, channel, wavelength
+                            )
+                            < detune
+                        ):
+                            disabled += 1
+                # Clamp: at least one surviving wavelength per channel, so a
+                # fully detuned channel degrades instead of deadlocking.
+                disabled = min(disabled, wavelengths - 1)
+                self.stats.wavelengths_disabled += disabled
+                if photonic is not None:
+                    bandwidth = photonic.degraded_bandwidth_bytes_per_s(disabled)
+                else:
+                    bandwidth = base * (wavelengths - disabled) / wavelengths
+                if (
+                    dead > 0.0
+                    and stable_uniform(spec.seed, _SITE_DEAD_OPTICAL, channel)
+                    < dead
+                ):
+                    bandwidth *= spec.dead_link_bandwidth_scale
+                    self.stats.links_degraded += 1
+                if bandwidth != base:
+                    degraded = True
+                table.append(bandwidth)
+            if degraded:
+                network._fault_channel_bw = table
+        if spec.token_loss_rate > 0.0:
+            self._token_regen_s = (
+                spec.token_regeneration_cycles / network.clock_hz
+            )
+            network._fault_injector = self
+
+    def _install_mesh(self, network: ElectricalMesh) -> None:
+        spec = self.spec
+        if spec.dead_link_fraction <= 0.0:
+            return
+        slowdown = 1.0 / spec.dead_link_bandwidth_scale
+        slow = {}
+        for src, dst in network.links:
+            if (
+                stable_uniform(spec.seed, _SITE_DEAD_LINK, src, dst)
+                < spec.dead_link_fraction
+            ):
+                slow[src * network.num_clusters + dst] = slowdown
+                self.stats.links_degraded += 1
+        if slow:
+            network._fault_link_slow = slow
+
+    # -- per-event hooks (called from the transfer/access hot paths) ---------
+    def token_extra_delay(self, channel: int, grant_index: int) -> float:
+        """Extra grant delay if this grant's token re-injection was lost."""
+        spec = self.spec
+        if (
+            stable_uniform(spec.seed, _SITE_TOKEN, channel, grant_index)
+            < spec.token_loss_rate
+        ):
+            self.stats.tokens_lost += 1
+            self.stats.token_regen_wait_s += self._token_regen_s
+            return self._token_regen_s
+        return 0.0
+
+    def dram_extra_delay(self, controller_id: int, access_index: int) -> float:
+        """Extra DRAM latency if this access timed out and was retried."""
+        spec = self.spec
+        if (
+            stable_uniform(spec.seed, _SITE_DRAM, controller_id, access_index)
+            < spec.dram_timeout_rate
+        ):
+            retry = spec.dram_retry_latency_ns * 1e-9
+            self.stats.dram_timeouts += 1
+            self.stats.dram_retry_s += retry
+            return retry
+        return 0.0
+
+
+def build_injector(spec: Optional[FaultSpec]) -> Optional[FaultInjector]:
+    """An injector for ``spec``, or None when the spec is absent/inactive."""
+    if spec is None or not spec.any_active:
+        return None
+    return FaultInjector(spec)

@@ -4,8 +4,8 @@ The (configuration, workload) pairs of the evaluation (85 in the full
 matrix: 5 configurations x 17 workloads) are fully independent: each pair
 builds its own network/memory/hub state from the configuration name and
 replays an immutable trace.  The :class:`ParallelEvaluationRunner` therefore
-fans the pairs across a ``multiprocessing`` pool and achieves near-linear
-matrix wall-clock speedup on multicore hosts.
+fans the pairs across a supervised pool of worker processes and achieves
+near-linear matrix wall-clock speedup on multicore hosts.
 
 Zero-copy trace shipping
 ------------------------
@@ -25,6 +25,21 @@ Generation overlaps replay: the pair stream is consumed lazily during pool
 submission, so while workers replay workload *k*'s pairs the parent is
 already generating (and shipping) workload *k+1*.
 
+Supervision and resilience
+--------------------------
+The pool is supervised, not fire-and-forget: each worker is a
+``multiprocessing.Process`` with its own duplex pipe, and the parent multiplexes
+result pipes *and* process sentinels through ``multiprocessing.connection.
+wait``.  A worker that dies mid-pair (OOM kill, segfault, injected chaos) is
+therefore detected immediately, respawned, and its pending pair re-dispatched
+-- the retried replay is bit-identical because pairs are pure functions of
+their shipped arguments.  A :class:`~repro.harness.resilience.RetryPolicy`
+adds per-pair wall-clock timeouts (hung workers are killed and their pair
+retried), bounded retries with exponential backoff, and a partial-results
+mode in which pairs that stay broken become structured
+:class:`~repro.harness.resilience.PairFailure` records instead of aborting
+the run.
+
 Determinism and equivalence
 ---------------------------
 Results are bit-identical to the serial
@@ -34,10 +49,11 @@ Results are bit-identical to the serial
   same generator state) and workers replay exactly those packed columns.
 * Each worker constructs a fresh ``SystemSimulator`` from the configuration
   name -- exactly what ``EvaluationRunner.run_pair`` does -- so no state
-  leaks between pairs in either runner.
+  leaks between pairs in either runner, and a retried pair reproduces its
+  first attempt exactly.
 * Results are collected in submission order (workloads outer, configurations
   inner), which is the serial runner's iteration order, so ``results`` lists
-  compare equal element by element.
+  compare equal element by element even when completions arrive out of order.
 
 ``jobs=1`` (or a single-CPU host) falls back to an in-process loop with no
 pool and no shipping, still producing the same results.
@@ -52,13 +68,32 @@ import os
 import secrets
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from multiprocessing import connection as _mp_connection
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.coherence import CoherenceConfig
 from repro.core.config import CORONA_DEFAULT, CoronaConfig
 from repro.core.results import WorkloadResult
 from repro.core.system import SystemSimulator
+from repro.faults import chaos as _chaos
+from repro.faults.spec import FaultSpec
 from repro.harness.experiments import EvaluationMatrix
+from repro.harness.resilience import (
+    DEFAULT_POLICY,
+    PairFailure,
+    PairFailureError,
+    RetryPolicy,
+)
 from repro.trace.packed import PackedTrace, as_packed, generate_packed_trace
 from repro.trace.record import TraceStream
 
@@ -82,7 +117,8 @@ class WorkerSetupError(RuntimeError):
     Raised (and re-raised in the parent *without* the worker traceback) when
     a configuration name cannot be resolved in the worker or a scenario
     module fails to import there -- the actionable message replaces the old
-    opaque ``KeyError`` wall from deep inside the pool.
+    opaque ``KeyError`` wall from deep inside the pool.  Never retried: a
+    missing module does not heal between attempts.
     """
 
 
@@ -127,7 +163,9 @@ def _resolve_configuration(name: str, modules: Sequence[str] = ()):
 #: Parent-side registry backing the fork-inherited fallback: forked workers
 #: see a snapshot of this dict and resolve shipped keys from it directly.
 #: Entries must therefore be registered *before* the pool forks (the matrix
-#: runner pre-ships every trace when this fallback is in play).
+#: runner pre-ships every trace when this fallback is in play).  Respawned
+#: workers re-fork from the parent, so entries registered before the original
+#: pool start stay visible to replacements too.
 _FORK_REGISTRY: Dict[str, PackedTrace] = {}
 
 _SHM_PROBE: Optional[bool] = None
@@ -284,6 +322,7 @@ def _replay_pair(
     coherence: Optional[CoherenceConfig] = None,
     corona_config: Optional[CoronaConfig] = None,
     modules: Sequence[str] = (),
+    faults: Optional[FaultSpec] = None,
 ) -> Tuple[WorkloadResult, float]:
     """Worker body: replay one (configuration, workload) pair.
 
@@ -294,10 +333,10 @@ def _replay_pair(
     picklable frozen dataclass) enables the timed MOESI directory in the
     worker's simulator, so coherence statistics flow through the parallel
     path exactly as through the serial one; ``corona_config`` likewise ships
-    scenario system overrides.  ``configuration_name`` resolves through the
-    Scenario API registry (seeded with the five paper systems), with
-    ``modules`` imported first so user-registered configurations exist in
-    the worker too.
+    scenario system overrides and ``faults`` the scenario's deterministic
+    fault spec.  ``configuration_name`` resolves through the Scenario API
+    registry (seeded with the five paper systems), with ``modules`` imported
+    first so user-registered configurations exist in the worker too.
     """
     configuration = _resolve_configuration(configuration_name, modules)
     trace = _resolve_trace(trace)
@@ -306,39 +345,348 @@ def _replay_pair(
         corona_config=corona_config or CORONA_DEFAULT,
         window_depth=window,
         coherence=coherence,
+        faults=faults,
     )
     started = time.perf_counter()
     result = simulator.run(trace)
     return result, time.perf_counter() - started
 
 
-def _fan_out_pairs(pairs: Iterable[tuple], jobs: int, count: int):
-    """Replay ``_replay_pair`` argument tuples, yielding ``(result, seconds)``
-    in submission order.
+# ---------------------------------------------------------------------------
+# The supervised worker pool
+# ---------------------------------------------------------------------------
+
+
+class _RawFailure(NamedTuple):
+    """One pair's terminal failure before names are attached.
+
+    ``payload`` is the worker's exception object when it pickled (so strict
+    mode re-raises the original), otherwise a message string.
+    """
+
+    kind: str
+    payload: object
+
+
+def _raw_message(raw: _RawFailure) -> str:
+    if isinstance(raw.payload, BaseException):
+        return f"{type(raw.payload).__name__}: {raw.payload}"
+    return str(raw.payload)
+
+
+def _raise_strict(raw: _RawFailure, failure: PairFailure) -> None:
+    """Abort a strict (``allow_failures=False``) run for one failed pair."""
+    if raw.kind == "setup":
+        # Re-raise clean: the remote traceback (pool internals plus the
+        # worker's frames) adds nothing to this actionable message.
+        raise WorkerSetupError(str(raw.payload)) from None
+    if isinstance(raw.payload, BaseException):
+        raise raw.payload
+    raise PairFailureError([failure])
+
+
+def _pool_worker(conn) -> None:
+    """Worker loop: receive ``(index, attempt, args)`` tasks, send outcomes.
+
+    Runs until the parent sends ``None`` or the pipe closes.  Outcomes are
+    ``(index, "ok", (result, seconds))`` or ``(index, kind, payload)`` where
+    ``kind`` is ``"setup"``/``"error"`` and ``payload`` the exception (or its
+    rendering, when the exception does not pickle).  Crashes and hangs send
+    nothing -- the parent detects them through the process sentinel and the
+    per-pair deadline.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent went away
+            return
+        if task is None:
+            return
+        index, attempt, args = task
+        try:
+            _chaos.maybe_sabotage(index, attempt, in_process=False)
+            outcome = (index, "ok", _replay_pair(*args))
+        except WorkerSetupError as exc:
+            outcome = (index, "setup", str(exc))
+        except KeyboardInterrupt:  # pragma: no cover - interactive abort
+            return
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            outcome = (index, "error", exc)
+        try:
+            conn.send(outcome)
+        except (EOFError, OSError, BrokenPipeError):  # pragma: no cover
+            return
+        except Exception:
+            # The payload (an exotic exception) did not pickle; degrade to
+            # its rendering so the parent still gets a structured outcome.
+            conn.send((index, outcome[1], _raw_message(_RawFailure(
+                outcome[1], outcome[2]
+            ))))
+
+
+class _Worker:
+    """Parent-side handle of one pool worker process."""
+
+    __slots__ = ("process", "conn", "task", "deadline")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        #: The in-flight ``(index, attempt, args)`` task, or None when idle.
+        self.task = None
+        #: Wall-clock deadline of the in-flight task (None = no timeout).
+        self.deadline: Optional[float] = None
+
+
+def _spawn_worker(ctx) -> _Worker:
+    parent_conn, child_conn = ctx.Pipe()
+    process = ctx.Process(target=_pool_worker, args=(child_conn,), daemon=True)
+    process.start()
+    child_conn.close()
+    return _Worker(process, parent_conn)
+
+
+def _retire_worker(worker: _Worker, kill: bool = False) -> None:
+    """Tear one worker down (politely, or with SIGKILL for hung ones)."""
+    if kill and worker.process.is_alive():
+        worker.process.kill()
+    else:
+        try:
+            worker.conn.send(None)
+        except Exception:
+            pass
+    worker.process.join(timeout=2.0)
+    if worker.process.is_alive():  # pragma: no cover - stuck teardown
+        worker.process.kill()
+        worker.process.join(timeout=2.0)
+    try:
+        worker.conn.close()
+    except Exception:  # pragma: no cover - already closed
+        pass
+
+
+def _pool_fan_out(pairs: Iterable[tuple], jobs: int, count: int,
+                  policy: RetryPolicy):
+    """Supervised fan-out: yield ``(result, seconds, raw_failure, attempts)``
+    per pair, in submission order.
+
+    The parent multiplexes worker pipes and process sentinels through
+    ``multiprocessing.connection.wait``: a sentinel firing while its pipe is
+    silent means the worker died mid-pair (it is respawned and the pair
+    retried); a passed deadline means the pair hung (the worker is killed,
+    respawned, and the pair retried).  Retries obey the policy's bounds and
+    exponential backoff; pairs that stay broken yield a :class:`_RawFailure`
+    instead of a result.  Completions arriving out of submission order are
+    buffered so the yield order matches the serial runner exactly.
+    """
+    ctx = multiprocessing.get_context()
+    workers: List[_Worker] = [_spawn_worker(ctx) for _ in range(jobs)]
+    iterator = iter(pairs)
+    exhausted = False
+    next_index = 0
+    #: Min-heap of ``(eligible_at, index, attempt, args)`` backoff retries.
+    retry_heap: list = []
+    #: Buffered out-of-order outcomes, keyed by submission index.
+    outcomes: Dict[int, tuple] = {}
+    next_emit = 0
+
+    def record_failure(index: int, attempt: int, args, kind: str,
+                       payload) -> None:
+        if attempt < policy.retries_for(kind):
+            eligible = time.monotonic() + policy.retry_delay_s(attempt + 1)
+            heappush(retry_heap, (eligible, index, attempt + 1, args))
+        else:
+            outcomes[index] = (
+                None, 0.0, _RawFailure(kind, payload), attempt + 1
+            )
+
+    def respawn(worker: _Worker, kill: bool) -> None:
+        _retire_worker(worker, kill=kill)
+        replacement = _spawn_worker(ctx)
+        worker.process = replacement.process
+        worker.conn = replacement.conn
+        worker.task = None
+        worker.deadline = None
+
+    try:
+        while next_emit < count:
+            now = time.monotonic()
+            # Dispatch: eligible retries first, then fresh pairs (consumed
+            # lazily, so trace generation overlaps the earliest replays).
+            for worker in workers:
+                if worker.task is not None:
+                    continue
+                if retry_heap and retry_heap[0][0] <= now:
+                    _eligible, index, attempt, args = heappop(retry_heap)
+                    task = (index, attempt, args)
+                elif not exhausted:
+                    try:
+                        args = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        continue
+                    task = (next_index, 0, args)
+                    next_index += 1
+                else:
+                    continue
+                worker.task = task
+                worker.deadline = (
+                    now + policy.timeout_s
+                    if policy.timeout_s is not None
+                    else None
+                )
+                try:
+                    worker.conn.send(task)
+                except (OSError, BrokenPipeError):
+                    # Died idle between tasks: replace it and re-dispatch.
+                    respawn(worker, kill=True)
+                    worker.task = task
+                    worker.deadline = (
+                        now + policy.timeout_s
+                        if policy.timeout_s is not None
+                        else None
+                    )
+                    worker.conn.send(task)
+
+            while next_emit in outcomes:
+                yield outcomes.pop(next_emit)
+                next_emit += 1
+            if next_emit >= count:
+                break
+
+            busy = [w for w in workers if w.task is not None]
+            if not busy:
+                if retry_heap:
+                    # Everything pending is backing off; sleep until the
+                    # first retry becomes eligible.
+                    time.sleep(
+                        min(max(retry_heap[0][0] - time.monotonic(), 0.0), 0.2)
+                    )
+                    continue
+                raise RuntimeError(  # pragma: no cover - invariant guard
+                    "supervised pool stalled with work outstanding"
+                )
+
+            timeout = None
+            deadlines = [w.deadline for w in busy if w.deadline is not None]
+            if deadlines:
+                timeout = max(min(deadlines) - time.monotonic(), 0.0)
+            if retry_heap:
+                until = max(retry_heap[0][0] - time.monotonic(), 0.0)
+                timeout = until if timeout is None else min(timeout, until)
+            ready = set(
+                _mp_connection.wait(
+                    [w.conn for w in busy]
+                    + [w.process.sentinel for w in busy],
+                    timeout,
+                )
+            )
+            now = time.monotonic()
+            for worker in busy:
+                if worker.task is None:
+                    continue
+                index, attempt, args = worker.task
+                if worker.conn in ready:
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Pipe broke mid-send: treat as a crash.
+                        exitcode = worker.process.exitcode
+                        respawn(worker, kill=True)
+                        record_failure(
+                            index, attempt, args, "crash",
+                            f"worker died (exit code {exitcode}) while "
+                            f"replaying the pair",
+                        )
+                        continue
+                    worker.task = None
+                    worker.deadline = None
+                    _index, kind, payload = message
+                    if kind == "ok":
+                        result, seconds = payload
+                        outcomes[index] = (result, seconds, None, attempt + 1)
+                    else:
+                        record_failure(index, attempt, args, kind, payload)
+                elif worker.process.sentinel in ready:
+                    # Died without sending: the satellite-1 case the old
+                    # Pool hung on forever.
+                    worker.process.join()
+                    exitcode = worker.process.exitcode
+                    respawn(worker, kill=False)
+                    record_failure(
+                        index, attempt, args, "crash",
+                        f"worker died (exit code {exitcode}) while replaying "
+                        f"the pair",
+                    )
+                elif worker.deadline is not None and now >= worker.deadline:
+                    respawn(worker, kill=True)
+                    record_failure(
+                        index, attempt, args, "timeout",
+                        f"pair exceeded the per-pair timeout of "
+                        f"{policy.timeout_s:g}s",
+                    )
+    finally:
+        for worker in workers:
+            _retire_worker(worker, kill=worker.task is not None)
+
+
+def _serial_fan_out(pairs: Iterable[tuple], policy: RetryPolicy):
+    """In-process fan-out with the same outcome shape as the pool.
+
+    Crashes and hangs cannot occur in-process; deterministic errors follow
+    the policy's ``retry_errors``/``allow_failures`` treatment (``timeout_s``
+    is ignored -- a replay cannot be preempted from its own thread).
+    """
+    for index, args in enumerate(pairs):
+        attempt = 0
+        while True:
+            try:
+                _chaos.maybe_sabotage(index, attempt, in_process=True)
+                result, seconds = _replay_pair(*args)
+            except WorkerSetupError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                if attempt < policy.retries_for("error"):
+                    delay = policy.retry_delay_s(attempt + 1)
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                if policy.allow_failures:
+                    yield (None, 0.0, _RawFailure("error", exc), attempt + 1)
+                    break
+                raise
+            else:
+                yield (result, seconds, None, attempt + 1)
+                break
+
+
+def _fan_out_pairs(
+    pairs: Iterable[tuple],
+    jobs: int,
+    count: int,
+    policy: Optional[RetryPolicy] = None,
+):
+    """Replay ``_replay_pair`` argument tuples, yielding
+    ``(result, seconds, raw_failure, attempts)`` in submission order.
 
     The single fan-out implementation behind both the matrix runner and
     :func:`run_pairs`.  ``jobs`` <= 1 (after the caller clamps to the pair
     count and available CPUs) runs in-process with no pool overhead.
-    Otherwise the pairs are submitted to a ``multiprocessing`` pool *as the
+    Otherwise the pairs are dispatched to the supervised pool *as the
     iterable produces them* -- lazy trace generation therefore overlaps the
     earliest replays -- and results are collected in submission order,
-    bit-identical to the serial loop.
+    bit-identical to the serial loop.  ``raw_failure`` is None for pairs
+    that succeeded (possibly after retries) and a :class:`_RawFailure` for
+    pairs that exhausted the policy's retries.
     """
+    if policy is None:
+        policy = DEFAULT_POLICY
     jobs = min(jobs if jobs and jobs > 0 else available_cpus(), count) or 1
     if jobs <= 1:
-        for pair in pairs:
-            yield _replay_pair(*pair)
+        yield from _serial_fan_out(pairs, policy)
         return
-    with multiprocessing.Pool(processes=jobs) as pool:
-        handles = [pool.apply_async(_replay_pair, pair) for pair in pairs]
-        for handle in handles:
-            try:
-                yield handle.get()
-            except WorkerSetupError as exc:
-                # Re-raise clean: the remote traceback (pool internals plus
-                # the worker's frames) adds nothing to this actionable,
-                # already-complete message.
-                raise WorkerSetupError(str(exc)) from None
+    yield from _pool_fan_out(pairs, jobs, count, policy)
 
 
 def run_pairs(
@@ -346,24 +694,40 @@ def run_pairs(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     on_result: Optional[Callable[[WorkloadResult], None]] = None,
-) -> List[WorkloadResult]:
+    policy: Optional[RetryPolicy] = None,
+    on_outcome: Optional[
+        Callable[[int, Optional[WorkloadResult], Optional[PairFailure], int], None]
+    ] = None,
+) -> List[Optional[WorkloadResult]]:
     """Replay ``(configuration_name, trace, window, coherence[,
-    corona_config, modules])`` tuples.
+    corona_config, modules, faults])`` tuples.
 
     The helper behind the coherence and parameter sweeps (and usable for any
     ad-hoc pair list); see :func:`_fan_out_pairs` for the jobs semantics.
     When a pool is used, each distinct trace is packed once and shipped
     through a :class:`TraceShipment` (shared memory first), exactly like the
     matrix runner.  The optional trailing elements ship scenario system
-    overrides and worker setup modules, exactly like the matrix runner's
-    pair stream.  ``on_result`` receives each pair's result the moment it is
-    collected (submission = serial order) -- the streaming hook the sweep
-    engine uses to checkpoint completed points as soon as their last pair
-    lands.
+    overrides, worker setup modules and the fault spec, exactly like the
+    matrix runner's pair stream.  ``on_result`` receives each pair's result
+    the moment it is collected (submission = serial order) -- the streaming
+    hook the sweep engine uses to checkpoint completed points as soon as
+    their last pair lands.
+
+    ``policy`` governs retries/timeouts/partial results (default:
+    :data:`~repro.harness.resilience.DEFAULT_POLICY` -- crashes recovered,
+    failures abort).  Under ``allow_failures`` the returned list holds
+    ``None`` at failed pairs' positions, and ``on_outcome(position, result,
+    failure, attempts)`` reports every pair's fate, successes included.
     """
+    if policy is None:
+        policy = DEFAULT_POLICY
     effective = min(jobs if jobs and jobs > 0 else available_cpus(), len(pairs)) or 1
     shipments: Dict[int, TraceShipment] = {}
-    results: List[WorkloadResult] = []
+    results: List[Optional[WorkloadResult]] = []
+    labels: List[Tuple[str, str]] = [
+        (pair[0], getattr(pair[1], "name", "?")) for pair in pairs
+    ]
+    outcomes = None
     try:
         calls = []
         if effective > 1:
@@ -386,13 +750,38 @@ def run_pairs(
                     packed = as_packed(trace)
                     packed_by_trace[id(trace)] = packed
                 calls.append((configuration_name, packed, *rest))
-        for result, _seconds in _fan_out_pairs(calls, effective, len(calls)):
-            results.append(result)
-            if on_result is not None:
-                on_result(result)
+        outcomes = _fan_out_pairs(calls, effective, len(calls), policy)
+        for position, (result, _seconds, raw, attempts) in enumerate(outcomes):
+            if raw is None:
+                results.append(result)
+                if on_outcome is not None:
+                    on_outcome(position, result, None, attempts)
+                if on_result is not None:
+                    on_result(result)
+                if progress is not None:
+                    progress(f"{result.workload} {result.configuration} done")
+                continue
+            configuration_name, workload_name = labels[position]
+            failure = PairFailure(
+                configuration=configuration_name,
+                workload=workload_name,
+                kind=raw.kind,
+                message=_raw_message(raw),
+                attempts=attempts,
+            )
+            if not policy.allow_failures:
+                _raise_strict(raw, failure)
+            results.append(None)
+            if on_outcome is not None:
+                on_outcome(position, None, failure, attempts)
             if progress is not None:
-                progress(f"{result.workload} {result.configuration} done")
+                progress(
+                    f"{workload_name} {configuration_name} FAILED "
+                    f"({raw.kind} after {attempts} attempt(s))"
+                )
     finally:
+        if outcomes is not None:
+            outcomes.close()
         for shipment in shipments.values():
             shipment.close()
     return results
@@ -419,6 +808,11 @@ class ParallelEvaluationRunner:
         Modules every worker imports before resolving configuration names
         (a scenario's ``modules`` list); required for user-registered
         configurations under non-``fork`` start methods.
+    policy:
+        Retry/timeout/partial-results policy (None = the default: crashes
+        recovered, persistent failures abort).  Under ``allow_failures``
+        failed pairs are recorded in :attr:`failures` and skipped in
+        :attr:`results`.
     """
 
     matrix: EvaluationMatrix
@@ -426,7 +820,9 @@ class ParallelEvaluationRunner:
     progress: Optional[Callable[[str], None]] = None
     on_result: Optional[Callable[[WorkloadResult], None]] = None
     setup_modules: Tuple[str, ...] = ()
+    policy: Optional[RetryPolicy] = None
     results: List[WorkloadResult] = field(default_factory=list)
+    failures: List[PairFailure] = field(default_factory=list)
     run_seconds: Dict[tuple, float] = field(default_factory=dict)
     _traces: Dict[str, PackedTrace] = field(default_factory=dict, repr=False)
     _shipments: Dict[str, TraceShipment] = field(default_factory=dict, repr=False)
@@ -511,11 +907,13 @@ class ParallelEvaluationRunner:
         self, count: int, only_workload: Optional[str] = None
     ) -> List[WorkloadResult]:
         """Run ``count`` pairs; append to (and return) new results."""
+        policy = self.policy if self.policy is not None else DEFAULT_POLICY
         effective = min(self.resolved_jobs(), count) or 1
         stream = self._pair_stream(ship=effective > 1, only_workload=only_workload)
         submitted: List[Tuple[str, str]] = []
 
         corona_config = self._corona_config()
+        fault_spec = getattr(self.matrix, "faults", None)
 
         def calls():
             for configuration_name, workload_name, trace, window, coherence in stream:
@@ -527,9 +925,11 @@ class ParallelEvaluationRunner:
                     coherence,
                     corona_config,
                     self.setup_modules,
+                    fault_spec,
                 )
 
         produced: List[WorkloadResult] = []
+        outcomes = _fan_out_pairs(calls(), effective, count, policy)
         try:
             if effective > 1 and not _shm_available():
                 # The fork-inherited fallback only sees traces registered
@@ -538,16 +938,35 @@ class ParallelEvaluationRunner:
                 for workload in self.matrix.workloads():
                     if only_workload is None or workload.name == only_workload:
                         self._shipped(workload, fork_ok=True)
-            for position, (result, seconds) in enumerate(
-                _fan_out_pairs(calls(), effective, count)
+            for position, (result, seconds, raw, attempts) in enumerate(
+                outcomes
             ):
-                self.run_seconds[submitted[position]] = seconds
+                configuration_name, workload_name = submitted[position]
+                if raw is not None:
+                    failure = PairFailure(
+                        configuration=configuration_name,
+                        workload=workload_name,
+                        kind=raw.kind,
+                        message=_raw_message(raw),
+                        attempts=attempts,
+                    )
+                    if not policy.allow_failures:
+                        _raise_strict(raw, failure)
+                    self.failures.append(failure)
+                    if self.progress is not None:
+                        self.progress(
+                            f"{workload_name:<10} {configuration_name:<10} "
+                            f"FAILED ({raw.kind} after {attempts} attempt(s))"
+                        )
+                    continue
+                self.run_seconds[(configuration_name, workload_name)] = seconds
                 self.results.append(result)
                 produced.append(result)
                 if self.on_result is not None:
                     self.on_result(result)
                 self._report(result)
         finally:
+            outcomes.close()
             self._close_shipments()
         return produced
 

@@ -16,6 +16,7 @@ from repro.core.config import CORONA_DEFAULT
 from repro.core.results import WorkloadResult
 from repro.core.system import SystemSimulator
 from repro.harness.experiments import EvaluationMatrix
+from repro.harness.resilience import PairFailure, PairFailureError, RetryPolicy
 from repro.trace.packed import PackedTrace, generate_packed_trace
 
 
@@ -32,6 +33,14 @@ class EvaluationRunner:
     matrix: EvaluationMatrix
     progress: Optional[Callable[[str], None]] = None
     on_result: Optional[Callable[[WorkloadResult], None]] = None
+    #: Resilience policy for :meth:`run`.  ``None`` keeps the historical
+    #: behavior: the first failing pair raises.  With a policy, in-process
+    #: errors are retried per ``retry_errors``/``max_retries`` and --
+    #: under ``allow_failures`` -- recorded in :attr:`failures` instead of
+    #: aborting the matrix.  (Per-pair timeouts need worker processes and
+    #: only apply on the parallel runner.)
+    policy: Optional[RetryPolicy] = None
+    failures: List[PairFailure] = field(default_factory=list)
     results: List[WorkloadResult] = field(default_factory=list)
     run_seconds: Dict[tuple, float] = field(default_factory=dict)
     _traces: Dict[str, PackedTrace] = field(default_factory=dict, repr=False)
@@ -62,6 +71,7 @@ class EvaluationRunner:
             or CORONA_DEFAULT,
             window_depth=self._windows[workload.name],
             coherence=self.matrix.coherence,
+            faults=getattr(self.matrix, "faults", None),
         )
         started = time.perf_counter()
         result = simulator.run(trace)
@@ -80,11 +90,62 @@ class EvaluationRunner:
         return result
 
     def run(self) -> List[WorkloadResult]:
-        """Run the whole matrix; returns all results (also kept on self)."""
-        for workload in self.matrix.workloads():
-            for configuration in self.matrix.configurations():
-                self.run_pair(configuration, workload)
+        """Run the whole matrix; returns all results (also kept on self).
+
+        With a :attr:`policy`, failing pairs are retried (``retry_errors``)
+        and -- under ``allow_failures`` -- recorded in :attr:`failures`
+        while the rest of the matrix completes; without one, the first
+        failure raises as before.
+        """
+        if self.policy is None:
+            for workload in self.matrix.workloads():
+                for configuration in self.matrix.configurations():
+                    self.run_pair(configuration, workload)
+            return self.results
+        for index, (workload, configuration) in enumerate(
+            (w, c)
+            for w in self.matrix.workloads()
+            for c in self.matrix.configurations()
+        ):
+            self._run_pair_resilient(index, configuration, workload)
         return self.results
+
+    def _run_pair_resilient(self, index, configuration, workload) -> None:
+        """One pair under the retry policy (chaos-aware, like the pool)."""
+        from repro.faults.chaos import maybe_sabotage
+
+        policy = self.policy
+        attempt = 0
+        while True:
+            try:
+                maybe_sabotage(index, attempt, in_process=True)
+                self.run_pair(configuration, workload)
+                return
+            except Exception as exc:  # noqa: BLE001 - converted to records
+                if attempt < policy.retries_for("error"):
+                    attempt += 1
+                    delay = policy.retry_delay_s(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                failure = PairFailure(
+                    configuration=configuration.name,
+                    workload=workload.name,
+                    kind="error",
+                    message=f"{type(exc).__name__}: {exc}",
+                    attempts=attempt + 1,
+                )
+                if not policy.allow_failures:
+                    if attempt > 0:
+                        raise PairFailureError([failure]) from exc
+                    raise
+                self.failures.append(failure)
+                self._report(
+                    f"{workload.name:<10} {configuration.name:<10} "
+                    f"FAILED ({failure.kind}) after {failure.attempts} "
+                    f"attempt(s): {failure.message}"
+                )
+                return
 
     def run_workload(self, workload_name: str) -> List[WorkloadResult]:
         """Run one workload across every configuration of the matrix."""

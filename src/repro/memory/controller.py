@@ -76,6 +76,11 @@ class MemoryController:
     reads: int = field(default=0, repr=False)
     writes: int = field(default=0, repr=False)
     bytes_transferred: float = field(default=0.0, repr=False)
+    #: Fault injection hook (:mod:`repro.faults.inject`): called as
+    #: ``fault_dram(controller_id, access_index)`` and returns extra DRAM
+    #: latency for transient-timeout retries.  ``None`` on fault-free builds,
+    #: so the access hot path pays one ``is None`` check.
+    fault_dram: object = field(default=None, repr=False)
     _outbound: "SerialResource" = field(init=False, repr=False)
     _inbound: "SerialResource" = field(init=False, repr=False)
     _channel_latency_s: float = field(init=False, repr=False)
@@ -168,6 +173,13 @@ class MemoryController:
             data_ready = module.access(address, channel_done + chain_delay)
         else:
             data_ready = channel_done + chain_delay + self.access_latency_s
+        if self.fault_dram is not None:
+            # Transient timeout: the access is retried after the configured
+            # latency.  Keyed by the deterministic access counter (reads +
+            # writes, pre-increment), so the schedule is order-independent.
+            data_ready += self.fault_dram(
+                self.controller_id, self.reads + self.writes
+            )
 
         if is_write:
             completion = data_ready

@@ -39,6 +39,8 @@ class OpticalCrossbar(Interconnect):
         "channel_messages",
         "channel_bytes",
         "photonic_channels",
+        "_fault_channel_bw",
+        "_fault_injector",
     )
 
     def __init__(
@@ -69,6 +71,14 @@ class OpticalCrossbar(Interconnect):
         #: Per-channel counters: messages and bytes delivered to each home.
         self.channel_messages: Dict[int, int] = {c: 0 for c in range(num_clusters)}
         self.channel_bytes: Dict[int, float] = {c: 0.0 for c in range(num_clusters)}
+        #: Fault injection hooks (:mod:`repro.faults.inject`): a per-channel
+        #: bandwidth table replacing the uniform channel bandwidth when rings
+        #: are detuned or a bundle is partially dead, and the injector whose
+        #: per-grant draw models arbitration token loss.  Both stay ``None``
+        #: on fault-free builds, so the transfer hot path pays one ``is
+        #: None`` check each and computes bit-identical results.
+        self._fault_channel_bw: Optional[list] = None
+        self._fault_injector = None
         #: Optional detailed photonic channel models (device-level view).
         self.photonic_channels: Optional[Dict[int, DwdmChannel]] = None
         if build_photonic_channels:
@@ -130,9 +140,22 @@ class OpticalCrossbar(Interconnect):
         else:
             # Contested: the token hops to the next requester downstream.
             grant_time = release_time + round_trip / num_clusters
+        injector = self._fault_injector
+        if injector is not None:
+            # Lost token: the home cluster regenerates it after the timeout,
+            # so this grant (keyed by the channel's deterministic grant
+            # counter) completes late instead of deadlocking the channel.
+            grant_time += injector.token_extra_delay(
+                channel, channel_arbiter.grants
+            )
         channel_arbiter.grants += 1
         channel_arbiter.total_wait_s += grant_time - now
-        serialization = size / self.channel_bandwidth_bytes_per_s
+        fault_bw = self._fault_channel_bw
+        serialization = size / (
+            fault_bw[channel]
+            if fault_bw is not None
+            else self.channel_bandwidth_bytes_per_s
+        )
         modulation_done = grant_time + serialization
         # The token is re-injected with the tail of the message; monotonicity
         # holds by construction (modulation_done >= grant_time >= last release).

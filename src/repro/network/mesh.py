@@ -19,7 +19,7 @@ paper's high-bandwidth workloads.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.link import Link
 from repro.network.message import Message
@@ -42,6 +42,7 @@ class ElectricalMesh(Interconnect):
         "_link_resources",
         "routers",
         "hop_count_total",
+        "_fault_link_slow",
     )
 
     def __init__(
@@ -98,6 +99,12 @@ class ElectricalMesh(Interconnect):
             for node in range(num_clusters)
         }
         self.hop_count_total = 0
+        #: Fault injection hook (:mod:`repro.faults.inject`): serialization
+        #: multipliers for partially dead links, keyed like
+        #: ``_link_resources``.  ``None`` on fault-free builds, so the
+        #: per-hop hot path pays one ``is None`` check and computes
+        #: bit-identical results.
+        self._fault_link_slow: Optional[Dict[int, float]] = None
 
     # -- Interconnect interface ---------------------------------------------
     def bisection_bandwidth_bytes_per_s(self) -> float:
@@ -128,6 +135,7 @@ class ElectricalMesh(Interconnect):
         x, y = message.src % radix, message.src // radix
         dest_x, dest_y = message.dst % radix, message.dst // radix
         resources = self._link_resources
+        link_slow = self._fault_link_slow
         hop_latency = self.hop_latency_s
         epsilon = _EPSILON
         horizon = _PRUNE_HORIZON
@@ -135,6 +143,7 @@ class ElectricalMesh(Interconnect):
         head_time = now
         queueing = 0.0
         hops = 0
+        hop_serialization = serialization
         node = message.src
         while node != message.dst:
             if x != dest_x:
@@ -142,7 +151,14 @@ class ElectricalMesh(Interconnect):
             else:
                 y += 1 if dest_y > y else -1
             next_node = y * radix + x
-            resource = resources[node * num_clusters + next_node]
+            link_key = node * num_clusters + next_node
+            resource = resources[link_key]
+            if link_slow is None:
+                hop_serialization = serialization
+            else:
+                # Partially dead link: survivors carry the message at a
+                # fraction of the bandwidth (degraded, never severed).
+                hop_serialization = serialization * link_slow.get(link_key, 1.0)
 
             if head_time > resource._high_water_request:
                 resource._high_water_request = head_time
@@ -153,18 +169,18 @@ class ElectricalMesh(Interconnect):
                 cut = bisect_right(ends, prune_before)
                 del ends[:cut]
                 del starts[:cut]
-            # Earliest gap of `serialization` seconds at or after head_time.
+            # Earliest gap of `hop_serialization` seconds at or after head_time.
             start = head_time
             n = len(starts)
             index = bisect_right(ends, start)
             while index < n:
-                if start + serialization <= starts[index] + epsilon:
+                if start + hop_serialization <= starts[index] + epsilon:
                     break
                 interval_end = ends[index]
                 if interval_end > start:
                     start = interval_end
                 index += 1
-            end = start + serialization
+            end = start + hop_serialization
             if index >= n:
                 if n and ends[-1] >= start - epsilon:
                     if end > ends[-1]:
@@ -192,7 +208,7 @@ class ElectricalMesh(Interconnect):
                         ends[merged] = ends[following]
                     del starts[following]
                     del ends[following]
-            resource.busy_time += serialization
+            resource.busy_time += hop_serialization
             resource.reservations += 1
 
             queueing += start - head_time
@@ -200,7 +216,9 @@ class ElectricalMesh(Interconnect):
             head_time = start + hop_latency
             node = next_node
             hops += 1
-        arrival = head_time + serialization
+        # The tail crosses the final link at that link's (possibly degraded)
+        # rate; the reported serialization stays the nominal per-link figure.
+        arrival = head_time + hop_serialization
         energy = hops * self.energy_per_hop_j
         self.hop_count_total += hops
 

@@ -108,6 +108,22 @@ class DwdmChannel:
         """Peak channel bandwidth in bytes per second."""
         return self.phit_bits * self.bit_rate_per_wavelength_bps / 8.0
 
+    def degraded_bandwidth_bytes_per_s(self, disabled_wavelengths: int) -> float:
+        """Bandwidth with ``disabled_wavelengths`` rings detuned off the phit.
+
+        Surviving wavelengths keep their full per-wavelength rate; a detuned
+        ring simply stops contributing its bit lane.  This is the capacity
+        model behind the fault injector's ring-detuning fault
+        (:mod:`repro.faults.inject`).
+        """
+        if not 0 <= disabled_wavelengths <= self.phit_bits:
+            raise ValueError(
+                f"disabled wavelength count must be within [0, "
+                f"{self.phit_bits}], got {disabled_wavelengths}"
+            )
+        surviving = self.phit_bits - disabled_wavelengths
+        return surviving * self.bit_rate_per_wavelength_bps / 8.0
+
     @property
     def propagation_delay_s(self) -> float:
         return self.bundle.propagation_delay_s

@@ -31,7 +31,7 @@ import csv
 import hashlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -40,6 +40,13 @@ from repro.core.results import (
     WorkloadResult,
     long_form_columns,
     long_form_row,
+)
+from repro.harness.resilience import (
+    DEFAULT_POLICY,
+    FAILURE_CSV_COLUMNS,
+    PairFailure,
+    PairFailureError,
+    RetryPolicy,
 )
 from repro.sweeps.spec import SweepError, SweepPoint, SweepSpec, expand
 from repro.trace.packed import PackedTrace, generate_packed_trace
@@ -144,7 +151,14 @@ class SweepRecord:
 
 @dataclass
 class SweepRunResult:
-    """Everything one sweep run produced (or resumed)."""
+    """Everything one sweep run produced (or resumed).
+
+    ``failures`` maps each failed point id to its structured
+    :class:`~repro.harness.resilience.PairFailure` records (pairs that
+    exhausted the retry policy); such points carry no records and re-run on
+    the next resume.  ``retried_pairs`` counts pair attempts beyond the
+    first across the whole run (successful retries included).
+    """
 
     spec: SweepSpec
     points: List[SweepPoint]
@@ -154,6 +168,12 @@ class SweepRunResult:
     written: Dict[str, Path] = field(default_factory=dict)
     wall_clock_seconds: float = 0.0
     directory: Optional[Path] = None
+    failures: Dict[str, List[PairFailure]] = field(default_factory=dict)
+    retried_pairs: int = 0
+
+    @property
+    def failed_point_ids(self) -> List[str]:
+        return list(self.failures)
 
 
 # ---------------------------------------------------------------------------
@@ -189,19 +209,28 @@ def _read_manifest(directory: Path) -> Optional[Dict]:
 
 def _load_completed(
     directory: Path,
-) -> Tuple[Dict[str, List[WorkloadResult]], int]:
-    """Completed points recorded by earlier (possibly killed) runs.
+) -> Tuple[
+    Dict[str, List[WorkloadResult]], Dict[str, List[Dict]], Dict[str, int], int
+]:
+    """Points recorded by earlier (possibly killed) runs.
 
-    Returns the parsed points plus the byte offset just past the last
-    *intact* line -- the caller truncates the file there before appending,
-    so a line half-written by a kill can never merge with the resumed run's
-    first record (which would otherwise poison every future resume).
+    Returns ``(completed, failed, retried, good_offset)``: the parsed
+    completed points, the failed points' raw failure dicts (entries with
+    ``"status": "failed"``; their points re-run on resume), the per-point
+    retried-pair counts, and the byte offset just past the last *intact*
+    line -- the caller truncates the file there before appending, so a line
+    half-written by a kill can never merge with the resumed run's first
+    record (which would otherwise poison every future resume).  A point
+    appearing more than once (a failed run later resumed to success, or
+    vice versa) resolves to its *latest* entry, so nothing double-counts.
     """
     path = directory / POINTS_NAME
     completed: Dict[str, List[WorkloadResult]] = {}
+    failed: Dict[str, List[Dict]] = {}
+    retried: Dict[str, int] = {}
     good_offset = 0
     if not path.exists():
-        return completed, good_offset
+        return completed, failed, retried, good_offset
     with path.open("rb") as handle:
         for raw in handle:
             if not raw.endswith(b"\n"):
@@ -210,17 +239,25 @@ def _load_completed(
             if line:
                 try:
                     entry = json.loads(line)
-                    results = [
-                        WorkloadResult.from_dict(result)
-                        for result in entry["results"]
-                    ]
+                    point_id = entry["point_id"]
+                    if entry.get("status") == "failed":
+                        failures = [dict(f) for f in entry.get("failures", [])]
+                        failed[point_id] = failures
+                        completed.pop(point_id, None)
+                    else:
+                        results = [
+                            WorkloadResult.from_dict(result)
+                            for result in entry["results"]
+                        ]
+                        completed[point_id] = results
+                        failed.pop(point_id, None)
+                    retried[point_id] = int(entry.get("retried_pairs", 0))
                 except (ValueError, KeyError, TypeError):
                     # Corrupt line: nothing after it can be trusted either,
                     # so stop merging there; the affected points re-run.
                     break
-                completed[entry["point_id"]] = results
             good_offset += len(raw)
-    return completed, good_offset
+    return completed, failed, retried, good_offset
 
 
 # ---------------------------------------------------------------------------
@@ -267,6 +304,7 @@ def _point_pairs(point: SweepPoint, cache: TraceCache) -> List[tuple]:
                     matrix.coherence,
                     matrix.corona_config,
                     tuple(point.scenario.modules),
+                    matrix.faults,
                 )
             )
     return pairs
@@ -339,6 +377,8 @@ def _write_sinks(
     records: Sequence[SweepRecord],
     output,
     written: Dict[str, Path],
+    failures: Optional[Dict[str, List[PairFailure]]] = None,
+    directory: Optional[Path] = None,
 ) -> None:
     from repro.api.run import _write_path as prepare
 
@@ -354,6 +394,11 @@ def _write_sinks(
             "sweep": spec.to_dict(),
             "records": [record.to_dict() for record in records],
         }
+        if failures:
+            payload["failures"] = {
+                point_id: [f.to_dict() for f in fs]
+                for point_id, fs in failures.items()
+            }
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         written["json"] = path
     if output.csv:
@@ -375,6 +420,27 @@ def _write_sinks(
                     long_form_row(record.point_id, axis_cells, record.result)
                 )
         written["csv"] = path
+    if failures:
+        # Structured failure sink: one row per broken pair, next to the
+        # long-form CSV (or in the sweep directory).
+        target = None
+        if directory is not None:
+            target = directory / "failures.csv"
+        elif output.csv:
+            target = Path(output.csv).with_suffix(".failures.csv")
+        if target is not None:
+            path = prepare(str(target))
+            with path.open("w", encoding="utf-8", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(("point_id",) + FAILURE_CSV_COLUMNS)
+                for point_id, fs in failures.items():
+                    for f in fs:
+                        record = f.to_dict()
+                        writer.writerow(
+                            [point_id]
+                            + [record[col] for col in FAILURE_CSV_COLUMNS]
+                        )
+            written["failures"] = path
 
 
 def run_sweep(
@@ -387,6 +453,7 @@ def run_sweep(
     ] = None,
     trace_cache: Optional[TraceCache] = None,
     resume: bool = True,
+    policy: Optional[RetryPolicy] = None,
 ) -> SweepRunResult:
     """Execute (or resume) a sweep and return its long-form records.
 
@@ -398,6 +465,17 @@ def run_sweep(
     seam tests use to interrupt a run between points.  ``resume=False``
     discards any previous checkpoints in ``directory`` instead of skipping
     their points.
+
+    ``policy`` is the resilience contract
+    (:class:`~repro.harness.resilience.RetryPolicy`): per-pair timeouts,
+    worker-crash recovery and bounded retries always apply (the default
+    policy recovers crashes); points whose pairs stay broken are
+    checkpointed as *failed* entries (and re-run on the next resume) either
+    way, then a strict policy (``allow_failures=False``, the default)
+    raises :class:`~repro.harness.resilience.PairFailureError` once the
+    rest of the grid -- completed points checkpointed and sinks written --
+    has landed, while ``allow_failures=True`` returns the partial
+    :class:`SweepRunResult` with :attr:`SweepRunResult.failures` filled in.
     """
     from repro.harness.parallel import run_pairs
 
@@ -405,6 +483,7 @@ def run_sweep(
     points = expand(spec)
     if not points:
         raise SweepError("axes", "the sweep expands to zero points")
+    effective_policy = policy if policy is not None else DEFAULT_POLICY
     directory = Path(directory) if directory is not None else None
     completed: Dict[str, List[WorkloadResult]] = {}
     manifest_path = None
@@ -421,7 +500,9 @@ def run_sweep(
                     f"spec -- use a fresh directory or pass --fresh to "
                     f"discard the previous run",
                 )
-            completed, good_offset = _load_completed(directory)
+            completed, _prior_failed, _prior_retried, good_offset = (
+                _load_completed(directory)
+            )
             points_path = directory / POINTS_NAME
             if (
                 points_path.exists()
@@ -456,6 +537,8 @@ def run_sweep(
         pairs.extend(point_pairs)
 
     fresh: Dict[str, List[WorkloadResult]] = {}
+    point_failures: Dict[str, List[PairFailure]] = {}
+    retried_total = 0
     effective_jobs = spec.jobs if jobs is None else jobs
     if pairs:
         points_handle = (
@@ -464,38 +547,72 @@ def run_sweep(
             else None
         )
         span_index = 0
-        buffer: List[WorkloadResult] = []
+        buffer: List[Optional[WorkloadResult]] = []
+        buffer_failures: List[PairFailure] = []
+        buffer_retries = 0
+
+        def checkpoint(entry: Dict) -> None:
+            if points_handle is not None:
+                points_handle.write(json.dumps(entry, default=repr) + "\n")
+                points_handle.flush()
+
+        def collect(
+            position: int,
+            result: Optional[WorkloadResult],
+            failure: Optional[PairFailure],
+            attempts: int,
+        ) -> None:
+            nonlocal span_index, buffer_retries, retried_total
+            buffer.append(result)
+            buffer_retries += attempts - 1
+            retried_total += attempts - 1
+            if failure is not None:
+                buffer_failures.append(failure)
+            point, start, stop = spans[span_index]
+            if len(buffer) < stop - start:
+                return
+            results = [r for r in buffer if r is not None]
+            failures = list(buffer_failures)
+            retried = buffer_retries
+            buffer.clear()
+            buffer_failures.clear()
+            buffer_retries = 0
+            span_index += 1
+            if failures:
+                # Failed point: checkpointed as such (status drives `sweep
+                # status` and the failure sinks) and *not* recorded as
+                # completed, so the next resume re-runs exactly this point.
+                point_failures[point.point_id] = failures
+                entry = {
+                    "point_id": point.point_id,
+                    "axis_values": dict(point.axis_values),
+                    "status": "failed",
+                    "failures": [f.to_dict() for f in failures],
+                }
+                if retried:
+                    entry["retried_pairs"] = retried
+                checkpoint(entry)
+                return
+            fresh[point.point_id] = results
+            entry = {
+                "point_id": point.point_id,
+                "axis_values": dict(point.axis_values),
+                "results": [r.to_dict() for r in results],
+            }
+            if retried:
+                entry["retried_pairs"] = retried
+            checkpoint(entry)
+            if on_point is not None:
+                on_point(point, tuple(results))
+
         try:
-
-            def collect(result: WorkloadResult) -> None:
-                nonlocal span_index
-                buffer.append(result)
-                point, start, stop = spans[span_index]
-                if len(buffer) < stop - start:
-                    return
-                results = list(buffer)
-                buffer.clear()
-                span_index += 1
-                fresh[point.point_id] = results
-                if points_handle is not None:
-                    points_handle.write(
-                        json.dumps(
-                            {
-                                "point_id": point.point_id,
-                                "axis_values": dict(point.axis_values),
-                                "results": [r.to_dict() for r in results],
-                            },
-                            default=repr,
-                        )
-                        + "\n"
-                    )
-                    points_handle.flush()
-                if on_point is not None:
-                    on_point(point, tuple(results))
-
+            # Failures are always collected per point first (so completed
+            # points checkpoint no matter what); strictness is applied after
+            # the grid finishes, below.
             run_pairs(
                 pairs, jobs=effective_jobs, progress=progress,
-                on_result=collect,
+                policy=replace(effective_policy, allow_failures=True),
+                on_outcome=collect,
             )
         finally:
             if points_handle is not None:
@@ -519,12 +636,27 @@ def run_sweep(
         skipped_point_ids=skipped,
         wall_clock_seconds=time.perf_counter() - started,
         directory=directory,
+        failures=point_failures,
+        retried_pairs=retried_total,
     )
     if manifest_path is not None:
         outcome.written["manifest"] = manifest_path
+        if point_failures:
+            # Record the failed ids in the manifest too, so the directory
+            # is self-describing without parsing the checkpoint log.
+            payload = _manifest_payload(spec, points)
+            payload["failed_point_ids"] = list(point_failures)
+            manifest_path.write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
     _write_sinks(
-        spec, records, _default_output(spec, directory), outcome.written
+        spec, records, _default_output(spec, directory), outcome.written,
+        failures=point_failures, directory=directory,
     )
+    if point_failures and not effective_policy.allow_failures:
+        raise PairFailureError(
+            [f for failures in point_failures.values() for f in failures]
+        )
     return outcome
 
 
@@ -534,12 +666,21 @@ def run_sweep(
 
 @dataclass(frozen=True)
 class SweepStatus:
-    """What a sweep directory's manifest says about its progress."""
+    """What a sweep directory's manifest says about its progress.
+
+    ``failed_ids`` are points whose latest checkpoint entry is a failure
+    record (they re-run on resume, so they also count as pending);
+    ``retried_pairs`` / ``quarantined_pairs`` aggregate the resilience
+    counters over every point's latest entry.
+    """
 
     name: str
     directory: Path
     point_ids: Tuple[str, ...]
     completed_ids: Tuple[str, ...]
+    failed_ids: Tuple[str, ...] = ()
+    retried_pairs: int = 0
+    quarantined_pairs: int = 0
 
     @property
     def total(self) -> int:
@@ -565,13 +706,26 @@ def sweep_status(directory: Union[str, Path]) -> SweepStatus:
             f"no {MANIFEST_NAME} here; is this a sweep --directory?",
         )
     point_ids = tuple(manifest.get("point_ids", []))
-    completed_points, _good_offset = _load_completed(directory)
-    completed = tuple(
-        pid for pid in completed_points if pid in set(point_ids)
+    known = set(point_ids)
+    completed_points, failed_points, retried, _good_offset = _load_completed(
+        directory
+    )
+    completed = tuple(pid for pid in completed_points if pid in known)
+    failed = tuple(pid for pid in failed_points if pid in known)
+    quarantined = sum(
+        1
+        for pid in failed
+        for record in failed_points[pid]
+        if record.get("quarantined", True)
     )
     return SweepStatus(
         name=str(manifest.get("name", "sweep")),
         directory=directory,
         point_ids=point_ids,
         completed_ids=completed,
+        failed_ids=failed,
+        retried_pairs=sum(
+            count for pid, count in retried.items() if pid in known
+        ),
+        quarantined_pairs=quarantined,
     )

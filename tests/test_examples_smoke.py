@@ -59,6 +59,14 @@ class TestExampleSmoke:
         assert "12 points skipped, 0 executed" in result.stdout
         assert "12/12 complete" in result.stdout
 
+    def test_fault_study_runs_end_to_end(self):
+        result = _run_example("fault_study.py", "1200")
+        assert result.returncode == 0, result.stderr
+        assert "Fault study" in result.stdout
+        # The chaos part self-checks: it exits non-zero unless the crashed
+        # and retried pool run reproduced the clean results exactly.
+        assert "bit-identical to the clean run: True" in result.stdout
+
     def test_coherence_broadcast_runs_end_to_end(self):
         result = _run_example("coherence_broadcast.py")
         assert result.returncode == 0, result.stderr
