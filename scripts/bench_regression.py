@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -102,6 +103,9 @@ def measure(rounds: int = 3, smoke: bool = False) -> Dict[str, float]:
 
     ``smoke`` shrinks every request count so the full pipeline finishes in
     seconds; smoke numbers are for plumbing verification, not comparison.
+    The matrix runners' per-phase wall-clock breakdown lands in the
+    module-level ``LAST_PHASE_TIMINGS`` (serial and parallel sections), so
+    the written snapshot can *explain* a regression, not just detect it.
     """
     requests = SMOKE_REPLAY_REQUESTS if smoke else REPLAY_REQUESTS
     workload = uniform_workload()
@@ -136,8 +140,9 @@ def measure(rounds: int = 3, smoke: bool = False) -> Dict[str, float]:
     metrics["replay_xbar_ocm_coherent_requests_per_s"] = requests / seconds
 
     pairs = _matrix(smoke).run_count()
+    serial_runner = EvaluationRunner(matrix=_matrix(smoke))
     started = time.perf_counter()
-    EvaluationRunner(matrix=_matrix(smoke)).run()
+    serial_runner.run()
     serial_seconds = time.perf_counter() - started
     metrics["matrix_serial_seconds"] = serial_seconds
     metrics["matrix_serial_pairs_per_s"] = pairs / serial_seconds
@@ -156,7 +161,20 @@ def measure(rounds: int = 3, smoke: bool = False) -> Dict[str, float]:
     metrics["matrix_dispatch_seconds"] = max(
         0.0, parallel_seconds - runner.total_wall_clock_seconds() / jobs
     )
+    LAST_PHASE_TIMINGS.clear()
+    LAST_PHASE_TIMINGS.update(
+        {
+            "matrix_serial": dict(serial_runner.phase_seconds),
+            "matrix_parallel": dict(runner.phase_seconds),
+        }
+    )
     return metrics
+
+
+#: Per-phase wall-clock breakdown of the matrix runs of the last
+#: :func:`measure` call (``{"matrix_serial": {...}, "matrix_parallel":
+#: {...}}``); written into the snapshot's ``phase_timings`` section.
+LAST_PHASE_TIMINGS: Dict[str, Dict[str, float]] = {}
 
 
 def compare(baseline: Dict[str, float], current: Dict[str, float]):
@@ -229,8 +247,14 @@ def main(argv=None) -> int:
     snapshot = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
         "mode": mode,
         "metrics": current,
+        "phase_timings": {
+            section: {phase: round(value, 4) for phase, value in phases.items()}
+            for section, phases in LAST_PHASE_TIMINGS.items()
+        },
     }
 
     if args.smoke:
@@ -264,9 +288,15 @@ def main(argv=None) -> int:
     history = []
     if existing is not None:
         history = existing.get("history", [])
+        # Each history entry carries the environment it measured on, so a
+        # trajectory spanning interpreter or hardware changes stays
+        # interpretable (older entries predate some of these fields).
         history.append(
             {
                 "timestamp": existing.get("timestamp"),
+                "python": existing.get("python"),
+                "platform": existing.get("platform"),
+                "cpus": existing.get("cpus"),
                 "metrics": existing.get("metrics"),
             }
         )

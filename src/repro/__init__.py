@@ -53,7 +53,7 @@ from repro.trace.synthetic import (
     uniform_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CoronaConfig",

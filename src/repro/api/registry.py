@@ -252,5 +252,16 @@ def _seed() -> None:
     # workload" must not trip over it.
     WORKLOADS.register("trace-file", explicit_only=True)(trace_file_workload)
 
+    from repro.trace.address import registered_address_workload
+
+    # Address-level workloads drive raw per-thread address streams through
+    # the functional cache hierarchy, so their miss traces come from actual
+    # cache behaviour.  Explicit-only: they are slower than the statistical
+    # models, so the default 5 x 17 matrix must not grow them in.
+    for kind in ("streaming", "resident", "random-shared"):
+        WORKLOADS.register(f"addr-{kind}", explicit_only=True)(
+            lambda _k=kind, **params: registered_address_workload(_k, **params)
+        )
+
 
 _seed()

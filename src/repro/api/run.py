@@ -32,6 +32,7 @@ from repro.core.results import (
 )
 from repro.faults import FaultSpec
 from repro.harness.experiments import ExperimentScale
+from repro.obs.spec import ObservabilitySpec
 from repro.harness.report import ReproductionReport
 from repro.harness.resilience import PairFailure, RetryPolicy
 
@@ -57,6 +58,9 @@ class ScenarioMatrix:
         #: ``None`` (fault-free, bit-identical path) or the scenario's
         #: :class:`~repro.faults.FaultSpec`, installed into every simulator.
         self.faults: Optional[FaultSpec] = scenario.faults
+        #: ``None`` (zero-overhead path) or the scenario's telemetry spec;
+        #: the runners resolve per-pair sink paths from it.
+        self.observability: Optional[ObservabilitySpec] = scenario.observability
         #: None when the scenario carries no overrides, so the runners keep
         #: building from the CORONA_DEFAULT singleton (bit-identical path).
         self.corona_config: Optional[CoronaConfig] = (
@@ -226,6 +230,11 @@ class ScenarioResult:
     #: Pairs that failed after retries (``allow_failures`` runs only; a
     #: strict run raises instead of producing a result).
     failures: List[PairFailure] = field(default_factory=list)
+    #: Wall-clock profiling: ``phases`` (seconds per harness phase),
+    #: ``workers`` (replay seconds per worker process) and ``pairs``
+    #: (per-pair replay seconds).  Collected on every run -- a handful of
+    #: ``perf_counter`` reads -- and persisted into the JSON sink.
+    timings: Dict[str, object] = field(default_factory=dict)
 
     def to_markdown(self) -> str:
         return self.report.to_markdown()
@@ -240,6 +249,8 @@ class ScenarioResult:
         }
         if self.failures:
             payload["failures"] = [f.to_dict() for f in self.failures]
+        if self.timings:
+            payload["timings"] = self.timings
         return payload
 
 
@@ -251,17 +262,14 @@ def _write_path(raw: str) -> Path:
 
 
 def _write_outputs(result: ScenarioResult) -> None:
+    # The JSON sink is written last so its "timings" section can include the
+    # report/CSV write time (it cannot contain its own).
     output = result.scenario.output
+    started = time.perf_counter()
     if output.report:
         path = _write_path(output.report)
         path.write_text(result.to_markdown(), encoding="utf-8")
         result.written["report"] = path
-    if output.json:
-        path = _write_path(output.json)
-        path.write_text(
-            json.dumps(result.to_json_dict(), indent=2) + "\n", encoding="utf-8"
-        )
-        result.written["json"] = path
     if output.csv:
         path = _write_path(output.csv)
         with path.open("w", encoding="utf-8", newline="") as handle:
@@ -269,6 +277,17 @@ def _write_outputs(result: ScenarioResult) -> None:
             writer.writerow(RESULT_CSV_COLUMNS)
             writer.writerows(results_to_csv_rows(result.results))
         result.written["csv"] = path
+    if result.timings and (output.report or output.csv):
+        phases = result.timings.setdefault("phases", {})
+        phases["sink_write"] = (
+            phases.get("sink_write", 0.0) + time.perf_counter() - started
+        )
+    if output.json:
+        path = _write_path(output.json)
+        path.write_text(
+            json.dumps(result.to_json_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        result.written["json"] = path
 
 
 def run(
@@ -308,12 +327,26 @@ def run(
             )
     matrix = ScenarioMatrix(scenario)
     effective_jobs = scenario.jobs if jobs is None else jobs
+    heartbeat = None
+    obs_spec = matrix.observability
+    if obs_spec is not None and obs_spec.progress:
+        from repro.obs.progress import ProgressReporter
+
+        heartbeat = ProgressReporter(
+            matrix.run_count(),
+            interval_s=obs_spec.progress_interval_s,
+            label="run",
+        )
     started = time.perf_counter()
     if effective_jobs == 1:
         from repro.harness.runner import EvaluationRunner
 
         runner = EvaluationRunner(
-            matrix=matrix, progress=progress, on_result=on_result, policy=policy
+            matrix=matrix,
+            progress=progress,
+            on_result=on_result,
+            policy=policy,
+            heartbeat=heartbeat,
         )
     else:
         from repro.harness.parallel import ParallelEvaluationRunner
@@ -325,8 +358,13 @@ def run(
             on_result=on_result,
             setup_modules=tuple(scenario.modules),
             policy=policy,
+            heartbeat=heartbeat,
         )
-    runner.run()
+    try:
+        runner.run()
+    finally:
+        if heartbeat is not None:
+            heartbeat.finish()
     wall_clock = time.perf_counter() - started
     failures = list(getattr(runner, "failures", []) or [])
     report_results = list(runner.results)
@@ -349,12 +387,25 @@ def run(
         results=report_results,
         wall_clock_seconds=runner.total_wall_clock_seconds(),
     )
+    timings: Dict[str, object] = {}
+    phases = dict(getattr(runner, "phase_seconds", None) or {})
+    if phases:
+        timings["phases"] = phases
+    workers = dict(getattr(runner, "worker_seconds", None) or {})
+    if workers:
+        timings["workers"] = workers
+    if runner.run_seconds:
+        timings["pairs"] = [
+            {"configuration": pair[0], "workload": pair[1], "seconds": seconds}
+            for pair, seconds in runner.run_seconds.items()
+        ]
     result = ScenarioResult(
         scenario=scenario,
         results=list(runner.results),
         report=report,
         wall_clock_seconds=wall_clock,
         failures=failures,
+        timings=timings,
     )
     context = ExperimentContext(
         scenario=scenario,

@@ -30,6 +30,7 @@ from repro.coherence.engine import CoherenceConfig
 from repro.coherence.sharing import SharingProfile
 from repro.core.config import CORONA_DEFAULT, CoronaConfig
 from repro.faults import FaultError, FaultSpec
+from repro.obs.spec import ObservabilityError, ObservabilitySpec
 from repro.core.configs import CONFIGURATION_ORDER
 from repro.harness.experiments import (
     FULL_SCALE,
@@ -364,6 +365,16 @@ def _faults_from_dict(data, path: str) -> Optional[FaultSpec]:
         raise ScenarioError(f"{path}.{exc.field}", exc.reason) from None
 
 
+def _observability_from_dict(data, path: str) -> Optional[ObservabilitySpec]:
+    if data is None:
+        return None
+    data = _expect_mapping(data, path)
+    try:
+        return ObservabilitySpec.from_dict(data)
+    except ObservabilityError as exc:
+        raise ScenarioError(f"{path}.{exc.field}", exc.reason) from None
+
+
 def _coherence_from_dict(data, path: str) -> Optional[CoherenceConfig]:
     if data is None:
         return None
@@ -385,6 +396,7 @@ _SCENARIO_FIELDS = (
     "scale",
     "coherence",
     "faults",
+    "observability",
     "experiments",
     "jobs",
     "modules",
@@ -410,6 +422,7 @@ class Scenario:
     scale: ScaleSpec = field(default_factory=ScaleSpec)
     coherence: Optional[CoherenceConfig] = None
     faults: Optional[FaultSpec] = None
+    observability: Optional[ObservabilitySpec] = None
     experiments: Tuple[ExperimentSpec, ...] = ()
     jobs: int = 1
     modules: Tuple[str, ...] = ()
@@ -427,6 +440,11 @@ class Scenario:
             "scale": self.scale.to_dict(),
             "coherence": None if self.coherence is None else asdict(self.coherence),
             "faults": None if self.faults is None else self.faults.to_dict(),
+            "observability": (
+                None
+                if self.observability is None
+                else self.observability.to_dict()
+            ),
             "experiments": [e.to_dict() for e in self.experiments],
             "jobs": self.jobs,
             "modules": list(self.modules),
@@ -474,6 +492,9 @@ class Scenario:
             scale=ScaleSpec.from_dict(data.get("scale", {})),
             coherence=_coherence_from_dict(data.get("coherence"), "coherence"),
             faults=_faults_from_dict(data.get("faults"), "faults"),
+            observability=_observability_from_dict(
+                data.get("observability"), "observability"
+            ),
             experiments=experiments,
             jobs=jobs,
             modules=modules,

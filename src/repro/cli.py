@@ -59,6 +59,7 @@ from repro.api import (
     WorkloadSpec,
     load_scenario,
 )
+from repro import __version__
 from repro.api import run as run_scenario
 from repro.core.configs import CONFIGURATION_ORDER
 from repro.harness.experiments import (
@@ -73,6 +74,7 @@ from repro.harness.resilience import (
 )
 from repro.harness.sensitivity import physical_design_sweeps_text
 from repro.harness.tables import format_table, render_all_tables
+from repro.obs.log import configure_logging
 from repro.photonics.inventory import corona_inventory
 from repro.power.chip import corona_chip_power
 from repro.power.electrical import electrical_memory_interconnect_power_w
@@ -322,6 +324,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenario = replace(
             scenario, output=OutputSpec(report=args.output).derived()
         )
+    observability = _observability_from_args(args, scenario.observability)
+    if observability is not scenario.observability:
+        from dataclasses import replace
+
+        scenario = replace(scenario, observability=observability)
     progress = print if args.verbose else None
     try:
         result = run_scenario(
@@ -476,6 +483,9 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
     from repro.sweeps import run_sweep
 
     spec = _load_sweep_argument(args.spec)
+    obs_override = _observability_from_args(args, spec.base.observability)
+    if obs_override is spec.base.observability:
+        obs_override = None  # no flags: each point keeps its own spec
     try:
         outcome = run_sweep(
             spec,
@@ -484,6 +494,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
             progress=print if args.verbose else None,
             resume=not args.fresh,
             policy=_policy_from_args(args),
+            observability=obs_override,
         )
     except ScenarioError as exc:  # SweepError subclasses ScenarioError
         raise SystemExit(str(exc)) from None
@@ -568,13 +579,22 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
             f"{status.quarantined_pairs} quarantined pair(s)"
         )
     failed = set(status.failed_ids)
+    timings = status.point_seconds if getattr(args, "timings", False) else {}
+
+    def _annotate(point_id: str) -> str:
+        if point_id in timings:
+            return f"  ({timings[point_id]:.2f} s replay)"
+        return ""
+
     for point_id in status.completed_ids:
-        print(f"  done     {point_id}")
+        print(f"  done     {point_id}{_annotate(point_id)}")
     for point_id in status.failed_ids:
-        print(f"  failed   {point_id}")
+        print(f"  failed   {point_id}{_annotate(point_id)}")
     for point_id in status.pending_ids:
         if point_id not in failed:
             print(f"  pending  {point_id}")
+    if timings:
+        print(f"total replay: {sum(timings.values()):.2f} s")
     return 0
 
 
@@ -661,10 +681,83 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """The telemetry flags shared by run and sweep run."""
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print a heartbeat line to stderr (pairs done, pairs/s, ETA, "
+            "retried/failed counts)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help=(
+            "sample resource utilization on simulated time into a long-form "
+            "CSV (or JSON, by extension); multi-pair runs insert the pair "
+            "name before the extension, or write to a {pair} placeholder"
+        ),
+    )
+    parser.add_argument(
+        "--timeline-out",
+        metavar="PATH",
+        help=(
+            "record per-transaction spans and fault events as Chrome "
+            "trace_event JSON (open in Perfetto / chrome://tracing)"
+        ),
+    )
+
+
+def _observability_from_args(args: argparse.Namespace, base):
+    """The scenario's ObservabilitySpec overridden by the CLI flags.
+
+    Returns ``base`` untouched (possibly ``None``) when no telemetry flag
+    was given, so flag-free invocations stay bit-identical to before the
+    flags existed.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.obs.spec import ObservabilitySpec
+
+    if not (args.progress or args.metrics_out or args.timeline_out):
+        return base
+    spec = base if base is not None else ObservabilitySpec()
+    updates = {}
+    if args.progress:
+        updates["progress"] = True
+    if args.metrics_out:
+        updates["metrics_path"] = args.metrics_out
+    if args.timeline_out:
+        updates["timeline_path"] = args.timeline_out
+    return dc_replace(spec, **updates)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="corona-repro",
         description="Reproduction of Corona (ISCA 2008): tables, figures and simulations.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"corona-repro {__version__}",
+    )
+    parser.add_argument(
+        "-v",
+        action="count",
+        default=0,
+        dest="verbosity",
+        help="raise the log level (-v = INFO, -vv = DEBUG); applies to "
+        "workers too",
+    )
+    parser.add_argument(
+        "-q",
+        action="count",
+        default=0,
+        dest="quiet",
+        help="lower the log level (ERROR and up only)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -701,6 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_p.add_argument("--verbose", action="store_true")
+    _add_observability_arguments(run_p)
     _add_resilience_arguments(run_p)
     run_p.set_defaults(handler=_cmd_run)
 
@@ -794,6 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="discard any previous checkpoints instead of resuming",
     )
     sweep_run_p.add_argument("--verbose", action="store_true")
+    _add_observability_arguments(sweep_run_p)
     _add_resilience_arguments(sweep_run_p)
     sweep_run_p.set_defaults(handler=_cmd_sweep_run)
 
@@ -809,6 +904,11 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="report a sweep directory's completed/pending points"
     )
     sweep_status_p.add_argument("directory")
+    sweep_status_p.add_argument(
+        "--timings",
+        action="store_true",
+        help="also print per-point replay seconds from the checkpoint log",
+    )
     sweep_status_p.set_defaults(handler=_cmd_sweep_status)
 
     trace_p = subparsers.add_parser(
@@ -957,6 +1057,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        getattr(args, "verbosity", 0) - getattr(args, "quiet", 0)
+    )
     return args.handler(args)
 
 

@@ -68,6 +68,9 @@ from repro.memory.system import MemorySystem
 from repro.network.broadcast import OpticalBroadcastBus
 from repro.network.message import Message, MessageType
 from repro.network.topology import Interconnect, TransferResult
+from repro.obs.metrics import MetricsSampler
+from repro.obs.spec import ObservabilitySpec
+from repro.obs.timeline import TimelineRecorder
 from repro.sim.engine import Simulator
 from repro.sim.stats import Histogram, RunningStats
 from repro.trace.packed import (
@@ -293,6 +296,9 @@ class SystemSimulator:
         "_stage_memory",
         "fault_spec",
         "fault_injector",
+        "observability",
+        "_obs_metrics",
+        "_obs_timeline",
     )
 
     def __init__(
@@ -306,6 +312,7 @@ class SystemSimulator:
         hub_queue_depth: int = 64,
         coherence: Optional[CoherenceConfig] = None,
         faults: Optional[FaultSpec] = None,
+        observability: Optional[ObservabilitySpec] = None,
     ) -> None:
         if window_depth < 1:
             raise ValueError(f"window depth must be >= 1, got {window_depth}")
@@ -320,6 +327,13 @@ class SystemSimulator:
         self.fault_injector = build_injector(faults)
         if self.fault_injector is not None:
             self.fault_injector.install(self.network, self.memory)
+        # Observability (opt-in, same zero-overhead discipline): with
+        # ``observability=None`` -- or a spec with no sinks -- neither the
+        # sampler nor the recorder is constructed and the stage handlers'
+        # hooks stay ``None``.
+        self.observability = observability
+        self._obs_metrics: Optional[MetricsSampler] = None
+        self._obs_timeline: Optional[TimelineRecorder] = None
         self.window_depth = window_depth
         self.hubs: Dict[int, Hub] = {
             cluster: Hub(
@@ -435,6 +449,10 @@ class SystemSimulator:
             state.issue_scheduled = True
             self._simulator.schedule_at(first_issue, self._on_issue, state)
 
+        observability = self.observability
+        if observability is not None and observability.simulation_active:
+            self._install_observability(observability)
+
         # The replay allocates heavily (events, transactions, results) but
         # creates no reference cycles, so the cyclic collector only adds
         # overhead; pause it for the duration of the event loop.
@@ -447,6 +465,38 @@ class SystemSimulator:
             if gc_was_enabled:
                 gc.enable()
         return self._build_result(packed, self._makespan)
+
+    def _install_observability(self, spec: ObservabilitySpec) -> None:
+        """Build and install the sampler/recorder on the fresh calendar.
+
+        Runs after the thread states exist (the sampler reads them) and
+        before the event loop starts.  Each :meth:`run` call gets fresh
+        collectors; the previous run's data is dropped.
+        """
+        recorder = None
+        if spec.timeline_enabled:
+            recorder = TimelineRecorder(
+                hub_fwd=self._hub_fwd, limit=spec.timeline_limit
+            )
+            injector = self.fault_injector
+            if injector is not None:
+                simulator = self._simulator
+                injector.on_fault = (
+                    lambda kind, site, delay_s: recorder.fault_event(
+                        simulator.now, kind, site, delay_s
+                    )
+                )
+        self._obs_timeline = recorder
+        if spec.metrics_enabled:
+            sampler = MetricsSampler(
+                self,
+                interval_ns=spec.metrics_interval_ns,
+                counter_sink=recorder.counter if recorder is not None else None,
+            )
+            sampler.install(self._simulator)
+            self._obs_metrics = sampler
+        else:
+            self._obs_metrics = None
 
     # --------------------------------------------------------------- scheduling
     def _try_schedule_issue(self, state: _ThreadState) -> None:
@@ -755,6 +805,10 @@ class SystemSimulator:
         stats.network_hops += hops
         stats.network_messages += messages
 
+        recorder = self._obs_timeline
+        if recorder is not None:
+            recorder.record_transaction(state, transaction, now, completion_time)
+
         self._try_schedule_issue(state)
 
     def _on_response(self, state: _ThreadState, transaction: _Transaction) -> None:
@@ -843,6 +897,10 @@ class SystemSimulator:
         stats.network_hops += hops
         stats.network_messages += messages
 
+        recorder = self._obs_timeline
+        if recorder is not None:
+            recorder.record_transaction(state, transaction, now, completion_time)
+
         # This completion may free the window slot the thread's next miss is
         # waiting for.
         self._try_schedule_issue(state)
@@ -920,6 +978,7 @@ def simulate_workload(
     window_depth: Optional[int] = None,
     coherence: Optional[CoherenceConfig] = None,
     faults: Optional[FaultSpec] = None,
+    observability: Optional[ObservabilitySpec] = None,
 ) -> WorkloadResult:
     """Convenience wrapper: generate a workload's trace and replay it.
 
@@ -940,5 +999,6 @@ def simulate_workload(
         window_depth=depth,
         coherence=coherence,
         faults=faults,
+        observability=observability,
     )
     return simulator.run(trace)

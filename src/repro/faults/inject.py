@@ -69,12 +69,17 @@ class FaultStats:
 class FaultInjector:
     """Installs one spec's faults into a freshly built system."""
 
-    __slots__ = ("spec", "stats", "_token_regen_s")
+    __slots__ = ("spec", "stats", "_token_regen_s", "on_fault")
 
     def __init__(self, spec: FaultSpec) -> None:
         self.spec = spec
         self.stats = FaultStats()
         self._token_regen_s = 0.0
+        #: Optional observability hook ``(kind, site, delay_s)`` fired when a
+        #: per-event fault actually triggers; the timeline recorder installs
+        #: it (:mod:`repro.obs.timeline`).  ``None`` costs one check per
+        #: *triggered* fault, never per event.
+        self.on_fault = None
 
     # -- installation --------------------------------------------------------
     def install(self, network, memory) -> None:
@@ -173,6 +178,9 @@ class FaultInjector:
         ):
             self.stats.tokens_lost += 1
             self.stats.token_regen_wait_s += self._token_regen_s
+            hook = self.on_fault
+            if hook is not None:
+                hook("token_lost", channel, self._token_regen_s)
             return self._token_regen_s
         return 0.0
 
@@ -186,6 +194,9 @@ class FaultInjector:
             retry = spec.dram_retry_latency_ns * 1e-9
             self.stats.dram_timeouts += 1
             self.stats.dram_retry_s += retry
+            hook = self.on_fault
+            if hook is not None:
+                hook("dram_timeout", controller_id, retry)
             return retry
         return 0.0
 

@@ -94,8 +94,14 @@ from repro.harness.resilience import (
     PairFailureError,
     RetryPolicy,
 )
+from repro.obs.artifacts import resolve_pair_spec, write_pair_artifacts
+from repro.obs.log import configure_worker_logging, get_logger
+from repro.obs.progress import ProgressReporter
+from repro.obs.spec import ObservabilitySpec
 from repro.trace.packed import PackedTrace, as_packed, generate_packed_trace
 from repro.trace.record import TraceStream
+
+_log = get_logger(__name__)
 
 try:  # pragma: no cover - exercised implicitly on every import
     from multiprocessing import shared_memory as _shared_memory
@@ -273,6 +279,10 @@ class TraceShipment:
             None,
             "fork",
         ):
+            _log.info(
+                "shared memory unavailable; shipping trace via the "
+                "fork-inherited registry"
+            )
             key = f"trace-{secrets.token_hex(8)}"
             _FORK_REGISTRY[key] = packed
             self._registry_key = key
@@ -281,6 +291,9 @@ class TraceShipment:
         # Last resort (no shm, or shm ran out after the pool forked): ship
         # the packed columns by value -- one pickle per worker task, but
         # 24 B/record instead of record objects.
+        _log.info(
+            "shared memory unavailable; shipping packed trace by value"
+        )
         self.handle = packed
 
     def close(self) -> None:
@@ -323,6 +336,7 @@ def _replay_pair(
     corona_config: Optional[CoronaConfig] = None,
     modules: Sequence[str] = (),
     faults: Optional[FaultSpec] = None,
+    observability: Optional[ObservabilitySpec] = None,
 ) -> Tuple[WorkloadResult, float]:
     """Worker body: replay one (configuration, workload) pair.
 
@@ -337,6 +351,13 @@ def _replay_pair(
     fault spec.  ``configuration_name`` resolves through the Scenario API
     registry (seeded with the five paper systems), with ``modules`` imported
     first so user-registered configurations exist in the worker too.
+
+    ``observability`` (when active) is a *pair-resolved*
+    :class:`~repro.obs.spec.ObservabilitySpec` -- its sink paths were
+    already specialized for this pair in the parent -- so the worker writes
+    the metrics/timeline artifacts directly and the outcome shape stays
+    ``(result, seconds)``.  The artifact write happens after the replay
+    timer stops, so telemetry never pollutes the recorded replay seconds.
     """
     configuration = _resolve_configuration(configuration_name, modules)
     trace = _resolve_trace(trace)
@@ -346,10 +367,14 @@ def _replay_pair(
         window_depth=window,
         coherence=coherence,
         faults=faults,
+        observability=observability,
     )
     started = time.perf_counter()
     result = simulator.run(trace)
-    return result, time.perf_counter() - started
+    seconds = time.perf_counter() - started
+    if observability is not None and observability.simulation_active:
+        write_pair_artifacts(simulator, configuration_name, result.workload)
+    return result, seconds
 
 
 # ---------------------------------------------------------------------------
@@ -395,6 +420,7 @@ def _pool_worker(conn) -> None:
     nothing -- the parent detects them through the process sentinel and the
     per-pair deadline.
     """
+    configure_worker_logging()
     while True:
         try:
             task = conn.recv()
@@ -467,8 +493,8 @@ def _retire_worker(worker: _Worker, kill: bool = False) -> None:
 
 def _pool_fan_out(pairs: Iterable[tuple], jobs: int, count: int,
                   policy: RetryPolicy):
-    """Supervised fan-out: yield ``(result, seconds, raw_failure, attempts)``
-    per pair, in submission order.
+    """Supervised fan-out: yield ``(result, seconds, raw_failure, attempts,
+    worker_name)`` per pair, in submission order.
 
     The parent multiplexes worker pipes and process sentinels through
     ``multiprocessing.connection.wait``: a sentinel firing while its pipe is
@@ -491,13 +517,18 @@ def _pool_fan_out(pairs: Iterable[tuple], jobs: int, count: int,
     next_emit = 0
 
     def record_failure(index: int, attempt: int, args, kind: str,
-                       payload) -> None:
+                       payload, worker_name: str = "") -> None:
         if attempt < policy.retries_for(kind):
+            _log.info(
+                "pair %d failed (%s); scheduling retry %d",
+                index, kind, attempt + 1,
+            )
             eligible = time.monotonic() + policy.retry_delay_s(attempt + 1)
             heappush(retry_heap, (eligible, index, attempt + 1, args))
         else:
             outcomes[index] = (
-                None, 0.0, _RawFailure(kind, payload), attempt + 1
+                None, 0.0, _RawFailure(kind, payload), attempt + 1,
+                worker_name,
             )
 
     def respawn(worker: _Worker, kill: bool) -> None:
@@ -592,11 +623,17 @@ def _pool_fan_out(pairs: Iterable[tuple], jobs: int, count: int,
                     except (EOFError, OSError):
                         # Pipe broke mid-send: treat as a crash.
                         exitcode = worker.process.exitcode
+                        name = worker.process.name
+                        _log.warning(
+                            "worker %s died (exit code %s) mid-send; "
+                            "respawning", name, exitcode,
+                        )
                         respawn(worker, kill=True)
                         record_failure(
                             index, attempt, args, "crash",
                             f"worker died (exit code {exitcode}) while "
                             f"replaying the pair",
+                            name,
                         )
                         continue
                     worker.task = None
@@ -604,26 +641,45 @@ def _pool_fan_out(pairs: Iterable[tuple], jobs: int, count: int,
                     _index, kind, payload = message
                     if kind == "ok":
                         result, seconds = payload
-                        outcomes[index] = (result, seconds, None, attempt + 1)
+                        outcomes[index] = (
+                            result, seconds, None, attempt + 1,
+                            worker.process.name,
+                        )
                     else:
-                        record_failure(index, attempt, args, kind, payload)
+                        record_failure(
+                            index, attempt, args, kind, payload,
+                            worker.process.name,
+                        )
                 elif worker.process.sentinel in ready:
                     # Died without sending: the satellite-1 case the old
                     # Pool hung on forever.
                     worker.process.join()
                     exitcode = worker.process.exitcode
+                    name = worker.process.name
+                    _log.warning(
+                        "worker %s died (exit code %s) while replaying pair "
+                        "%d; respawning", name, exitcode, index,
+                    )
                     respawn(worker, kill=False)
                     record_failure(
                         index, attempt, args, "crash",
                         f"worker died (exit code {exitcode}) while replaying "
                         f"the pair",
+                        name,
                     )
                 elif worker.deadline is not None and now >= worker.deadline:
+                    name = worker.process.name
+                    _log.warning(
+                        "pair %d exceeded its %gs timeout on worker %s; "
+                        "killing and respawning", index, policy.timeout_s,
+                        name,
+                    )
                     respawn(worker, kill=True)
                     record_failure(
                         index, attempt, args, "timeout",
                         f"pair exceeded the per-pair timeout of "
                         f"{policy.timeout_s:g}s",
+                        name,
                     )
     finally:
         for worker in workers:
@@ -653,11 +709,14 @@ def _serial_fan_out(pairs: Iterable[tuple], policy: RetryPolicy):
                     attempt += 1
                     continue
                 if policy.allow_failures:
-                    yield (None, 0.0, _RawFailure("error", exc), attempt + 1)
+                    yield (
+                        None, 0.0, _RawFailure("error", exc), attempt + 1,
+                        "in-process",
+                    )
                     break
                 raise
             else:
-                yield (result, seconds, None, attempt + 1)
+                yield (result, seconds, None, attempt + 1, "in-process")
                 break
 
 
@@ -668,7 +727,8 @@ def _fan_out_pairs(
     policy: Optional[RetryPolicy] = None,
 ):
     """Replay ``_replay_pair`` argument tuples, yielding
-    ``(result, seconds, raw_failure, attempts)`` in submission order.
+    ``(result, seconds, raw_failure, attempts, worker_name)`` in submission
+    order.
 
     The single fan-out implementation behind both the matrix runner and
     :func:`run_pairs`.  ``jobs`` <= 1 (after the caller clamps to the pair
@@ -696,11 +756,14 @@ def run_pairs(
     on_result: Optional[Callable[[WorkloadResult], None]] = None,
     policy: Optional[RetryPolicy] = None,
     on_outcome: Optional[
-        Callable[[int, Optional[WorkloadResult], Optional[PairFailure], int], None]
+        Callable[
+            [int, Optional[WorkloadResult], Optional[PairFailure], int, float],
+            None,
+        ]
     ] = None,
 ) -> List[Optional[WorkloadResult]]:
     """Replay ``(configuration_name, trace, window, coherence[,
-    corona_config, modules, faults])`` tuples.
+    corona_config, modules, faults, observability])`` tuples.
 
     The helper behind the coherence and parameter sweeps (and usable for any
     ad-hoc pair list); see :func:`_fan_out_pairs` for the jobs semantics.
@@ -717,7 +780,9 @@ def run_pairs(
     :data:`~repro.harness.resilience.DEFAULT_POLICY` -- crashes recovered,
     failures abort).  Under ``allow_failures`` the returned list holds
     ``None`` at failed pairs' positions, and ``on_outcome(position, result,
-    failure, attempts)`` reports every pair's fate, successes included.
+    failure, attempts, seconds)`` reports every pair's fate, successes
+    included -- ``seconds`` is the pair's replay wall-clock measured where
+    it ran (the per-point timing the sweep engine checkpoints).
     """
     if policy is None:
         policy = DEFAULT_POLICY
@@ -751,11 +816,13 @@ def run_pairs(
                     packed_by_trace[id(trace)] = packed
                 calls.append((configuration_name, packed, *rest))
         outcomes = _fan_out_pairs(calls, effective, len(calls), policy)
-        for position, (result, _seconds, raw, attempts) in enumerate(outcomes):
+        for position, (result, seconds, raw, attempts, _worker) in enumerate(
+            outcomes
+        ):
             if raw is None:
                 results.append(result)
                 if on_outcome is not None:
-                    on_outcome(position, result, None, attempts)
+                    on_outcome(position, result, None, attempts, seconds)
                 if on_result is not None:
                     on_result(result)
                 if progress is not None:
@@ -773,7 +840,7 @@ def run_pairs(
                 _raise_strict(raw, failure)
             results.append(None)
             if on_outcome is not None:
-                on_outcome(position, None, failure, attempts)
+                on_outcome(position, None, failure, attempts, seconds)
             if progress is not None:
                 progress(
                     f"{workload_name} {configuration_name} FAILED "
@@ -821,9 +888,18 @@ class ParallelEvaluationRunner:
     on_result: Optional[Callable[[WorkloadResult], None]] = None
     setup_modules: Tuple[str, ...] = ()
     policy: Optional[RetryPolicy] = None
+    #: Optional :class:`~repro.obs.progress.ProgressReporter` ticked once
+    #: per finished pair (the ``--progress`` stderr heartbeat).
+    heartbeat: Optional[ProgressReporter] = None
     results: List[WorkloadResult] = field(default_factory=list)
     failures: List[PairFailure] = field(default_factory=list)
     run_seconds: Dict[tuple, float] = field(default_factory=dict)
+    #: Wall-clock seconds per harness phase (trace_generation, shipping,
+    #: replay = summed worker replay seconds, dispatch = fan-out wall clock
+    #: beyond replay/jobs -- submission, pipes, result collection).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Replay seconds attributed to each worker process by name.
+    worker_seconds: Dict[str, float] = field(default_factory=dict)
     _traces: Dict[str, PackedTrace] = field(default_factory=dict, repr=False)
     _shipments: Dict[str, TraceShipment] = field(default_factory=dict, repr=False)
 
@@ -842,16 +918,22 @@ class ParallelEvaluationRunner:
                 f"lat={result.average_latency_ns:8.1f} ns"
             )
 
+    def _phase(self, name: str, seconds: float) -> None:
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
     def _trace_for(self, workload) -> PackedTrace:
         """The workload's packed trace, generated once and cached."""
         packed = self._traces.get(workload.name)
         if packed is None:
+            started = time.perf_counter()
             packed = generate_packed_trace(
                 workload,
                 seed=self.matrix.scale.seed,
                 num_requests=self.matrix.requests_for(workload),
             )
+            self._phase("trace_generation", time.perf_counter() - started)
             self._traces[workload.name] = packed
+            _log.debug("generated trace for workload %s", workload.name)
         return packed
 
     def _shipped(self, workload, fork_ok: bool) -> object:
@@ -860,7 +942,10 @@ class ParallelEvaluationRunner:
         (the lazy streaming path)."""
         shipment = self._shipments.get(workload.name)
         if shipment is None:
-            shipment = TraceShipment(self._trace_for(workload), fork_ok=fork_ok)
+            trace = self._trace_for(workload)
+            started = time.perf_counter()
+            shipment = TraceShipment(trace, fork_ok=fork_ok)
+            self._phase("shipping", time.perf_counter() - started)
             self._shipments[workload.name] = shipment
         return shipment.handle
 
@@ -914,6 +999,8 @@ class ParallelEvaluationRunner:
 
         corona_config = self._corona_config()
         fault_spec = getattr(self.matrix, "faults", None)
+        obs_spec = getattr(self.matrix, "observability", None)
+        multi = self.matrix.run_count() > 1
 
         def calls():
             for configuration_name, workload_name, trace, window, coherence in stream:
@@ -926,9 +1013,16 @@ class ParallelEvaluationRunner:
                     corona_config,
                     self.setup_modules,
                     fault_spec,
+                    # Per-pair sink paths are resolved here in the parent;
+                    # the worker just writes to them.
+                    resolve_pair_spec(
+                        obs_spec, configuration_name, workload_name, multi
+                    ),
                 )
 
         produced: List[WorkloadResult] = []
+        replay_sum = 0.0
+        fan_started = time.perf_counter()
         outcomes = _fan_out_pairs(calls(), effective, count, policy)
         try:
             if effective > 1 and not _shm_available():
@@ -938,7 +1032,7 @@ class ParallelEvaluationRunner:
                 for workload in self.matrix.workloads():
                     if only_workload is None or workload.name == only_workload:
                         self._shipped(workload, fork_ok=True)
-            for position, (result, seconds, raw, attempts) in enumerate(
+            for position, (result, seconds, raw, attempts, worker) in enumerate(
                 outcomes
             ):
                 configuration_name, workload_name = submitted[position]
@@ -953,6 +1047,10 @@ class ParallelEvaluationRunner:
                     if not policy.allow_failures:
                         _raise_strict(raw, failure)
                     self.failures.append(failure)
+                    if self.heartbeat is not None:
+                        self.heartbeat.pair_done(
+                            failed=True, retries=attempts - 1
+                        )
                     if self.progress is not None:
                         self.progress(
                             f"{workload_name:<10} {configuration_name:<10} "
@@ -960,14 +1058,31 @@ class ParallelEvaluationRunner:
                         )
                     continue
                 self.run_seconds[(configuration_name, workload_name)] = seconds
+                replay_sum += seconds
+                if worker:
+                    self.worker_seconds[worker] = (
+                        self.worker_seconds.get(worker, 0.0) + seconds
+                    )
                 self.results.append(result)
                 produced.append(result)
+                if self.heartbeat is not None:
+                    self.heartbeat.pair_done(failed=False, retries=attempts - 1)
                 if self.on_result is not None:
                     self.on_result(result)
                 self._report(result)
         finally:
             outcomes.close()
             self._close_shipments()
+            self._phase("replay", replay_sum)
+            # What the fan-out wall clock spent beyond the replays' fair
+            # share: submission, pipe traffic, result collection, stalls.
+            self._phase(
+                "dispatch",
+                max(
+                    0.0,
+                    time.perf_counter() - fan_started - replay_sum / effective,
+                ),
+            )
         return produced
 
     def run(self) -> List[WorkloadResult]:

@@ -17,7 +17,12 @@ from repro.core.results import WorkloadResult
 from repro.core.system import SystemSimulator
 from repro.harness.experiments import EvaluationMatrix
 from repro.harness.resilience import PairFailure, PairFailureError, RetryPolicy
+from repro.obs.artifacts import resolve_pair_spec, write_pair_artifacts
+from repro.obs.log import get_logger
+from repro.obs.progress import ProgressReporter
 from repro.trace.packed import PackedTrace, generate_packed_trace
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -40,9 +45,17 @@ class EvaluationRunner:
     #: aborting the matrix.  (Per-pair timeouts need worker processes and
     #: only apply on the parallel runner.)
     policy: Optional[RetryPolicy] = None
+    #: Optional :class:`~repro.obs.progress.ProgressReporter` ticked once
+    #: per finished pair (the ``--progress`` stderr heartbeat).
+    heartbeat: Optional[ProgressReporter] = None
     failures: List[PairFailure] = field(default_factory=list)
     results: List[WorkloadResult] = field(default_factory=list)
     run_seconds: Dict[tuple, float] = field(default_factory=dict)
+    #: Wall-clock seconds per harness phase (trace_generation, replay,
+    #: sink_write) -- a few ``perf_counter`` reads per pair.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Replay seconds per "worker"; the serial runner has exactly one.
+    worker_seconds: Dict[str, float] = field(default_factory=dict)
     _traces: Dict[str, PackedTrace] = field(default_factory=dict, repr=False)
     _windows: Dict[str, int] = field(default_factory=dict, repr=False)
 
@@ -50,21 +63,37 @@ class EvaluationRunner:
         if self.progress is not None:
             self.progress(message)
 
+    def _phase(self, name: str, seconds: float) -> None:
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def _tick(self, failed: bool, retries: int) -> None:
+        if self.heartbeat is not None:
+            self.heartbeat.pair_done(failed=failed, retries=retries)
+
     def _trace_for(self, workload) -> PackedTrace:
         """The workload's trace in packed form, generated once per workload
         (generation is identical across configurations)."""
         if workload.name not in self._traces:
+            started = time.perf_counter()
             self._traces[workload.name] = generate_packed_trace(
                 workload,
                 seed=self.matrix.scale.seed,
                 num_requests=self.matrix.requests_for(workload),
             )
+            self._phase("trace_generation", time.perf_counter() - started)
             self._windows[workload.name] = getattr(workload, "window", 4)
+            _log.debug("generated trace for workload %s", workload.name)
         return self._traces[workload.name]
 
     def run_pair(self, configuration, workload) -> WorkloadResult:
         """Run one (configuration, workload) pair and record the result."""
         trace = self._trace_for(workload)
+        observability = resolve_pair_spec(
+            getattr(self.matrix, "observability", None),
+            configuration.name,
+            workload.name,
+            multi=self.matrix.run_count() > 1,
+        )
         simulator = SystemSimulator(
             configuration=configuration,
             corona_config=getattr(self.matrix, "corona_config", None)
@@ -72,12 +101,21 @@ class EvaluationRunner:
             window_depth=self._windows[workload.name],
             coherence=self.matrix.coherence,
             faults=getattr(self.matrix, "faults", None),
+            observability=observability,
         )
         started = time.perf_counter()
         result = simulator.run(trace)
-        self.run_seconds[(configuration.name, workload.name)] = (
-            time.perf_counter() - started
+        seconds = time.perf_counter() - started
+        self.run_seconds[(configuration.name, workload.name)] = seconds
+        self._phase("replay", seconds)
+        self.worker_seconds["in-process"] = (
+            self.worker_seconds.get("in-process", 0.0) + seconds
         )
+        if observability is not None:
+            _written, sink_seconds = write_pair_artifacts(
+                simulator, configuration.name, workload.name
+            )
+            self._phase("sink_write", sink_seconds)
         self.results.append(result)
         if self.on_result is not None:
             self.on_result(result)
@@ -101,6 +139,7 @@ class EvaluationRunner:
             for workload in self.matrix.workloads():
                 for configuration in self.matrix.configurations():
                     self.run_pair(configuration, workload)
+                    self._tick(failed=False, retries=0)
             return self.results
         for index, (workload, configuration) in enumerate(
             (w, c)
@@ -120,10 +159,15 @@ class EvaluationRunner:
             try:
                 maybe_sabotage(index, attempt, in_process=True)
                 self.run_pair(configuration, workload)
+                self._tick(failed=False, retries=attempt)
                 return
             except Exception as exc:  # noqa: BLE001 - converted to records
                 if attempt < policy.retries_for("error"):
                     attempt += 1
+                    _log.info(
+                        "pair (%s, %s) failed in process; retry %d",
+                        configuration.name, workload.name, attempt,
+                    )
                     delay = policy.retry_delay_s(attempt)
                     if delay > 0:
                         time.sleep(delay)
@@ -140,6 +184,7 @@ class EvaluationRunner:
                         raise PairFailureError([failure]) from exc
                     raise
                 self.failures.append(failure)
+                self._tick(failed=True, retries=attempt)
                 self._report(
                     f"{workload.name:<10} {configuration.name:<10} "
                     f"FAILED ({failure.kind}) after {failure.attempts} "

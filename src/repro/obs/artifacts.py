@@ -1,0 +1,125 @@
+"""Writing observability artifacts (metrics CSV/JSON, timeline JSON).
+
+The runners resolve the spec's sink paths per (configuration, workload)
+pair *before* the simulator is built -- in multi-pair runs each pair gets
+``<stem>-<config>-<workload><ext>`` (or substitutes a literal ``{pair}``
+placeholder) so pairs never overwrite each other, and worker processes can
+write their own artifacts without shipping sample arrays back.  After a
+replay, :func:`write_pair_artifacts` drains the simulator's sampler and
+recorder into those files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+import time
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import METRIC_COLUMNS
+from repro.obs.spec import ObservabilitySpec
+
+METRICS_FORMAT = "corona-metrics/1"
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def pair_slug(*parts: str) -> str:
+    """A filesystem-safe label for a pair (``XBar/OCM`` -> ``XBar-OCM``)."""
+    return "-".join(_SLUG_RE.sub("-", part).strip("-") for part in parts if part)
+
+
+def pair_path(base: str, slug: str, multi: bool) -> str:
+    """Resolve one pair's sink path from the spec's base path.
+
+    A literal ``{pair}`` placeholder is always substituted; otherwise the
+    slug is inserted before the extension only when the run has several
+    pairs (single-pair runs keep the path exactly as given).
+    """
+    if "{pair}" in base:
+        return base.replace("{pair}", slug)
+    if not multi:
+        return base
+    stem, dot, ext = base.rpartition(".")
+    if dot and "/" not in ext and "\\" not in ext:
+        return f"{stem}-{slug}.{ext}"
+    return f"{base}-{slug}"
+
+
+def resolve_pair_spec(
+    spec: Optional[ObservabilitySpec],
+    configuration_name: str,
+    workload_name: str,
+    multi: bool,
+    prefix: str = "",
+) -> Optional[ObservabilitySpec]:
+    """The spec a single pair's simulator should carry, or ``None``.
+
+    Returns ``None`` when nothing simulation-side is enabled, so the
+    replay's default path stays hook-free; otherwise a copy of ``spec``
+    with both sink paths resolved for this pair (``prefix`` prepends e.g.
+    a sweep point id to the slug).
+    """
+    if spec is None or not spec.simulation_active:
+        return None
+    slug = pair_slug(prefix, configuration_name, workload_name)
+    return replace(
+        spec,
+        metrics_path=(
+            pair_path(spec.metrics_path, slug, multi) if spec.metrics_path else ""
+        ),
+        timeline_path=(
+            pair_path(spec.timeline_path, slug, multi) if spec.timeline_path else ""
+        ),
+    )
+
+
+def write_pair_artifacts(
+    simulator, configuration_name: str, workload_name: str
+) -> Tuple[Dict[str, str], float]:
+    """Write the simulator's collected telemetry to its spec's sinks.
+
+    Returns ``(written, seconds)``: a ``{"metrics"|"timeline": path}``
+    mapping of what was produced and the wall-clock cost of writing it
+    (charged to the ``sink_write`` phase).
+    """
+    spec = simulator.observability
+    written: Dict[str, str] = {}
+    if spec is None:
+        return written, 0.0
+    started = time.perf_counter()
+    sampler = simulator._obs_metrics
+    if sampler is not None and spec.metrics_path:
+        _write_metrics(
+            spec.metrics_path, sampler.rows, configuration_name, workload_name
+        )
+        written["metrics"] = spec.metrics_path
+    recorder = simulator._obs_timeline
+    if recorder is not None and spec.timeline_path:
+        with open(spec.timeline_path, "w", encoding="utf-8") as handle:
+            json.dump(recorder.trace_events(), handle)
+        written["timeline"] = spec.timeline_path
+    return written, time.perf_counter() - started
+
+
+def _write_metrics(
+    path: str, rows, configuration_name: str, workload_name: str
+) -> None:
+    if path.endswith(".json"):
+        payload = {
+            "format": METRICS_FORMAT,
+            "configuration": configuration_name,
+            "workload": workload_name,
+            "columns": list(METRIC_COLUMNS),
+            "rows": [list(row) for row in rows],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("configuration", "workload") + METRIC_COLUMNS)
+        for row in rows:
+            writer.writerow((configuration_name, workload_name) + row)

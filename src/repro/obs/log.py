@@ -1,0 +1,73 @@
+"""Stdlib logging wiring for the CLI and its worker processes.
+
+One configuration point: the CLI calls :func:`configure_logging` with the
+verbosity delta of its global ``-v``/``-q`` flags, which sets the root
+level and a format that names the emitting *process* -- the piece that
+makes pool-worker diagnostics attributable.  The chosen level is exported
+through ``CORONA_LOG_LEVEL`` so spawned (non-fork) workers reproduce it via
+:func:`configure_worker_logging` at startup.
+
+Library modules just ask for a logger::
+
+    from repro.obs.log import get_logger
+    log = get_logger(__name__)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+LOG_LEVEL_ENV = "CORONA_LOG_LEVEL"
+
+_FORMAT = "%(levelname)s %(processName)s %(name)s: %(message)s"
+
+
+def level_for(verbosity: int) -> int:
+    """Map a ``-v``/``-q`` count delta onto a logging level.
+
+    0 -> WARNING (default), 1 -> INFO, >=2 -> DEBUG, <0 -> ERROR.
+    """
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    if verbosity < 0:
+        return logging.ERROR
+    return logging.WARNING
+
+
+def configure_logging(verbosity: int = 0) -> int:
+    """Configure root logging for this process and export the level."""
+    level = level_for(verbosity)
+    logging.basicConfig(
+        level=level, format=_FORMAT, stream=sys.stderr, force=True
+    )
+    os.environ[LOG_LEVEL_ENV] = str(level)
+    return level
+
+
+def configure_worker_logging() -> None:
+    """Adopt the parent's exported log level inside a worker process.
+
+    Safe to call unconditionally: without the environment marker (e.g.
+    library use outside the CLI) it leaves logging untouched.
+    """
+    raw = os.environ.get(LOG_LEVEL_ENV)
+    if not raw:
+        return
+    try:
+        level = int(raw)
+    except ValueError:
+        return
+    logging.basicConfig(
+        level=level, format=_FORMAT, stream=sys.stderr, force=True
+    )
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,149 @@
+"""The frozen observability specification.
+
+An :class:`ObservabilitySpec` describes what telemetry a run emits, as a
+JSON-round-tripping node of the Scenario tree (``"observability": {...}`` in
+a scenario file).  Everything defaults to *off*: a default spec records
+nothing, installs nothing into the simulator, and an ``observability: null``
+scenario replays bit-identically to one that never mentions observability.
+
+Three planes hang off this spec:
+
+``metrics_interval_ns`` / ``metrics_path``
+    The simulated-time plane's :class:`~repro.obs.metrics.MetricsSampler`:
+    resource-utilization time series sampled every ``metrics_interval_ns``
+    of *simulated* time, written as long-form CSV (or JSON, by extension)
+    to ``metrics_path``.
+``timeline_path`` / ``timeline_limit``
+    The :class:`~repro.obs.timeline.TimelineRecorder`: per-transaction spans
+    and fault events in Chrome ``trace_event`` JSON (loadable in Perfetto),
+    capped at ``timeline_limit`` span groups per replay.
+``progress`` / ``progress_interval_s``
+    The wall-clock plane's harness heartbeat (pairs done, pairs/s, ETA) on
+    stderr, also reachable via the ``--progress`` CLI flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping
+
+
+class ObservabilityError(ValueError):
+    """An observability spec field failed to parse or validate.
+
+    ``field`` holds the dotted path relative to the spec root (e.g.
+    ``metrics_interval_ns``); ``reason`` the bare message.  The Scenario
+    parser re-raises this as a :class:`~repro.api.scenario.ScenarioError`
+    with the enclosing ``observability.`` prefix.
+    """
+
+    def __init__(self, field: str, reason: str) -> None:
+        super().__init__(f"{field}: {reason}" if field else reason)
+        self.field = field
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ObservabilitySpec:
+    """Telemetry switches for one run (everything off by default)."""
+
+    #: Simulated-time sampling period of the metrics plane, in nanoseconds.
+    metrics_interval_ns: float = 1000.0
+    #: Sink for the resource time series; empty disables the sampler.
+    #: ``.json`` writes a JSON document, anything else long-form CSV.  In
+    #: multi-pair runs each pair writes ``<stem>-<config>-<workload><ext>``
+    #: (or substitutes a literal ``{pair}`` placeholder).
+    metrics_path: str = ""
+    #: Sink for the Chrome ``trace_event`` timeline; empty disables it.
+    timeline_path: str = ""
+    #: Per-transaction span groups recorded before the timeline truncates
+    #: (counters and fault events keep flowing; truncation is noted in the
+    #: trace metadata).
+    timeline_limit: int = 100_000
+    #: Emit the harness heartbeat (pairs done, pairs/s, ETA) on stderr.
+    progress: bool = False
+    #: Minimum wall-clock seconds between heartbeat lines.
+    progress_interval_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        self._expect_number("metrics_interval_ns", self.metrics_interval_ns)
+        if self.metrics_interval_ns <= 0:
+            raise ObservabilityError(
+                "metrics_interval_ns",
+                f"must be > 0, got {self.metrics_interval_ns!r}",
+            )
+        for name in ("metrics_path", "timeline_path"):
+            if not isinstance(getattr(self, name), str):
+                raise ObservabilityError(
+                    name, f"must be a string path, got {getattr(self, name)!r}"
+                )
+        if not isinstance(self.timeline_limit, int) or isinstance(
+            self.timeline_limit, bool
+        ):
+            raise ObservabilityError(
+                "timeline_limit",
+                f"must be an integer, got {self.timeline_limit!r}",
+            )
+        if self.timeline_limit < 0:
+            raise ObservabilityError(
+                "timeline_limit", f"must be >= 0, got {self.timeline_limit}"
+            )
+        if not isinstance(self.progress, bool):
+            raise ObservabilityError(
+                "progress", f"must be a boolean, got {self.progress!r}"
+            )
+        self._expect_number("progress_interval_s", self.progress_interval_s)
+        if self.progress_interval_s <= 0:
+            raise ObservabilityError(
+                "progress_interval_s",
+                f"must be > 0, got {self.progress_interval_s!r}",
+            )
+
+    @staticmethod
+    def _expect_number(name: str, value: object) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ObservabilityError(name, f"must be a number, got {value!r}")
+
+    # -- activity predicates -------------------------------------------------
+    @property
+    def metrics_enabled(self) -> bool:
+        return bool(self.metrics_path)
+
+    @property
+    def timeline_enabled(self) -> bool:
+        return bool(self.timeline_path)
+
+    @property
+    def simulation_active(self) -> bool:
+        """Whether anything is installed into the replay engine at all."""
+        return self.metrics_enabled or self.timeline_enabled
+
+    @property
+    def any_active(self) -> bool:
+        return self.simulation_active or self.progress
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """All fields as a JSON-clean mapping (exact round-trip)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ObservabilitySpec":
+        """Parse a spec mapping, raising :class:`ObservabilityError` naming
+        any bad or unknown field."""
+        if not isinstance(data, Mapping):
+            raise ObservabilityError(
+                "", f"expected an object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ObservabilityError(
+                unknown[0],
+                f"unknown observability field; known fields: {sorted(known)}",
+            )
+        kwargs = dict(data)
+        limit = kwargs.get("timeline_limit")
+        if isinstance(limit, float) and limit.is_integer():
+            kwargs["timeline_limit"] = int(limit)
+        return cls(**kwargs)

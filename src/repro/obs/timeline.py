@@ -1,0 +1,198 @@
+"""Chrome ``trace_event`` timelines of the replay (Perfetto-loadable).
+
+A :class:`TimelineRecorder` collects one span group per completed
+transaction -- issue, arbitration, transfer, memory, response under a
+``txn`` parent -- plus fault instant-events from
+:mod:`repro.faults.inject` and resource counter tracks fed by the
+:class:`~repro.obs.metrics.MetricsSampler`.  The output is the plain-array
+flavor of the Chrome trace-event format: a JSON list of event objects with
+``ts``/``dur`` in microseconds, which both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly.
+
+Track layout
+------------
+Transactions render under process ``replay``: each hardware thread owns
+``window`` slot tracks (``tid = thread_id * window + index % window``).
+Because the issue window gates miss ``i + window`` on the completion of
+miss ``i``, transactions sharing a slot never overlap, so every track shows
+cleanly nested spans.  Resource counters render under process
+``resources`` and fault markers under process ``faults``.
+
+The recorder is only constructed when a timeline sink is configured; the
+replay's response handlers pay a single ``is None`` check otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Synthetic process ids grouping the timeline's tracks.
+PID_TRANSACTIONS = 1
+PID_RESOURCES = 2
+PID_FAULTS = 3
+
+_S_TO_US = 1e6
+
+
+class TimelineRecorder:
+    """Accumulates trace events for one replay."""
+
+    __slots__ = ("events", "limit", "recorded", "dropped", "_hub_fwd", "_named_tracks")
+
+    def __init__(self, hub_fwd: List[float], limit: int = 100_000) -> None:
+        #: The trace-event objects, in emission order.
+        self.events: List[Dict[str, object]] = []
+        #: Maximum transaction span groups kept (counters/faults always flow).
+        self.limit = limit
+        self.recorded = 0
+        self.dropped = 0
+        self._hub_fwd = hub_fwd
+        self._named_tracks: set = set()
+        for pid, name in (
+            (PID_TRANSACTIONS, "replay"),
+            (PID_RESOURCES, "resources"),
+            (PID_FAULTS, "faults"),
+        ):
+            self.events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+
+    # -- transaction spans ---------------------------------------------------
+    def record_transaction(self, state, transaction, response_now: float, completion: float) -> None:
+        """One completed miss: the nested issue/network/memory/response spans.
+
+        Called from the response handlers with the transaction's accumulated
+        timings; every span is reconstructed analytically, so recording costs
+        nothing on the other three stages.
+        """
+        if self.recorded >= self.limit:
+            self.dropped += 1
+            return
+        self.recorded += 1
+        window = state.window
+        tid = state.thread_id * window + transaction.index % window
+        events = self.events
+        if tid not in self._named_tracks:
+            self._named_tracks.add(tid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": PID_TRANSACTIONS,
+                    "tid": tid,
+                    "args": {
+                        "name": f"thread {state.thread_id} slot "
+                        f"{transaction.index % window}"
+                    },
+                }
+            )
+
+        issue = transaction.issue_time
+        spans = []
+        request = transaction.request_result
+        if request is not None:
+            req_start = request.arrival_time - request.network_latency
+            spans.append(("issue", issue, req_start))
+            spans.append(
+                ("arbitration", req_start, req_start + request.queueing_delay)
+            )
+            spans.append(
+                ("transfer", req_start + request.queueing_delay, request.arrival_time)
+            )
+            memory_anchor = request.arrival_time
+        else:
+            memory_anchor = issue + transaction.mshr_wait
+
+        # The response event fires one home-hub forward after the memory
+        # (or coherence supplier) finished; coherent misses answer from the
+        # supplier, so the anchor is kept approximate there.
+        if transaction.coherence is None:
+            memory_end = response_now - self._hub_fwd[transaction.home]
+        else:
+            memory_end = response_now
+        memory_start = memory_end - transaction.memory_latency
+        if memory_start < memory_anchor:
+            memory_start = memory_anchor
+        spans.append(("memory", memory_start, memory_end))
+        spans.append(("response", response_now, completion))
+
+        events.append(
+            {
+                "name": "txn write" if transaction.is_write else "txn read",
+                "cat": "transaction",
+                "ph": "X",
+                "pid": PID_TRANSACTIONS,
+                "tid": tid,
+                "ts": issue * _S_TO_US,
+                "dur": max(completion - issue, 0.0) * _S_TO_US,
+                "args": {
+                    "index": transaction.index,
+                    "home": transaction.home,
+                    "size_bytes": transaction.size_bytes,
+                    "shared": transaction.shared,
+                },
+            }
+        )
+        for name, start, end in spans:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "stage",
+                    "ph": "X",
+                    "pid": PID_TRANSACTIONS,
+                    "tid": tid,
+                    "ts": start * _S_TO_US,
+                    "dur": max(end - start, 0.0) * _S_TO_US,
+                }
+            )
+
+    # -- resource counters ---------------------------------------------------
+    def counter(self, t_ns: float, name: str, value: float) -> None:
+        """One point of a per-resource counter track (fed by the sampler)."""
+        self.events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "pid": PID_RESOURCES,
+                "tid": 0,
+                "ts": t_ns * 1e-3,
+                "args": {"value": value},
+            }
+        )
+
+    # -- fault markers -------------------------------------------------------
+    def fault_event(self, now: float, kind: str, site: int, delay_s: float) -> None:
+        """An injected-fault instant event (token loss, DRAM timeout)."""
+        self.events.append(
+            {
+                "name": kind,
+                "cat": "fault",
+                "ph": "i",
+                "s": "p",
+                "pid": PID_FAULTS,
+                "tid": 0,
+                "ts": now * _S_TO_US,
+                "args": {"site": site, "delay_ns": delay_s * 1e9},
+            }
+        )
+
+    # -- export --------------------------------------------------------------
+    def trace_events(self) -> List[Dict[str, object]]:
+        """The final event array, with a truncation note when spans dropped."""
+        if self.dropped:
+            return self.events + [
+                {
+                    "ph": "M",
+                    "name": "timeline_truncated",
+                    "pid": PID_TRANSACTIONS,
+                    "tid": 0,
+                    "args": {"dropped_transactions": self.dropped, "limit": self.limit},
+                }
+            ]
+        return self.events

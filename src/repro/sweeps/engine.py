@@ -48,8 +48,14 @@ from repro.harness.resilience import (
     PairFailureError,
     RetryPolicy,
 )
+from repro.obs.artifacts import resolve_pair_spec
+from repro.obs.log import get_logger
+from repro.obs.progress import ProgressReporter
+from repro.obs.spec import ObservabilitySpec
 from repro.sweeps.spec import SweepError, SweepPoint, SweepSpec, expand
 from repro.trace.packed import PackedTrace, generate_packed_trace
+
+_log = get_logger(__name__)
 
 #: Format tags of the on-disk artefacts.
 MANIFEST_FORMAT = "corona-sweep-manifest/1"
@@ -125,7 +131,17 @@ def spec_digest(spec: SweepSpec) -> str:
     base = {
         key: value
         for key, value in payload["base"].items()
-        if key not in ("name", "description", "jobs", "output", "experiments")
+        if key
+        not in (
+            "name",
+            "description",
+            "jobs",
+            "output",
+            "experiments",
+            # Telemetry changes what a run *records*, never what it computes,
+            # so toggling it must not invalidate checkpointed points.
+            "observability",
+        )
     }
     canonical = json.dumps(
         {"base": base, "axes": payload["axes"]}, sort_keys=True
@@ -210,14 +226,19 @@ def _read_manifest(directory: Path) -> Optional[Dict]:
 def _load_completed(
     directory: Path,
 ) -> Tuple[
-    Dict[str, List[WorkloadResult]], Dict[str, List[Dict]], Dict[str, int], int
+    Dict[str, List[WorkloadResult]],
+    Dict[str, List[Dict]],
+    Dict[str, int],
+    Dict[str, float],
+    int,
 ]:
     """Points recorded by earlier (possibly killed) runs.
 
-    Returns ``(completed, failed, retried, good_offset)``: the parsed
-    completed points, the failed points' raw failure dicts (entries with
-    ``"status": "failed"``; their points re-run on resume), the per-point
-    retried-pair counts, and the byte offset just past the last *intact*
+    Returns ``(completed, failed, retried, seconds, good_offset)``: the
+    parsed completed points, the failed points' raw failure dicts (entries
+    with ``"status": "failed"``; their points re-run on resume), the
+    per-point retried-pair counts, the per-point replay seconds (entries
+    that recorded them), and the byte offset just past the last *intact*
     line -- the caller truncates the file there before appending, so a line
     half-written by a kill can never merge with the resumed run's first
     record (which would otherwise poison every future resume).  A point
@@ -228,9 +249,10 @@ def _load_completed(
     completed: Dict[str, List[WorkloadResult]] = {}
     failed: Dict[str, List[Dict]] = {}
     retried: Dict[str, int] = {}
+    seconds: Dict[str, float] = {}
     good_offset = 0
     if not path.exists():
-        return completed, failed, retried, good_offset
+        return completed, failed, retried, seconds, good_offset
     with path.open("rb") as handle:
         for raw in handle:
             if not raw.endswith(b"\n"):
@@ -252,23 +274,37 @@ def _load_completed(
                         completed[point_id] = results
                         failed.pop(point_id, None)
                     retried[point_id] = int(entry.get("retried_pairs", 0))
+                    if entry.get("seconds") is not None:
+                        seconds[point_id] = float(entry["seconds"])
                 except (ValueError, KeyError, TypeError):
                     # Corrupt line: nothing after it can be trusted either,
                     # so stop merging there; the affected points re-run.
                     break
             good_offset += len(raw)
-    return completed, failed, retried, good_offset
+    return completed, failed, retried, seconds, good_offset
 
 
 # ---------------------------------------------------------------------------
 # Execution
 # ---------------------------------------------------------------------------
 
-def _point_pairs(point: SweepPoint, cache: TraceCache) -> List[tuple]:
+def _point_pairs(
+    point: SweepPoint,
+    cache: TraceCache,
+    observability: Optional[ObservabilitySpec] = None,
+) -> List[tuple]:
     """The ``run_pairs`` argument tuples of one point, in the serial
-    runner's order (workloads outer, configurations inner)."""
+    runner's order (workloads outer, configurations inner).
+
+    ``observability`` overrides the point scenario's own spec (the CLI's
+    ``--metrics-out``/``--timeline-out`` flags); per-pair sink paths are
+    resolved here, prefixed with the point id so a grid's artifacts never
+    collide."""
     point.scenario.import_modules()
     matrix = ScenarioMatrix(point.scenario)
+    obs_spec = (
+        observability if observability is not None else matrix.observability
+    )
     pairs: List[tuple] = []
     for workload in matrix.workloads():
         spec = matrix.workload_spec(workload.name)
@@ -305,6 +341,13 @@ def _point_pairs(point: SweepPoint, cache: TraceCache) -> List[tuple]:
                     matrix.corona_config,
                     tuple(point.scenario.modules),
                     matrix.faults,
+                    resolve_pair_spec(
+                        obs_spec,
+                        name,
+                        workload.name,
+                        True,
+                        prefix=point.point_id,
+                    ),
                 )
             )
     return pairs
@@ -454,6 +497,7 @@ def run_sweep(
     trace_cache: Optional[TraceCache] = None,
     resume: bool = True,
     policy: Optional[RetryPolicy] = None,
+    observability: Optional[ObservabilitySpec] = None,
 ) -> SweepRunResult:
     """Execute (or resume) a sweep and return its long-form records.
 
@@ -476,6 +520,11 @@ def run_sweep(
     rest of the grid -- completed points checkpointed and sinks written --
     has landed, while ``allow_failures=True`` returns the partial
     :class:`SweepRunResult` with :attr:`SweepRunResult.failures` filled in.
+
+    ``observability`` overrides every point's telemetry spec (the CLI's
+    ``--progress``/``--metrics-out``/``--timeline-out`` path); ``None``
+    keeps each point's own ``base.observability``.  Telemetry never enters
+    the spec digest, so toggling it resumes the same directory.
     """
     from repro.harness.parallel import run_pairs
 
@@ -486,6 +535,7 @@ def run_sweep(
     effective_policy = policy if policy is not None else DEFAULT_POLICY
     directory = Path(directory) if directory is not None else None
     completed: Dict[str, List[WorkloadResult]] = {}
+    prior_seconds: Dict[str, float] = {}
     manifest_path = None
     if directory is not None:
         directory.mkdir(parents=True, exist_ok=True)
@@ -500,7 +550,7 @@ def run_sweep(
                     f"spec -- use a fresh directory or pass --fresh to "
                     f"discard the previous run",
                 )
-            completed, _prior_failed, _prior_retried, good_offset = (
+            completed, _prior_failed, _prior_retried, prior_seconds, good_offset = (
                 _load_completed(directory)
             )
             points_path = directory / POINTS_NAME
@@ -527,12 +577,22 @@ def run_sweep(
     }
     pending = [point for point in points if point.point_id not in completed]
     skipped = [point.point_id for point in points if point.point_id in completed]
+    point_seconds: Dict[str, float] = {
+        point_id: seconds
+        for point_id, seconds in prior_seconds.items()
+        if point_id in completed
+    }
+    if skipped:
+        _log.info(
+            "resuming sweep: %d of %d points already checkpointed",
+            len(skipped), len(points),
+        )
 
     cache = trace_cache if trace_cache is not None else TraceCache()
     pairs: List[tuple] = []
     spans: List[Tuple[SweepPoint, int, int]] = []
     for point in pending:
-        point_pairs = _point_pairs(point, cache)
+        point_pairs = _point_pairs(point, cache, observability)
         spans.append((point, len(pairs), len(pairs) + len(point_pairs)))
         pairs.extend(point_pairs)
 
@@ -541,6 +601,17 @@ def run_sweep(
     retried_total = 0
     effective_jobs = spec.jobs if jobs is None else jobs
     if pairs:
+        base_obs = (
+            observability if observability is not None
+            else spec.base.observability
+        )
+        heartbeat = None
+        if base_obs is not None and base_obs.progress:
+            heartbeat = ProgressReporter(
+                len(pairs),
+                interval_s=base_obs.progress_interval_s,
+                label="sweep",
+            )
         points_handle = (
             (directory / POINTS_NAME).open("a", encoding="utf-8")
             if directory is not None
@@ -550,6 +621,7 @@ def run_sweep(
         buffer: List[Optional[WorkloadResult]] = []
         buffer_failures: List[PairFailure] = []
         buffer_retries = 0
+        buffer_seconds = 0.0
 
         def checkpoint(entry: Dict) -> None:
             if points_handle is not None:
@@ -561,23 +633,32 @@ def run_sweep(
             result: Optional[WorkloadResult],
             failure: Optional[PairFailure],
             attempts: int,
+            seconds: float,
         ) -> None:
-            nonlocal span_index, buffer_retries, retried_total
+            nonlocal span_index, buffer_retries, retried_total, buffer_seconds
             buffer.append(result)
             buffer_retries += attempts - 1
             retried_total += attempts - 1
+            buffer_seconds += seconds
             if failure is not None:
                 buffer_failures.append(failure)
+            if heartbeat is not None:
+                heartbeat.pair_done(
+                    failed=failure is not None, retries=attempts - 1
+                )
             point, start, stop = spans[span_index]
             if len(buffer) < stop - start:
                 return
             results = [r for r in buffer if r is not None]
             failures = list(buffer_failures)
             retried = buffer_retries
+            replay_seconds = buffer_seconds
             buffer.clear()
             buffer_failures.clear()
             buffer_retries = 0
+            buffer_seconds = 0.0
             span_index += 1
+            point_seconds[point.point_id] = replay_seconds
             if failures:
                 # Failed point: checkpointed as such (status drives `sweep
                 # status` and the failure sinks) and *not* recorded as
@@ -588,6 +669,7 @@ def run_sweep(
                     "axis_values": dict(point.axis_values),
                     "status": "failed",
                     "failures": [f.to_dict() for f in failures],
+                    "seconds": replay_seconds,
                 }
                 if retried:
                     entry["retried_pairs"] = retried
@@ -598,6 +680,7 @@ def run_sweep(
                 "point_id": point.point_id,
                 "axis_values": dict(point.axis_values),
                 "results": [r.to_dict() for r in results],
+                "seconds": replay_seconds,
             }
             if retried:
                 entry["retried_pairs"] = retried
@@ -617,6 +700,8 @@ def run_sweep(
         finally:
             if points_handle is not None:
                 points_handle.close()
+            if heartbeat is not None:
+                heartbeat.finish()
 
     by_id = {**completed, **fresh}
     records = [
@@ -641,14 +726,19 @@ def run_sweep(
     )
     if manifest_path is not None:
         outcome.written["manifest"] = manifest_path
+        # Rewrite the manifest with the run's outcome, so the directory is
+        # self-describing without parsing the checkpoint log.
+        payload = _manifest_payload(spec, points)
         if point_failures:
-            # Record the failed ids in the manifest too, so the directory
-            # is self-describing without parsing the checkpoint log.
-            payload = _manifest_payload(spec, points)
             payload["failed_point_ids"] = list(point_failures)
-            manifest_path.write_text(
-                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-            )
+        if point_seconds:
+            payload["timings"] = {
+                "points": dict(point_seconds),
+                "wall_clock_seconds": outcome.wall_clock_seconds,
+            }
+        manifest_path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
     _write_sinks(
         spec, records, _default_output(spec, directory), outcome.written,
         failures=point_failures, directory=directory,
@@ -681,6 +771,9 @@ class SweepStatus:
     failed_ids: Tuple[str, ...] = ()
     retried_pairs: int = 0
     quarantined_pairs: int = 0
+    #: Replay seconds per checkpointed point (entries that recorded them;
+    #: the ``sweep status --timings`` view).
+    point_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -707,8 +800,8 @@ def sweep_status(directory: Union[str, Path]) -> SweepStatus:
         )
     point_ids = tuple(manifest.get("point_ids", []))
     known = set(point_ids)
-    completed_points, failed_points, retried, _good_offset = _load_completed(
-        directory
+    completed_points, failed_points, retried, seconds, _good_offset = (
+        _load_completed(directory)
     )
     completed = tuple(pid for pid in completed_points if pid in known)
     failed = tuple(pid for pid in failed_points if pid in known)
@@ -728,4 +821,7 @@ def sweep_status(directory: Union[str, Path]) -> SweepStatus:
             count for pid, count in retried.items() if pid in known
         ),
         quarantined_pairs=quarantined,
+        point_seconds={
+            pid: value for pid, value in seconds.items() if pid in known
+        },
     )
