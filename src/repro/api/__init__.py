@@ -51,6 +51,7 @@ from repro.api.registry import (
     register_sweep,
     register_workload,
 )
+from repro.api.fields import set_field
 from repro.api.run import (
     ExperimentContext,
     ScenarioMatrix,
@@ -70,6 +71,7 @@ from repro.api.scenario import (
     WorkloadSpec,
     load_scenario,
 )
+from repro.trace.arrival import ArrivalSpec
 
 __all__ = [
     # registries
@@ -93,12 +95,14 @@ __all__ = [
     "ScenarioError",
     "SystemSpec",
     "WorkloadSpec",
+    "ArrivalSpec",
     "ScaleSpec",
     "ExperimentSpec",
     "OutputSpec",
     "SCALE_TIERS",
     "SCENARIO_FORMAT",
     "load_scenario",
+    "set_field",
     # execution
     "run",
     "build_matrix",

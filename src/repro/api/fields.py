@@ -1,0 +1,203 @@
+"""Validated field-path writes into scenario dicts.
+
+The sweep subsystem addresses scenario fields by *path* --
+``workloads[0].params.window``, ``system.configurations``,
+``workloads[*].sharing.fraction`` -- and writes axis values into the
+base scenario's dict form.  This module is that machinery, extracted so
+programmatic overrides go through the same validated paths instead of
+hand-built dict surgery: :func:`set_field` for dicts,
+:meth:`repro.api.scenario.Scenario.with_field` for scenarios.
+
+A path is dotted mapping keys with optional ``[i]`` list indices and the
+``[*]`` wildcard, which fans the write out over every element of a list.
+Intermediate mapping keys that are missing or ``null`` are created as
+empty objects, so ``coherence.broadcast_threshold`` works even when the
+base leaves ``coherence`` unset.
+
+Every helper takes an ``error`` class so callers keep their own error
+taxonomy: the sweep layer binds :class:`~repro.sweeps.spec.SweepError`,
+the public helpers default to :class:`~repro.api.scenario.ScenarioError`.
+Either way the raised message starts with the offending field path.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from typing import Dict, List, Mapping, Sequence, Tuple, Type
+
+from repro.api.scenario import ScenarioError
+
+_SEGMENT = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)((?:\[(?:\d+|\*)\])*)\Z")
+_INDEX = re.compile(r"\[(\d+|\*)\]")
+
+#: Path token: ("key", name) descends into a mapping, ("index", i) into a
+#: list, ("index", None) is the ``[*]`` wildcard (expanded per list entry).
+PathToken = Tuple[str, object]
+
+
+def parse_path(
+    path: str, where: str, error: Type[ScenarioError] = ScenarioError
+) -> Tuple[PathToken, ...]:
+    """Parse a dotted field path into tokens, naming ``where`` on errors."""
+    if not isinstance(path, str) or not path:
+        raise error(where, "a non-empty field path string is required")
+    tokens: List[PathToken] = []
+    for segment in path.split("."):
+        match = _SEGMENT.match(segment)
+        if match is None:
+            raise error(
+                where,
+                f"bad path segment {segment!r} in {path!r}; expected dotted "
+                f"names with optional [index] or [*] suffixes, e.g. "
+                f"\"workloads[0].params.window\"",
+            )
+        tokens.append(("key", match.group(1)))
+        for index in _INDEX.findall(match.group(2)):
+            tokens.append(("index", None if index == "*" else int(index)))
+    return tuple(tokens)
+
+
+def render_tokens(tokens: Sequence[PathToken]) -> str:
+    """Render tokens back to path syntax (for error messages and claims)."""
+    parts: List[str] = []
+    for kind, value in tokens:
+        if kind == "key":
+            parts.append(("." if parts else "") + str(value))
+        else:
+            parts.append("*" if value is None else f"[{value}]")
+    return "".join(part if part != "*" else "[*]" for part in parts)
+
+
+def concrete_paths(
+    data: Mapping,
+    tokens: Sequence[PathToken],
+    path: str,
+    where: str,
+    error: Type[ScenarioError] = ScenarioError,
+) -> List[Tuple[PathToken, ...]]:
+    """Expand ``[*]`` wildcards against ``data``, validating every index.
+
+    Returns the concrete token tuples the path resolves to (one unless a
+    wildcard fans out).  Missing intermediate *mapping* keys are fine (the
+    write creates them); a list index past the end, or an index into a
+    non-list, is an error naming ``where``.
+    """
+    concrete: List[List[PathToken]] = [[]]
+    nodes: List[object] = [data]
+    for position, (kind, value) in enumerate(tokens):
+        next_concrete: List[List[PathToken]] = []
+        next_nodes: List[object] = []
+        for prefix, node in zip(concrete, nodes):
+            if kind == "key":
+                if node is not None and not isinstance(node, Mapping):
+                    raise error(
+                        where,
+                        f"{render_tokens(tokens[:position]) or 'the base'} is "
+                        f"{type(node).__name__}, cannot descend into "
+                        f"{value!r} (path {path!r})",
+                    )
+                child = None if node is None else node.get(value)
+                next_concrete.append(prefix + [(kind, value)])
+                next_nodes.append(child)
+            else:
+                if not isinstance(node, (list, tuple)):
+                    raise error(
+                        where,
+                        f"{render_tokens(tokens[:position])} is not a list "
+                        f"in the base scenario (path {path!r})",
+                    )
+                if value is None:  # wildcard
+                    if not node:
+                        raise error(
+                            where,
+                            f"{render_tokens(tokens[:position])}[*] matches "
+                            f"nothing: the base list is empty (path {path!r})",
+                        )
+                    for index, child in enumerate(node):
+                        next_concrete.append(prefix + [("index", index)])
+                        next_nodes.append(child)
+                else:
+                    if value >= len(node):
+                        raise error(
+                            where,
+                            f"{render_tokens(tokens[:position])}[{value}] is "
+                            f"out of range: the base has {len(node)} entries "
+                            f"(path {path!r})",
+                        )
+                    next_concrete.append(prefix + [(kind, value)])
+                    next_nodes.append(node[value])
+        concrete = next_concrete
+        nodes = next_nodes
+    return [tuple(entry) for entry in concrete]
+
+
+def apply_value(
+    data: Dict,
+    tokens: Sequence[PathToken],
+    value: object,
+    path: str,
+    where: str,
+    error: Type[ScenarioError] = ScenarioError,
+) -> None:
+    """Write ``value`` at a concrete token path inside the scenario dict.
+
+    Intermediate mapping keys that are missing or ``null`` are created as
+    empty objects, so a write can target ``coherence.broadcast_threshold``
+    or ``workloads[0].sharing.fraction`` even when the base leaves the
+    parent unset.
+    """
+    container: object = data
+    for position, (kind, token) in enumerate(tokens[:-1]):
+        if kind == "key":
+            if not isinstance(container, dict):
+                raise error(
+                    where,
+                    f"{render_tokens(tokens[:position]) or 'the base'} is "
+                    f"{type(container).__name__}, cannot set into it "
+                    f"(path {path!r})",
+                )
+            child = container.get(token)
+            if child is None:
+                child = {}
+                container[token] = child
+            container = child
+        else:
+            container = container[token]
+    kind, token = tokens[-1]
+    if kind == "key":
+        if not isinstance(container, dict):
+            raise error(
+                where,
+                f"{render_tokens(tokens[:-1]) or 'the base'} is "
+                f"{type(container).__name__}, cannot set field {token!r} "
+                f"(path {path!r})",
+            )
+        container[token] = copy.deepcopy(value)
+    else:
+        if not isinstance(container, list):
+            raise error(
+                where,
+                f"{render_tokens(tokens[:-1])} is not a list (path {path!r})",
+            )
+        container[token] = copy.deepcopy(value)
+
+
+def set_field(
+    data: Dict,
+    path: str,
+    value: object,
+    where: str = None,
+    error: Type[ScenarioError] = ScenarioError,
+) -> None:
+    """Write ``value`` into ``data`` (a scenario dict) at field ``path``.
+
+    The one-call form of the machinery above: parses the path, expands any
+    ``[*]`` wildcard against ``data`` and applies the value at every
+    concrete location, mutating ``data`` in place.  Raises ``error`` (a
+    :class:`ScenarioError` by default) naming the path on any failure.
+    """
+    where = path if where is None else where
+    tokens = parse_path(path, where, error)
+    for concrete in concrete_paths(data, tokens, path, where, error):
+        apply_value(data, concrete, value, path, where, error)

@@ -31,6 +31,7 @@ from repro.coherence.sharing import SharingProfile
 from repro.core.config import CORONA_DEFAULT, CoronaConfig
 from repro.faults import FaultError, FaultSpec
 from repro.obs.spec import ObservabilityError, ObservabilitySpec
+from repro.trace.arrival import ArrivalError, ArrivalSpec
 from repro.core.configs import CONFIGURATION_ORDER
 from repro.harness.experiments import (
     FULL_SCALE,
@@ -180,6 +181,16 @@ def _sharing_from_dict(value, path: str):
         raise ScenarioError(path, str(exc)) from None
 
 
+def _arrival_from_dict(value, path: str) -> Optional[ArrivalSpec]:
+    if value is None:
+        return None
+    data = _expect_mapping(value, path)
+    try:
+        return ArrivalSpec.from_dict(dict(data))
+    except ArrivalError as exc:
+        raise ScenarioError(f"{path}.{exc.field}", exc.reason) from None
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """One workload of the scenario.
@@ -188,13 +199,16 @@ class WorkloadSpec:
     the registered factory (``mean_gap_cycles``, ``hot_cluster``, a ``name``
     /``label`` rename, ...).  ``sharing`` is ``None`` (off), ``"default"``
     (the workload's calibrated profile) or an explicit profile; it is passed
-    to the factory as its ``sharing`` parameter.  ``num_requests`` overrides
-    the scale tier's request count for this workload only.
+    to the factory as its ``sharing`` parameter.  ``arrival`` is ``None``
+    (closed-loop) or an :class:`~repro.trace.arrival.ArrivalSpec` making the
+    workload open-loop; it too is passed to the factory.  ``num_requests``
+    overrides the scale tier's request count for this workload only.
     """
 
     name: str
     params: Mapping[str, object] = field(default_factory=dict)
     sharing: Optional[Union[str, SharingProfile]] = None
+    arrival: Optional[ArrivalSpec] = None
     num_requests: Optional[int] = None
 
     def factory_params(self) -> Dict[str, object]:
@@ -202,6 +216,8 @@ class WorkloadSpec:
         params = dict(self.params)
         if self.sharing is not None:
             params["sharing"] = self.sharing
+        if self.arrival is not None:
+            params["arrival"] = self.arrival
         return params
 
     def to_dict(self) -> Dict[str, object]:
@@ -209,6 +225,7 @@ class WorkloadSpec:
             "name": self.name,
             "params": dict(self.params),
             "sharing": _sharing_to_dict(self.sharing),
+            "arrival": None if self.arrival is None else self.arrival.to_dict(),
             "num_requests": self.num_requests,
         }
 
@@ -217,19 +234,26 @@ class WorkloadSpec:
         if isinstance(data, str):  # shorthand: "Uniform" == {"name": "Uniform"}
             return cls(name=data)
         data = _expect_mapping(data, path)
-        _reject_unknown(data, ("name", "params", "sharing", "num_requests"), path)
+        _reject_unknown(
+            data, ("name", "params", "sharing", "arrival", "num_requests"), path
+        )
         if "name" not in data:
             raise ScenarioError(f"{path}.name", "workload name is required")
         name = _expect_str(data["name"], f"{path}.name")
         params = dict(_expect_mapping(data.get("params", {}), f"{path}.params"))
         sharing = _sharing_from_dict(data.get("sharing"), f"{path}.sharing")
+        arrival = _arrival_from_dict(data.get("arrival"), f"{path}.arrival")
         num_requests = data.get("num_requests")
         if num_requests is not None:
             num_requests = _expect_int(num_requests, f"{path}.num_requests")
             if num_requests < 1:
                 raise ScenarioError(f"{path}.num_requests", "must be >= 1")
         return cls(
-            name=name, params=params, sharing=sharing, num_requests=num_requests
+            name=name,
+            params=params,
+            sharing=sharing,
+            arrival=arrival,
+            num_requests=num_requests,
         )
 
 
@@ -503,6 +527,23 @@ class Scenario:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    def with_field(self, path: str, value) -> "Scenario":
+        """A copy with ``value`` written into field ``path``.
+
+        ``path`` is the same dotted/indexed syntax sweep axes use --
+        ``workloads[0].params.window``, ``system.configurations``,
+        ``workloads[*].arrival.rate_rps`` (the ``[*]`` wildcard fans out
+        over every element) -- so programmatic overrides are validated
+        exactly like sweep points: the result is re-parsed through
+        :meth:`from_dict` and any bad path or value raises
+        :class:`ScenarioError` naming the offending field.
+        """
+        from repro.api.fields import set_field
+
+        data = self.to_dict()
+        set_field(data, path, value)
+        return Scenario.from_dict(data)
 
     def save(self, path: Union[str, Path]) -> Path:
         path = Path(path)

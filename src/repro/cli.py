@@ -138,11 +138,26 @@ def _cmd_sensitivity(_args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Legacy translators: simulate / evaluate -> Scenario
+# Legacy translators: simulate / evaluate -> Scenario (deprecated)
 # ---------------------------------------------------------------------------
+
+def _warn_deprecated(command: str, replacement: str) -> None:
+    """Flag a legacy subcommand: DeprecationWarning for programmatic callers
+    plus a stderr pointer for humans.  Results and stdout are unchanged (the
+    translators stay equivalence-tested until removal)."""
+    import warnings
+
+    message = (
+        f"`corona-repro {command}` is deprecated; use {replacement} "
+        f"(see README: \"Migrating from simulate/evaluate\")"
+    )
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    print(f"note: {message}", file=sys.stderr)
+
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     """One workload across configurations, as a streamed scenario run."""
+    _warn_deprecated("simulate", "`corona-repro run <scenario.json>`")
     workload = _workload_name(args.workload)
     configurations = tuple(args.configurations or CONFIGURATION_ORDER)
     scenario = Scenario(
@@ -247,6 +262,11 @@ def _scenario_from_evaluate(args: argparse.Namespace) -> Scenario:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _warn_deprecated(
+        "evaluate",
+        "`corona-repro run <scenario.json>` (write one with "
+        "`corona-repro scenario init`) or `corona-repro sweep run`",
+    )
     scenario = _scenario_from_evaluate(args)
     progress = print if args.verbose else None
     result = run_scenario(scenario, jobs=args.jobs, progress=progress)
@@ -318,6 +338,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenario = load_scenario(args.scenario)
     except ScenarioError as exc:
         raise SystemExit(_scenario_error_message(args.scenario, exc)) from None
+    if args.arrival:
+        import json as json_module
+
+        try:
+            arrival = json_module.loads(args.arrival)
+        except json_module.JSONDecodeError as exc:
+            raise SystemExit(f"--arrival: not valid JSON: {exc}") from None
+        try:
+            scenario = scenario.with_field("workloads[*].arrival", arrival)
+        except ScenarioError as exc:
+            raise SystemExit(f"--arrival: {exc}") from None
     if args.output:
         from dataclasses import replace
 
@@ -455,9 +486,12 @@ def _cmd_scenario_list(args: argparse.Namespace) -> int:
 # Sweep commands: run / expand / status
 # ---------------------------------------------------------------------------
 
-def _load_sweep_argument(spec_argument: str):
+def _load_sweep_argument(spec_argument: str, **params):
     """A sweep spec from a JSON file path or a registered sweep name.
 
+    ``params`` go to the registered sweep's factory (the ``--scale`` flag);
+    a spec *file* is already fully parameterized, so passing any rejects
+    the combination loudly instead of silently ignoring the flag.
     Parse/validation failures exit with the clean field-path message (like
     every other subcommand), never a raw traceback.
     """
@@ -467,9 +501,20 @@ def _load_sweep_argument(spec_argument: str):
 
     try:
         if Path(spec_argument).exists():
+            if params:
+                raise SystemExit(
+                    f"{'/'.join(f'--{k}' for k in params)} applies to "
+                    f"registered sweep names only; {spec_argument!r} is a "
+                    f"spec file (edit the file instead)"
+                )
             return sweeps.load_sweep(spec_argument)
         if spec_argument in sweeps.SWEEPS:
-            return sweeps.build_registered_sweep(spec_argument)
+            try:
+                return sweeps.build_registered_sweep(spec_argument, **params)
+            except (TypeError, ValueError) as exc:
+                raise SystemExit(
+                    f"sweep {spec_argument!r} rejected its parameters: {exc}"
+                ) from None
     except ScenarioError as exc:  # SweepError subclasses ScenarioError
         raise SystemExit(_scenario_error_message(spec_argument, exc)) from None
     raise SystemExit(
@@ -482,7 +527,10 @@ def _load_sweep_argument(spec_argument: str):
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
     from repro.sweeps import run_sweep
 
-    spec = _load_sweep_argument(args.spec)
+    params = {}
+    if args.scale is not None:
+        params["scale"] = args.scale
+    spec = _load_sweep_argument(args.spec, **params)
     obs_override = _observability_from_args(args, spec.base.observability)
     if obs_override is spec.base.observability:
         obs_override = None  # no flags: each point keeps its own spec
@@ -710,6 +758,26 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _execution_parent() -> argparse.ArgumentParser:
+    """The execution flags ``run`` and ``sweep run`` share, defined once and
+    attached to both subparsers via ``parents=``: worker count, verbosity,
+    the telemetry flags and the resilience policy flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "override the scenario's/spec's worker count "
+            "(1 = serial, 0 = all CPUs)"
+        ),
+    )
+    parent.add_argument("--verbose", action="store_true")
+    _add_observability_arguments(parent)
+    _add_resilience_arguments(parent)
+    return parent
+
+
 def _observability_from_args(args: argparse.Namespace, base):
     """The scenario's ObservabilitySpec overridden by the CLI flags.
 
@@ -760,10 +828,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="lower the log level (ERROR and up only)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    execution_flags = _execution_parent()
 
     run_p = subparsers.add_parser(
         "run",
         help="execute a scenario JSON file",
+        parents=[execution_flags],
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "scenario files:\n"
@@ -781,21 +851,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("scenario", help="path to a scenario JSON file")
     run_p.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="override the scenario's worker count (1 = serial, 0 = all CPUs)",
-    )
-    run_p.add_argument(
         "--output",
         help=(
             "write the markdown report here (JSON/CSV result files are "
             "derived next to it), overriding the scenario's output block"
         ),
     )
-    run_p.add_argument("--verbose", action="store_true")
-    _add_observability_arguments(run_p)
-    _add_resilience_arguments(run_p)
+    run_p.add_argument(
+        "--arrival",
+        metavar="JSON",
+        help=(
+            "open-loop arrival process applied to every workload, e.g. "
+            "'{\"process\": \"poisson\", \"rate_rps\": 1e10}' (equivalent "
+            "to setting workloads[*].arrival in the scenario file)"
+        ),
+    )
     run_p.set_defaults(handler=_cmd_run)
 
     scenario_p = subparsers.add_parser(
@@ -867,7 +937,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_sub = sweep_p.add_subparsers(dest="sweep_command", required=True)
 
     sweep_run_p = sweep_sub.add_parser(
-        "run", help="execute a sweep spec (file or registered name)"
+        "run",
+        help="execute a sweep spec (file or registered name)",
+        parents=[execution_flags],
     )
     sweep_run_p.add_argument(
         "spec", help="sweep spec JSON file, or a registered sweep name"
@@ -877,19 +949,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint/resume directory (also receives default sinks)",
     )
     sweep_run_p.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="override the spec's worker count (1 = serial, 0 = all CPUs)",
-    )
-    sweep_run_p.add_argument(
         "--fresh",
         action="store_true",
         help="discard any previous checkpoints instead of resuming",
     )
-    sweep_run_p.add_argument("--verbose", action="store_true")
-    _add_observability_arguments(sweep_run_p)
-    _add_resilience_arguments(sweep_run_p)
+    sweep_run_p.add_argument(
+        "--scale",
+        choices=("quick", "default", "full", "paper"),
+        default=None,
+        help=(
+            "pass a scale tier to a *registered* sweep's factory (e.g. "
+            "latency-throughput uses it to size the ladder); spec files "
+            "carry their own scale"
+        ),
+    )
     sweep_run_p.set_defaults(handler=_cmd_sweep_run)
 
     sweep_expand_p = sweep_sub.add_parser(

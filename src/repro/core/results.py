@@ -67,6 +67,17 @@ class WorkloadResult:
     fault_dram_timeouts: int = 0
     #: Total extra latency charged by DRAM retries.
     fault_dram_retry_s: float = 0.0
+    # -- open-loop arrivals (zero/False on closed-loop replays) --------------
+    #: Realized offered load: trace requests over the arrival-schedule span.
+    offered_rps: float = 0.0
+    #: Completed requests divided by the replay makespan.
+    achieved_rps: float = 0.0
+    #: Achieved throughput fell below 95% of the offered load.
+    saturated: bool = False
+    #: Sojourn = completion minus scheduled arrival (queueing plus service).
+    p50_sojourn_ns: float = 0.0
+    p95_sojourn_ns: float = 0.0
+    p99_sojourn_ns: float = 0.0
 
     @property
     def network_power_w(self) -> float:

@@ -55,6 +55,7 @@ from __future__ import annotations
 import gc
 from dataclasses import dataclass, field
 from heapq import heappop, heappush, nsmallest
+from math import ceil
 from typing import Dict, List, Optional
 
 from repro.coherence.engine import CoherenceConfig, CoherenceEngine, CoherentMiss
@@ -179,6 +180,14 @@ class TransactionStats:
         return histogram
 
 
+def _nearest_rank(ordered: List[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0.0 when empty)."""
+    if not ordered:
+        return 0.0
+    rank = ceil(quantile * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+
 class _Transaction:
     """In-flight state of one L2-miss transaction.
 
@@ -193,6 +202,7 @@ class _Transaction:
     __slots__ = (
         "index",
         "issue_time",
+        "arrival_time",
         "home",
         "is_write",
         "address",
@@ -218,6 +228,10 @@ class _Transaction:
     ) -> None:
         self.index = index
         self.issue_time = issue_time
+        #: Scheduled arrival instant; equals ``issue_time`` on closed-loop
+        #: replays, precedes it when an open-loop arrival queued behind the
+        #: issue window (sojourn = completion - arrival).
+        self.arrival_time = issue_time
         self.home = home
         self.is_write = is_write
         self.address = address
@@ -254,6 +268,8 @@ class _ThreadState:
     issue_scheduled: bool = False
     #: Issue time of the most recently issued miss (gap accounting).
     last_issue_time: float = 0.0
+    #: Open-loop arrival schedule: cumulative sum of the thread's gaps.
+    arrival_clock: float = 0.0
     completions: List[Optional[float]] = field(default_factory=list)
     #: The issuing cluster's hub, bound once at replay start.
     hub: Optional[Hub] = None
@@ -299,6 +315,9 @@ class SystemSimulator:
         "observability",
         "_obs_metrics",
         "_obs_timeline",
+        "_open_loop",
+        "_offered_rps",
+        "_sojourns",
     )
 
     def __init__(
@@ -334,6 +353,12 @@ class SystemSimulator:
         self.observability = observability
         self._obs_metrics: Optional[MetricsSampler] = None
         self._obs_timeline: Optional[TimelineRecorder] = None
+        # Open-loop replay state, rebound per run() from the trace's arrival
+        # metadata.  Closed-loop traces leave all three at their defaults and
+        # the replay is bit-identical to builds without this machinery.
+        self._open_loop = False
+        self._offered_rps = 0.0
+        self._sojourns: Optional[List[float]] = None
         self.window_depth = window_depth
         self.hubs: Dict[int, Hub] = {
             cluster: Hub(
@@ -420,6 +445,14 @@ class SystemSimulator:
         self._simulator = Simulator()
         self._threads = {}
         self._makespan = 0.0
+        # Open-loop replay: the trace's gap column encodes a fixed arrival
+        # schedule (the cumulative per-thread gap sum), so misses are
+        # timestamped at their scheduled *arrival* instant and sojourn
+        # (queueing behind the issue window plus service) is reported
+        # alongside the closed-loop latency statistics.
+        self._open_loop = packed.arrival_process not in ("", "closed")
+        self._offered_rps = packed.offered_rps if self._open_loop else 0.0
+        self._sojourns = [] if self._open_loop else None
         # Direct push into the event calendar: every stage time is derived
         # from ``now`` plus non-negative delays, so the schedule_at past-time
         # guard is redundant on this path.  The handlers push heap entries
@@ -506,9 +539,17 @@ class SystemSimulator:
         index = state.next_index
         if index >= state.count:
             return
-        gap_ready = (
-            state.last_issue_time + state.gaps[state.base + index] / self._clock
-        )
+        if self._open_loop:
+            # Fixed arrival schedule: the next miss arrives one gap after the
+            # previous *arrival*, regardless of when the replay issued it, so
+            # queueing accumulates when the system falls behind the load.
+            gap_ready = (
+                state.arrival_clock + state.gaps[state.base + index] / self._clock
+            )
+        else:
+            gap_ready = (
+                state.last_issue_time + state.gaps[state.base + index] / self._clock
+            )
         gate_index = index - state.window
         if gate_index >= 0:
             gate_completion = state.completions[gate_index]
@@ -557,6 +598,10 @@ class SystemSimulator:
             word >> SIZE_SHIFT,
             bool(word & SHARED_BIT),
         )
+        if self._open_loop:
+            arrival_instant = state.arrival_clock + state.gaps[slot] / self._clock
+            state.arrival_clock = arrival_instant
+            transaction.arrival_time = arrival_instant
         hub = state.hub
         # MSHR allocation, transcribed from TokenPool.acquire (the reference
         # implementation): expire released tokens, then grant immediately or
@@ -805,6 +850,10 @@ class SystemSimulator:
         stats.network_hops += hops
         stats.network_messages += messages
 
+        sojourns = self._sojourns
+        if sojourns is not None:
+            sojourns.append(completion_time - transaction.arrival_time)
+
         recorder = self._obs_timeline
         if recorder is not None:
             recorder.record_transaction(state, transaction, now, completion_time)
@@ -897,6 +946,10 @@ class SystemSimulator:
         stats.network_hops += hops
         stats.network_messages += messages
 
+        sojourns = self._sojourns
+        if sojourns is not None:
+            sojourns.append(completion_time - transaction.arrival_time)
+
         recorder = self._obs_timeline
         if recorder is not None:
             recorder.record_transaction(state, transaction, now, completion_time)
@@ -947,6 +1000,34 @@ class SystemSimulator:
             )
         else:
             fault_fields = {}
+        if self._open_loop and self._sojourns is not None:
+            # Realized offered load: requests over the arrival-schedule span
+            # (the slowest thread's final arrival).  Dividing achieved by
+            # this is exactly the schedule-slip ratio -- it only drops below
+            # one when the replay finished later than the arrivals did -- so
+            # saturation detection is immune to the finite-trace tail bias
+            # of the nominal process rate.
+            arrival_span = max(
+                (state.arrival_clock for state in self._threads.values()),
+                default=0.0,
+            )
+            offered = (
+                self.stats.requests / arrival_span
+                if arrival_span > 0.0
+                else self._offered_rps
+            )
+            achieved = self.stats.requests / elapsed
+            ordered = sorted(self._sojourns)
+            arrival_fields = dict(
+                offered_rps=offered,
+                achieved_rps=achieved,
+                saturated=offered > 0.0 and achieved < 0.95 * offered,
+                p50_sojourn_ns=_nearest_rank(ordered, 0.50) * 1e9,
+                p95_sojourn_ns=_nearest_rank(ordered, 0.95) * 1e9,
+                p99_sojourn_ns=_nearest_rank(ordered, 0.99) * 1e9,
+            )
+        else:
+            arrival_fields = {}
         return WorkloadResult(
             workload=trace.name,
             configuration=self.configuration.name,
@@ -966,6 +1047,7 @@ class SystemSimulator:
             is_synthetic="splash" not in trace.description.lower(),
             **coherence_fields,
             **fault_fields,
+            **arrival_fields,
         )
 
 

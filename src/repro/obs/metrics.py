@@ -27,7 +27,15 @@ METRIC_COLUMNS = ("time_ns", "resource", "metric", "value")
 
 #: Gauge metrics forwarded to the timeline as Chrome counter tracks.
 _COUNTER_METRICS = frozenset(
-    {"utilization", "queue_depth", "in_use", "in_flight", "active"}
+    {
+        "utilization",
+        "queue_depth",
+        "in_use",
+        "in_flight",
+        "active",
+        "offered_rps",
+        "achieved_rps",
+    }
 )
 
 
@@ -190,6 +198,14 @@ class MetricsSampler:
         add(rows, t_ns, "transactions", "issued", issued)
         add(rows, t_ns, "transactions", "completed", completed)
         add(rows, t_ns, "transactions", "in_flight", issued - completed)
+
+        # Open-loop load tracking: the nominal offered rate vs the running
+        # completion rate (closed-loop replays carry no offered load and
+        # emit neither row, keeping their sinks bit-identical).
+        if system._offered_rps > 0.0:
+            add(rows, t_ns, "load", "offered_rps", system._offered_rps)
+            if now > 0:
+                add(rows, t_ns, "load", "achieved_rps", completed / now)
 
     # -- reporting -----------------------------------------------------------
     def resources(self) -> List[str]:

@@ -52,7 +52,12 @@ from repro.sweeps.engine import (
     sweep_status,
     workload_signature,
 )
-from repro.sweeps.library import coherence_sweep_spec, sensitivity_sweep_spec
+from repro.sweeps.library import (
+    coherence_sweep_spec,
+    latency_throughput_sweep_spec,
+    sensitivity_sweep_spec,
+)
+from repro.sweeps.saturation import detect_knee, saturation_rows
 from repro.sweeps.spec import (
     SWEEP_FORMAT,
     SweepAxis,
@@ -99,4 +104,8 @@ __all__ = [
     # stock specs
     "coherence_sweep_spec",
     "sensitivity_sweep_spec",
+    "latency_throughput_sweep_spec",
+    # saturation analysis
+    "detect_knee",
+    "saturation_rows",
 ]

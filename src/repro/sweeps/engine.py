@@ -412,6 +412,11 @@ def _sweep_report(spec: SweepSpec, records: Sequence[SweepRecord]) -> str:
         )
         lines.append("| " + " | ".join(cells) + " |")
     lines.append("")
+    # Open-loop sweeps (any record carrying an offered load) get the
+    # latency-throughput knee table appended.
+    from repro.sweeps.saturation import saturation_report_section
+
+    lines.extend(saturation_report_section(records))
     return "\n".join(lines)
 
 

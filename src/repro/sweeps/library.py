@@ -30,6 +30,7 @@ from repro.harness.experiments import (
     COHERENCE_SWEEP_FRACTIONS,
 )
 from repro.sweeps.spec import SweepAxis, SweepSpec
+from repro.trace.arrival import ArrivalSpec
 
 
 def coherence_sweep_spec(
@@ -170,3 +171,118 @@ def sensitivity_sweep_spec(
 def _registered_sensitivity_sweep(**params) -> SweepSpec:
     """Window-depth (MLP) sensitivity grid on the Corona crossbar."""
     return sensitivity_sweep_spec(**params)
+
+
+#: Requests per ladder point by scale tier.  Small counts are fine here:
+#: the saturation test is schedule slip (did the replay keep up with the
+#: arrival schedule), which is robust at a few thousand requests, and a
+#: ladder replays every point on every configuration.
+SATURATION_REQUESTS = {
+    "quick": 2_000,
+    "default": 8_000,
+    "full": 20_000,
+    "paper": 60_000,
+}
+
+#: Default offered-load ladder (nominal aggregate requests/second): from
+#: far below either baseline's capacity to well past the crossbar's.
+SATURATION_LADDER_START = 1e9
+SATURATION_LADDER_GROWTH = 2.0
+SATURATION_LADDER_POINTS = 9
+
+#: The quick tier trades ladder resolution for wall clock: five points with
+#: 4x growth still bracket both stock configurations' knees.
+SATURATION_QUICK_GROWTH = 4.0
+SATURATION_QUICK_POINTS = 5
+
+
+def latency_throughput_sweep_spec(
+    rates: Optional[Sequence[float]] = None,
+    configurations: Sequence[str] = ("XBar/OCM", "LMesh/ECM"),
+    process: str = "poisson",
+    burst_rate_rps: float = 0.0,
+    burst_fraction: float = 0.0,
+    scale: str = "default",
+    num_requests: Optional[int] = None,
+    seed: int = 1,
+    jobs: int = 1,
+    output: OutputSpec = OutputSpec(),
+) -> SweepSpec:
+    """The open-loop latency-throughput saturation study as a grid.
+
+    Replays a Uniform workload under an open-loop arrival process
+    (``poisson`` by default; ``mmpp`` with the burst parameters) at a
+    geometric ladder of offered loads on each configuration.  The rate axis
+    rewrites ``workloads[0].arrival.rate_rps``, so every ladder point
+    regenerates its arrival schedule deterministically; the engine's report
+    appends the knee table (:mod:`repro.sweeps.saturation`) and the
+    long-form CSV carries ``offered_rps``/``achieved_rps``/``saturated``
+    and the sojourn percentiles per point.
+
+    ``scale`` picks the per-point request count (:data:`SATURATION_REQUESTS`)
+    and, for ``"quick"``, a coarser default ladder; explicit ``rates`` or
+    ``num_requests`` override either.
+    """
+    if scale not in SATURATION_REQUESTS:
+        raise ValueError(
+            f"unknown scale {scale!r}; known: {sorted(SATURATION_REQUESTS)}"
+        )
+    if rates is None:
+        if scale == "quick":
+            growth, points = SATURATION_QUICK_GROWTH, SATURATION_QUICK_POINTS
+        else:
+            growth, points = SATURATION_LADDER_GROWTH, SATURATION_LADDER_POINTS
+        rates = tuple(
+            SATURATION_LADDER_START * growth**index for index in range(points)
+        )
+    rates = tuple(float(rate) for rate in rates)
+    requests = (
+        num_requests if num_requests is not None else SATURATION_REQUESTS[scale]
+    )
+    base = Scenario(
+        name="latency-throughput-base",
+        description="one (offered load, configuration) point of the ladder",
+        system=SystemSpec(configurations=(configurations[0],)),
+        workloads=(
+            WorkloadSpec(
+                name="Uniform",
+                arrival=ArrivalSpec(
+                    process=process,
+                    rate_rps=rates[0],
+                    burst_rate_rps=burst_rate_rps,
+                    burst_fraction=burst_fraction,
+                ),
+                num_requests=requests,
+            ),
+        ),
+        scale=ScaleSpec(tier="quick", seed=seed),
+    )
+    return SweepSpec(
+        name="latency-throughput",
+        description=(
+            "Open-loop saturation study: offered load swept geometrically "
+            "past the knee; sojourn percentiles and achieved throughput "
+            "per point, knee table in the report."
+        ),
+        base=base,
+        axes=(
+            SweepAxis(
+                name="rate_rps",
+                path="workloads[0].arrival.rate_rps",
+                values=rates,
+            ),
+            SweepAxis(
+                name="configuration",
+                path="system.configurations",
+                values=tuple([name] for name in configurations),
+            ),
+        ),
+        jobs=jobs,
+        output=output,
+    )
+
+
+@register_sweep("latency-throughput")
+def _registered_latency_throughput_sweep(**params) -> SweepSpec:
+    """Open-loop offered-load ladder with knee detection per configuration."""
+    return latency_throughput_sweep_spec(**params)

@@ -1,0 +1,143 @@
+"""Latency-throughput saturation analysis over open-loop sweep records.
+
+The ``latency-throughput`` stock sweep replays an open-loop workload at a
+geometric ladder of offered loads; this module turns the resulting
+long-form records into the classic saturation summary: for each
+configuration, the *knee* -- the first ladder point where the system stops
+keeping up with the arrival schedule -- plus the throughput it achieved
+there and how the p99 sojourn grew past it.
+
+Knee detection is intentionally simple and deterministic
+(:func:`detect_knee`): a point is saturated when achieved throughput falls
+below :data:`KNEE_DELIVERY_RATIO` of the offered load (the schedule-slip
+test the simulator's ``saturated`` flag uses), or when the p99 sojourn
+inflects by more than :data:`KNEE_P99_INFLECTION` over the previous
+point -- the latency-explosion signature of an open-loop queue crossing
+capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: A point is past the knee when achieved/offered drops below this.
+KNEE_DELIVERY_RATIO = 0.95
+
+#: ... or when p99 sojourn grows by more than this factor in one step.
+KNEE_P99_INFLECTION = 2.0
+
+
+def detect_knee(
+    offered: Sequence[float],
+    achieved: Sequence[float],
+    p99_sojourn_ns: Sequence[float],
+) -> Optional[int]:
+    """Index of the first saturated point of a load ladder, or ``None``.
+
+    The three sequences are parallel and assumed ordered by increasing
+    offered load.  A point saturates when it delivers less than
+    :data:`KNEE_DELIVERY_RATIO` of its offered load, or (from the second
+    point on) when its p99 sojourn exceeds :data:`KNEE_P99_INFLECTION`
+    times the previous point's.
+    """
+    if not (len(offered) == len(achieved) == len(p99_sojourn_ns)):
+        raise ValueError(
+            f"mismatched ladder lengths: {len(offered)} offered, "
+            f"{len(achieved)} achieved, {len(p99_sojourn_ns)} p99"
+        )
+    for index, (load, done) in enumerate(zip(offered, achieved)):
+        if load > 0.0 and done < KNEE_DELIVERY_RATIO * load:
+            return index
+        if index > 0 and p99_sojourn_ns[index - 1] > 0.0:
+            if p99_sojourn_ns[index] > KNEE_P99_INFLECTION * p99_sojourn_ns[index - 1]:
+                return index
+    return None
+
+
+def saturation_rows(records: Sequence) -> List[Tuple[str, str, object]]:
+    """Per-(configuration, workload) knee summaries from sweep records.
+
+    ``records`` are :class:`~repro.sweeps.engine.SweepRecord` instances (or
+    anything with a ``result`` attribute); records whose result carries no
+    open-loop data (``offered_rps == 0``) are ignored.  Returns one
+    ``(configuration, workload, summary)`` tuple per group, where
+    ``summary`` is a dict with the ladder (``offered``/``achieved``/
+    ``p99``, sorted by offered load), the knee index (or ``None``) and the
+    peak achieved throughput.
+    """
+    groups: Dict[Tuple[str, str], List] = {}
+    for record in records:
+        result = record.result
+        if result.offered_rps <= 0.0:
+            continue
+        groups.setdefault((result.configuration, result.workload), []).append(
+            result
+        )
+    rows: List[Tuple[str, str, object]] = []
+    for (configuration, workload), results in sorted(groups.items()):
+        results.sort(key=lambda r: r.offered_rps)
+        offered = [r.offered_rps for r in results]
+        achieved = [r.achieved_rps for r in results]
+        p99 = [r.p99_sojourn_ns for r in results]
+        knee = detect_knee(offered, achieved, p99)
+        rows.append(
+            (
+                configuration,
+                workload,
+                {
+                    "offered": offered,
+                    "achieved": achieved,
+                    "p99": p99,
+                    "knee": knee,
+                    "peak_achieved_rps": max(achieved),
+                },
+            )
+        )
+    return rows
+
+
+def saturation_report_section(records: Sequence) -> List[str]:
+    """Markdown lines of the knee table, empty when no record is open-loop.
+
+    One row per (configuration, workload) group: the knee's offered and
+    achieved loads (in Grps), the p99 sojourn just before and at the knee,
+    and the peak achieved throughput of the whole ladder.  Groups that
+    never saturate within the ladder report ``(not reached)``.
+    """
+    rows = saturation_rows(records)
+    if not rows:
+        return []
+    lines = [
+        "## Latency-throughput saturation",
+        "",
+        "Knee = first ladder point delivering under "
+        f"{KNEE_DELIVERY_RATIO:.0%} of its offered load (or whose p99 "
+        f"sojourn inflects by more than {KNEE_P99_INFLECTION:g}x).",
+        "",
+        "| configuration | workload | knee offered Grps | knee achieved Grps "
+        "| p99 before knee ns | p99 at knee ns | peak achieved Grps |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for configuration, workload, summary in rows:
+        knee = summary["knee"]
+        peak = f"{summary['peak_achieved_rps'] / 1e9:.2f}"
+        if knee is None:
+            cells = [
+                configuration, workload, "(not reached)", "-", "-", "-", peak,
+            ]
+        else:
+            before = (
+                f"{summary['p99'][knee - 1]:.1f}" if knee > 0 else "-"
+            )
+            cells = [
+                configuration,
+                workload,
+                f"{summary['offered'][knee] / 1e9:.2f}",
+                f"{summary['achieved'][knee] / 1e9:.2f}",
+                before,
+                f"{summary['p99'][knee]:.1f}",
+                peak,
+            ]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return lines

@@ -57,150 +57,33 @@ class SweepError(ScenarioError):
 
 
 # ---------------------------------------------------------------------------
-# Field paths
+# Field paths -- the machinery lives in repro.api.fields (it is the public
+# Scenario.with_field / set_field implementation); these wrappers bind the
+# sweep-level error class so every path failure raises SweepError.
 # ---------------------------------------------------------------------------
 
-_SEGMENT = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)((?:\[(?:\d+|\*)\])*)\Z")
-_INDEX = re.compile(r"\[(\d+|\*)\]")
-
-#: Path token: ("key", name) descends into a mapping, ("index", i) into a
-#: list, ("index", None) is the ``[*]`` wildcard (expanded per list entry).
-PathToken = Tuple[str, object]
+from repro.api.fields import PathToken  # noqa: E402,F401  (re-exported)
+from repro.api.fields import apply_value as _apply_value_any  # noqa: E402
+from repro.api.fields import concrete_paths as _concrete_paths_any  # noqa: E402
+from repro.api.fields import parse_path as _parse_path_any  # noqa: E402
+from repro.api.fields import render_tokens as _render_tokens  # noqa: E402
 
 
 def parse_path(path: str, where: str) -> Tuple[PathToken, ...]:
     """Parse a dotted field path into tokens, naming ``where`` on errors."""
-    if not isinstance(path, str) or not path:
-        raise SweepError(where, "a non-empty field path string is required")
-    tokens: List[PathToken] = []
-    for segment in path.split("."):
-        match = _SEGMENT.match(segment)
-        if match is None:
-            raise SweepError(
-                where,
-                f"bad path segment {segment!r} in {path!r}; expected dotted "
-                f"names with optional [index] or [*] suffixes, e.g. "
-                f"\"workloads[0].params.window\"",
-            )
-        tokens.append(("key", match.group(1)))
-        for index in _INDEX.findall(match.group(2)):
-            tokens.append(("index", None if index == "*" else int(index)))
-    return tuple(tokens)
-
-
-def _render_tokens(tokens: Sequence[PathToken]) -> str:
-    parts: List[str] = []
-    for kind, value in tokens:
-        if kind == "key":
-            parts.append(("." if parts else "") + str(value))
-        else:
-            parts.append("*" if value is None else f"[{value}]")
-    return "".join(part if part != "*" else "[*]" for part in parts)
+    return _parse_path_any(path, where, SweepError)
 
 
 def _concrete_paths(
     data: Mapping, tokens: Sequence[PathToken], path: str, where: str
 ) -> List[Tuple[PathToken, ...]]:
-    """Expand ``[*]`` wildcards against ``data``, validating every index.
-
-    Returns the concrete token tuples the path resolves to (one unless a
-    wildcard fans out).  Missing intermediate *mapping* keys are fine (the
-    write creates them); a list index past the end, or an index into a
-    non-list, is an error naming ``where``.
-    """
-    concrete: List[List[PathToken]] = [[]]
-    nodes: List[object] = [data]
-    for position, (kind, value) in enumerate(tokens):
-        next_concrete: List[List[PathToken]] = []
-        next_nodes: List[object] = []
-        for prefix, node in zip(concrete, nodes):
-            if kind == "key":
-                if node is not None and not isinstance(node, Mapping):
-                    raise SweepError(
-                        where,
-                        f"{_render_tokens(tokens[:position]) or 'the base'} is "
-                        f"{type(node).__name__}, cannot descend into "
-                        f"{value!r} (path {path!r})",
-                    )
-                child = None if node is None else node.get(value)
-                next_concrete.append(prefix + [(kind, value)])
-                next_nodes.append(child)
-            else:
-                if not isinstance(node, (list, tuple)):
-                    raise SweepError(
-                        where,
-                        f"{_render_tokens(tokens[:position])} is not a list "
-                        f"in the base scenario (path {path!r})",
-                    )
-                if value is None:  # wildcard
-                    if not node:
-                        raise SweepError(
-                            where,
-                            f"{_render_tokens(tokens[:position])}[*] matches "
-                            f"nothing: the base list is empty (path {path!r})",
-                        )
-                    for index, child in enumerate(node):
-                        next_concrete.append(prefix + [("index", index)])
-                        next_nodes.append(child)
-                else:
-                    if value >= len(node):
-                        raise SweepError(
-                            where,
-                            f"{_render_tokens(tokens[:position])}[{value}] is "
-                            f"out of range: the base has {len(node)} entries "
-                            f"(path {path!r})",
-                        )
-                    next_concrete.append(prefix + [(kind, value)])
-                    next_nodes.append(node[value])
-        concrete = next_concrete
-        nodes = next_nodes
-    return [tuple(entry) for entry in concrete]
+    return _concrete_paths_any(data, tokens, path, where, SweepError)
 
 
 def _apply_value(
     data: Dict, tokens: Sequence[PathToken], value: object, path: str, where: str
 ) -> None:
-    """Write ``value`` at a concrete token path inside the scenario dict.
-
-    Intermediate mapping keys that are missing or ``null`` are created as
-    empty objects, so an axis can target ``coherence.broadcast_threshold``
-    or ``workloads[0].sharing.fraction`` even when the base leaves the
-    parent unset.
-    """
-    container: object = data
-    for position, (kind, token) in enumerate(tokens[:-1]):
-        if kind == "key":
-            if not isinstance(container, dict):
-                raise SweepError(
-                    where,
-                    f"{_render_tokens(tokens[:position]) or 'the base'} is "
-                    f"{type(container).__name__}, cannot set into it "
-                    f"(path {path!r})",
-                )
-            child = container.get(token)
-            if child is None:
-                child = {}
-                container[token] = child
-            container = child
-        else:
-            container = container[token]
-    kind, token = tokens[-1]
-    if kind == "key":
-        if not isinstance(container, dict):
-            raise SweepError(
-                where,
-                f"{_render_tokens(tokens[:-1]) or 'the base'} is "
-                f"{type(container).__name__}, cannot set field {token!r} "
-                f"(path {path!r})",
-            )
-        container[token] = copy.deepcopy(value)
-    else:
-        if not isinstance(container, list):
-            raise SweepError(
-                where,
-                f"{_render_tokens(tokens[:-1])} is not a list (path {path!r})",
-            )
-        container[token] = copy.deepcopy(value)
+    _apply_value_any(data, tokens, value, path, where, SweepError)
 
 
 # ---------------------------------------------------------------------------

@@ -94,7 +94,14 @@ def pack_meta(
 
 class PackedTraceHeader(NamedTuple):
     """Picklable shape metadata of a packed trace (the columns travel
-    separately, e.g. through a shared-memory block)."""
+    separately, e.g. through a shared-memory block).
+
+    ``arrival_process``/``offered_rps`` carry a workload's open-loop
+    arrival metadata (see :mod:`repro.trace.arrival`) through worker
+    shipping; ``"closed"`` -- the default, and the value for every trace
+    generated without an :class:`~repro.trace.arrival.ArrivalSpec` -- keeps
+    the legacy gap-driven replay semantics.
+    """
 
     name: str
     description: str
@@ -102,6 +109,8 @@ class PackedTraceHeader(NamedTuple):
     threads_per_cluster: int
     num_threads: int
     num_records: int
+    arrival_process: str = "closed"
+    offered_rps: float = 0.0
 
 
 def _column_bytes(column) -> bytes:
@@ -128,6 +137,8 @@ class PackedTrace:
         "meta",
         "addresses",
         "gaps",
+        "arrival_process",
+        "offered_rps",
     )
 
     def __init__(
@@ -141,6 +152,8 @@ class PackedTrace:
         addresses,
         gaps,
         description: str = "",
+        arrival_process: str = "closed",
+        offered_rps: float = 0.0,
     ) -> None:
         if len(offsets) != len(thread_ids) + 1:
             raise ValueError(
@@ -163,6 +176,8 @@ class PackedTrace:
         self.meta = meta
         self.addresses = addresses
         self.gaps = gaps
+        self.arrival_process = arrival_process
+        self.offered_rps = offered_rps
 
     # ----------------------------------------------------------- inspection
     @property
@@ -266,6 +281,8 @@ class PackedTrace:
             threads_per_cluster=self.threads_per_cluster,
             num_threads=len(self.thread_ids),
             num_records=len(self.meta),
+            arrival_process=self.arrival_process,
+            offered_rps=self.offered_rps,
         )
 
     def nbytes(self) -> int:
@@ -312,6 +329,8 @@ class PackedTrace:
             addresses=take("Q", records),
             gaps=take("d", records),
             description=header.description,
+            arrival_process=header.arrival_process,
+            offered_rps=header.offered_rps,
         )
 
     # -------------------------------------------------------------- dunder
@@ -349,6 +368,8 @@ class PackedTraceBuilder:
         "description",
         "num_clusters",
         "threads_per_cluster",
+        "arrival_process",
+        "offered_rps",
         "_thread_ids",
         "_offsets",
         "_meta",
@@ -363,9 +384,13 @@ class PackedTraceBuilder:
         num_clusters: int,
         threads_per_cluster: int,
         description: str = "",
+        arrival_process: str = "closed",
+        offered_rps: float = 0.0,
     ) -> None:
         self.name = name
         self.description = description
+        self.arrival_process = arrival_process
+        self.offered_rps = offered_rps
         self.num_clusters = num_clusters
         self.threads_per_cluster = threads_per_cluster
         self._thread_ids = array("q")
@@ -422,6 +447,8 @@ class PackedTraceBuilder:
             addresses=self._addresses,
             gaps=self._gaps,
             description=self.description,
+            arrival_process=self.arrival_process,
+            offered_rps=self.offered_rps,
         )
 
 

@@ -37,6 +37,7 @@ from repro.coherence.sharing import (
     resolve_sharing,
     shared_line_address,
 )
+from repro.trace.arrival import ArrivalSpec, arrival_streams
 from repro.trace.gaps import draw_gap
 from repro.trace.packed import PackedTrace, PackedTraceBuilder
 from repro.trace.record import AccessKind, TraceRecord, TraceStream
@@ -320,11 +321,14 @@ class Splash2Workload:
     threads_per_cluster: int = 16
     num_requests: Optional[int] = None
     sharing: Optional[Union[str, SharingProfile]] = None
+    arrival: Optional[Union[dict, ArrivalSpec]] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_requests is None:
             self.num_requests = self.profile.paper_requests
+        if isinstance(self.arrival, dict):
+            self.arrival = ArrivalSpec.from_dict(self.arrival)
 
         def benchmark_default() -> SharingProfile:
             profile = SPLASH2_SHARING_PROFILES.get(self.profile.name)
@@ -391,10 +395,15 @@ class Splash2Workload:
         stagger_cycles = 8.0 * profile.mean_gap_cycles
         sharing = self.sharing if self.sharing and self.sharing.enabled else None
         shared_cumulative = sharing.cumulative_weights() if sharing else None
+        # Open-loop arrivals replace the benchmark's think/burst gap model
+        # (and the stagger) with the rate-driven schedule; destination and
+        # write draws keep their historical rng sequence.
+        arrivals = arrival_streams(self.arrival, total_threads, seed)
         line_counter = 0
         for thread_id in range(total_threads):
             cluster = thread_id // self.threads_per_cluster
             count = base + (1 if thread_id < remainder else 0)
+            thread_arrivals = next(arrivals) if arrivals is not None else None
             for miss_index in range(count):
                 in_burst = False
                 burst_home = 0
@@ -405,13 +414,16 @@ class Splash2Workload:
                     # which is what the post-barrier access pattern of LU and
                     # Raytrace does to a mesh.
                     burst_home = (phase * 2654435761) % self.num_clusters
-                if in_burst:
-                    mean_gap = profile.burst_gap_cycles
+                if thread_arrivals is not None:
+                    gap = thread_arrivals.next_gap()
                 else:
-                    mean_gap = profile.mean_gap_cycles
-                gap = draw_gap(rng, mean_gap)
-                if miss_index == 0 and stagger_cycles > 0:
-                    gap += rng.uniform(0.0, stagger_cycles)
+                    if in_burst:
+                        mean_gap = profile.burst_gap_cycles
+                    else:
+                        mean_gap = profile.mean_gap_cycles
+                    gap = draw_gap(rng, mean_gap)
+                    if miss_index == 0 and stagger_cycles > 0:
+                        gap += rng.uniform(0.0, stagger_cycles)
                 if sharing is not None and rng.random() < sharing.fraction:
                     # Shared miss: target the benchmark's shared-line pool
                     # (dedicated address region, own write mix) exactly like
@@ -467,11 +479,14 @@ class Splash2Workload:
         """Generate the miss trace directly in packed columnar form
         (field-identical to :meth:`generate`, no per-record objects)."""
         total = num_requests if num_requests is not None else self.num_requests
+        arrival = self.arrival if self.arrival and self.arrival.enabled else None
         builder = PackedTraceBuilder(
             name=self.name,
             num_clusters=self.num_clusters,
             threads_per_cluster=self.threads_per_cluster,
             description=self._description(),
+            arrival_process=arrival.process if arrival else "closed",
+            offered_rps=arrival.offered_rps() if arrival else 0.0,
         )
         append = builder.append
 

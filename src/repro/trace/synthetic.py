@@ -46,6 +46,7 @@ from repro.coherence.sharing import (
     resolve_sharing,
     shared_line_address,
 )
+from repro.trace.arrival import ArrivalSpec, arrival_streams
 from repro.trace.gaps import draw_gap
 from repro.trace.packed import PackedTrace, PackedTraceBuilder
 from repro.trace.record import AccessKind, TraceRecord, TraceStream
@@ -149,6 +150,11 @@ class SyntheticWorkload:
         pool of shared lines tagged for the coherence-enabled replay.  With
         no profile (or fraction 0) generation is bit-identical to the
         sharing-free path.
+    arrival:
+        Optional :class:`~repro.trace.arrival.ArrivalSpec` (or its dict
+        form).  When enabled, gaps come from the open-loop arrival process
+        instead of the closed-loop gamma think model; ``None`` or a
+        ``"closed"`` process keeps generation bit-identical to before.
     """
 
     name: str
@@ -161,10 +167,13 @@ class SyntheticWorkload:
     window: int = 8
     hot_cluster: int = 0
     sharing: Optional[Union[str, SharingProfile]] = None
+    arrival: Optional[Union[dict, ArrivalSpec]] = None
     description: str = ""
 
     def __post_init__(self) -> None:
         self.sharing = resolve_sharing(self.sharing, default_sharing_profile)
+        if isinstance(self.arrival, dict):
+            self.arrival = ArrivalSpec.from_dict(self.arrival)
         if self.num_requests < 1:
             raise ValueError(
                 f"request count must be >= 1, got {self.num_requests}"
@@ -221,6 +230,11 @@ class SyntheticWorkload:
         # opens; staggering their first miss avoids an artificial thundering
         # herd at t = 0 that no steady-state system would see.
         stagger_cycles = 8.0 * self.mean_gap_cycles
+        # Open-loop arrivals replace every gap draw (including the stagger:
+        # the process defines the full schedule from t = 0) with draws from
+        # a dedicated rng, leaving the main rng's destination/write/sharing
+        # sequence untouched by rate changes.
+        arrivals = arrival_streams(self.arrival, total_threads, seed)
         # Sharing support: when a profile with a non-zero fraction is set,
         # that fraction of misses targets the shared-line pool instead of the
         # pattern's private address space.  The sharing-free path below stays
@@ -232,10 +246,14 @@ class SyntheticWorkload:
         for thread_id in range(total_threads):
             cluster = thread_id // self.threads_per_cluster
             count = base + (1 if thread_id < remainder else 0)
+            thread_arrivals = next(arrivals) if arrivals is not None else None
             for index in range(count):
-                gap = draw_gap(rng, self.mean_gap_cycles)
-                if index == 0 and stagger_cycles > 0:
-                    gap += rng.uniform(0.0, stagger_cycles)
+                if thread_arrivals is not None:
+                    gap = thread_arrivals.next_gap()
+                else:
+                    gap = draw_gap(rng, self.mean_gap_cycles)
+                    if index == 0 and stagger_cycles > 0:
+                        gap += rng.uniform(0.0, stagger_cycles)
                 if sharing is not None and rng.random() < sharing.fraction:
                     line = sharing.draw_line(rng, shared_cumulative)
                     home = home_for_line(line, self.num_clusters)
@@ -298,11 +316,14 @@ class SyntheticWorkload:
         :meth:`generate` for the same seed.
         """
         total = num_requests if num_requests is not None else self.num_requests
+        arrival = self.arrival if self.arrival and self.arrival.enabled else None
         builder = PackedTraceBuilder(
             name=self.name,
             num_clusters=self.num_clusters,
             threads_per_cluster=self.threads_per_cluster,
             description=self.description or f"synthetic {self.pattern.value}",
+            arrival_process=arrival.process if arrival else "closed",
+            offered_rps=arrival.offered_rps() if arrival else 0.0,
         )
         append = builder.append
 
