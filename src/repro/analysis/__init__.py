@@ -1,0 +1,83 @@
+"""Static analysis for the reproduction: determinism and unit-flow lint.
+
+``corona-repro lint`` is built on this package.  Importing it registers the
+two stock rule families (:mod:`~repro.analysis.determinism`,
+:mod:`~repro.analysis.unitflow`) in :data:`~repro.analysis.rules.RULES`;
+additional rules register through the same decorator.  The runtime
+counterpart -- fresh-process replay with digest comparison -- lives in
+:mod:`~repro.analysis.runtime`.
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_FORMAT,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    PARSE_ERROR_RULE,
+    LintReport,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    parse_pragmas,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import (
+    LINT_FORMAT,
+    render_json,
+    render_rule_catalog,
+    render_text,
+)
+from repro.analysis.rules import (
+    RULES,
+    AnalysisError,
+    Rule,
+    RuleCollisionError,
+    RuleContext,
+    RuleRegistry,
+    UnknownRuleError,
+    register_rule,
+)
+from repro.analysis.runtime import (
+    DEFAULT_REPLICAS,
+    DeterminismCheck,
+    check_determinism,
+    compare_replicas,
+    result_digest,
+)
+
+# Importing the rule modules registers the stock rule families.
+from repro.analysis import determinism as _determinism  # noqa: F401  (registers)
+from repro.analysis import unitflow as _unitflow  # noqa: F401  (registers)
+
+__all__ = [
+    "AnalysisError",
+    "BASELINE_FORMAT",
+    "DEFAULT_REPLICAS",
+    "DeterminismCheck",
+    "Finding",
+    "LINT_FORMAT",
+    "LintReport",
+    "PARSE_ERROR_RULE",
+    "RULES",
+    "Rule",
+    "RuleCollisionError",
+    "RuleContext",
+    "RuleRegistry",
+    "UnknownRuleError",
+    "analyze_paths",
+    "analyze_source",
+    "check_determinism",
+    "compare_replicas",
+    "iter_python_files",
+    "load_baseline",
+    "parse_pragmas",
+    "partition_findings",
+    "register_rule",
+    "render_json",
+    "render_rule_catalog",
+    "render_text",
+    "result_digest",
+    "write_baseline",
+]

@@ -1,0 +1,90 @@
+"""Baseline files: grandfathered findings that do not fail the lint gate.
+
+A baseline is a committed JSON snapshot of known findings.  The gate then
+fails only on *new* findings -- the suite can land with pre-existing debt
+recorded instead of fixed, and every later PR is held to "no new hazards".
+
+Keys are line-insensitive (``(file, rule, message)`` with a per-key count,
+see :meth:`repro.analysis.findings.Finding.baseline_key`): unrelated edits
+that shift code up or down must not invalidate the baseline, but a *second*
+occurrence of a baselined hazard in the same file is new debt and fails.
+Stale entries (baselined findings that no longer occur) are reported so the
+baseline ratchets down over time; refresh with ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import AnalysisError
+
+BASELINE_FORMAT = "corona-lint-baseline/1"
+
+#: ``(file, rule, message) -> allowed count``.
+BaselineKey = Tuple[str, str, str]
+Baseline = Dict[BaselineKey, int]
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {error}") from None
+    if not isinstance(data, dict) or data.get("format") != BASELINE_FORMAT:
+        raise AnalysisError(
+            f"baseline {path} has format {data.get('format')!r}; "
+            f"expected {BASELINE_FORMAT!r}"
+        )
+    baseline: Baseline = {}
+    for entry in data.get("findings", []):
+        missing = [k for k in ("file", "rule", "message") if k not in entry]
+        if missing:
+            raise AnalysisError(
+                f"baseline {path} entry is missing {missing[0]!r}: {entry}"
+            )
+        key = (entry["file"], entry["rule"], entry["message"])
+        baseline[key] = baseline.get(key, 0) + int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new baseline."""
+    counts: Baseline = {}
+    for finding in sorted(findings):
+        key = finding.baseline_key()
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"file": file, "rule": rule, "message": message, "count": count}
+        for (file, rule, message), count in sorted(counts.items())
+    ]
+    payload = {"format": BASELINE_FORMAT, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding], Baseline]:
+    """Split findings into ``(new, baselined, stale)``.
+
+    Each baseline entry's count is consumed by matching findings in sorted
+    order; findings beyond the budget are new.  ``stale`` holds leftover
+    baseline budget -- entries whose hazard no longer occurs.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in sorted(findings):
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = {key: count for key, count in remaining.items() if count > 0}
+    return new, baselined, stale

@@ -1,0 +1,520 @@
+"""Determinism rules: nondeterminism hazards in simulation-path code.
+
+Every guarantee this reproduction makes -- bit-identical results across
+``--jobs 1``/``--jobs N``, golden trace digests, fault schedules that are
+pure functions of seeds -- dies by one of a handful of Python idioms.
+These rules catch the hazard classes at diff time:
+
+``det-set-iter``
+    Iteration over a ``set``/``frozenset`` expression feeding ordered
+    computation (a ``for`` statement, a list/generator comprehension,
+    ``list()``/``tuple()``/``enumerate()``/``str.join()``).  Set iteration
+    order depends on insertion history and -- for str/tuple elements -- on
+    ``PYTHONHASHSEED``, so any ordered consumer inherits a per-process
+    order.  Building another set/dict-key test from a set is order-free
+    and not flagged; wrap the iterable in ``sorted(...)`` to fix a hit.
+
+``det-unseeded-random``
+    Calls through the module-level ``random.*`` API (including
+    ``random.seed``): module-level state is shared per process, so two
+    call sites interleave differently under any reordering and workers
+    diverge from serial runs.  Every draw must come from a seeded
+    ``random.Random(seed)`` instance owned by the caller.
+
+``det-wall-clock``
+    Wall-clock, environment and identity reads in simulated-time code:
+    ``time.time``/``perf_counter``/``monotonic``..., ``datetime.now``,
+    ``os.environ``/``os.getenv``, ``os.urandom``, ``uuid.uuid1/uuid4``,
+    and the builtins ``id()``/``hash()`` (address- and
+    ``PYTHONHASHSEED``-dependent).  Exempt in the allowlisted harness/obs
+    zone, where wall-clock profiling and env plumbing are the point.
+
+``det-float-accum``
+    Float accumulation whose order depends on set iteration: ``x += ...``
+    inside a ``for`` loop over a set expression, or ``sum()`` applied to
+    a set (or to a generator over one).  Float addition is not
+    associative, so the rounded total varies with iteration order even
+    when the element *set* is identical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RuleContext, register_rule
+
+#: Paths where wall-clock/env reads are the point of the code, not a hazard:
+#: harness timing/profiling, observability, CLI/process plumbing and this
+#: analysis package itself.  Everything else -- including the API layer and
+#: the sweep engine, which time their phases on purpose -- carries its reads
+#: as baselined findings or inline pragmas, so *new* reads still gate.
+WALL_CLOCK_ZONES: Tuple[str, ...] = (
+    "harness/",
+    "obs/",
+    "cli.py",
+    "analysis/",
+)
+
+#: set-producing method names (defined on no other stdlib builtin type).
+_SET_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference"}
+)
+
+#: Builtins whose result does not depend on the argument's iteration order
+#: (``sum`` is order-dependent for floats and handled by det-float-accum).
+_ORDER_FREE_CALLS = frozenset(
+    {"sorted", "min", "max", "len", "any", "all", "set", "frozenset", "bool"}
+)
+
+#: Builtins that materialize their argument's order into an ordered result.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    """Is ``node`` statically known to evaluate to a set/frozenset?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _scope_walk(body: Iterable[ast.AST]) -> Iterator[ast.AST]:
+    """Nodes of one scope in document order, not descending into nested
+    function/class scopes (each gets its own name table)."""
+    stack: List[ast.AST] = list(body)
+    stack.reverse()
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        children = list(ast.iter_child_nodes(node))
+        children.reverse()
+        stack.extend(children)
+
+
+def _snippet(node: ast.AST, limit: int = 48) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        text = type(node).__name__
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+class _ScopeScanner:
+    """One pass over one scope: tracks set-typed names in statement order
+    and records the iteration/accumulation findings for both set rules."""
+
+    def __init__(self, context: RuleContext) -> None:
+        self.context = context
+        self.set_iter: List[Finding] = []
+        self.float_accum: List[Finding] = []
+
+    def scan(self, body: Iterable[ast.AST]) -> None:
+        set_names: Set[str] = set()
+        exempt_genexps: Set[int] = set()
+        for node in _scope_walk(body):
+            if isinstance(node, _SCOPE_NODES):
+                inner = node.body if not isinstance(node, ast.Lambda) else [node.body]
+                self.scan(inner)
+                continue
+            if isinstance(node, ast.Assign):
+                self._track_assignment(node, set_names)
+            elif isinstance(node, ast.Call):
+                self._check_call(node, set_names, exempt_genexps)
+            elif isinstance(node, ast.For):
+                self._check_for(node, set_names)
+            elif isinstance(node, (ast.ListComp, ast.DictComp)):
+                self._check_comprehension(node, set_names)
+            elif isinstance(node, ast.GeneratorExp):
+                if id(node) not in exempt_genexps:
+                    self._check_comprehension(node, set_names)
+
+    # -- name tracking -------------------------------------------------------
+    def _track_assignment(self, node: ast.Assign, set_names: Set[str]) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        if _is_set_expr(node.value, set_names):
+            set_names.add(name)
+        else:
+            # Reassigned to something non-set: the name is no longer a
+            # provable set (stay conservative, never guess).
+            set_names.discard(name)
+
+    # -- iteration sites -----------------------------------------------------
+    def _check_for(self, node: ast.For, set_names: Set[str]) -> None:
+        if not _is_set_expr(node.iter, set_names):
+            return
+        self.set_iter.append(
+            self.context.finding(
+                node.iter,
+                "det-set-iter",
+                f"for-loop iterates the set expression "
+                f"'{_snippet(node.iter)}' in nondeterministic order",
+                "iterate sorted(...) over the set",
+            )
+        )
+        for inner in _scope_walk(node.body):
+            if isinstance(inner, ast.AugAssign) and isinstance(inner.op, ast.Add):
+                self.float_accum.append(
+                    self.context.finding(
+                        inner,
+                        "det-float-accum",
+                        f"accumulation '{_snippet(inner)}' inside a loop "
+                        f"over the set expression '{_snippet(node.iter)}' "
+                        f"is iteration-order dependent",
+                        "iterate sorted(...) or restructure as math.fsum "
+                        "over a sorted sequence",
+                    )
+                )
+
+    def _check_comprehension(self, node: ast.AST, set_names: Set[str]) -> None:
+        kind = {
+            ast.ListComp: "list comprehension",
+            ast.DictComp: "dict comprehension",
+            ast.GeneratorExp: "generator expression",
+        }[type(node)]
+        for generator in node.generators:
+            if _is_set_expr(generator.iter, set_names):
+                self.set_iter.append(
+                    self.context.finding(
+                        generator.iter,
+                        "det-set-iter",
+                        f"{kind} iterates the set expression "
+                        f"'{_snippet(generator.iter)}' in nondeterministic "
+                        f"order",
+                        "iterate sorted(...) over the set",
+                    )
+                )
+
+    def _check_call(
+        self, node: ast.Call, set_names: Set[str], exempt_genexps: Set[int]
+    ) -> None:
+        name = _call_name(node)
+        if name in _ORDER_FREE_CALLS:
+            # sorted({...}) / min(x for x in s) are the sanctioned consumers;
+            # their generator arguments must not double-report.
+            for arg in node.args:
+                if isinstance(arg, ast.GeneratorExp):
+                    exempt_genexps.add(id(arg))
+            return
+        if name == "sum" and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.GeneratorExp):
+                exempt_genexps.add(id(arg))
+                if any(
+                    _is_set_expr(g.iter, set_names) for g in arg.generators
+                ):
+                    self.float_accum.append(
+                        self.context.finding(
+                            node,
+                            "det-float-accum",
+                            f"sum() over a generator driven by a set "
+                            f"expression in '{_snippet(node)}' is "
+                            f"iteration-order dependent",
+                            "sum over sorted(...) instead",
+                        )
+                    )
+            elif _is_set_expr(arg, set_names):
+                self.float_accum.append(
+                    self.context.finding(
+                        node,
+                        "det-float-accum",
+                        f"sum() over the set expression '{_snippet(arg)}' "
+                        f"is iteration-order dependent",
+                        "sum over sorted(...) instead",
+                    )
+                )
+            return
+        if name in _ORDER_SENSITIVE_CALLS and node.args:
+            if _is_set_expr(node.args[0], set_names):
+                self.set_iter.append(
+                    self.context.finding(
+                        node,
+                        "det-set-iter",
+                        f"{name}() materializes the set expression "
+                        f"'{_snippet(node.args[0])}' in nondeterministic "
+                        f"order",
+                        "apply sorted(...) first",
+                    )
+                )
+            return
+        if (
+            name == "join"
+            and isinstance(node.func, ast.Attribute)
+            and node.args
+            and _is_set_expr(node.args[0], set_names)
+        ):
+            self.set_iter.append(
+                self.context.finding(
+                    node,
+                    "det-set-iter",
+                    f"str.join() over the set expression "
+                    f"'{_snippet(node.args[0])}' renders in "
+                    f"nondeterministic order",
+                    "join sorted(...) instead",
+                )
+            )
+
+
+def _shared_scan(context: RuleContext) -> _ScopeScanner:
+    """Both set rules share one scope scan; cache it on the context."""
+    cached = getattr(context, "_set_scan", None)
+    if cached is None:
+        cached = _ScopeScanner(context)
+        cached.scan(context.tree.body)
+        context._set_scan = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@register_rule(
+    "det-set-iter",
+    family="determinism",
+    summary="set iteration feeding ordered computation",
+)
+def check_set_iteration(context: RuleContext) -> Iterable[Finding]:
+    return _shared_scan(context).set_iter
+
+
+@register_rule(
+    "det-float-accum",
+    family="determinism",
+    summary="float accumulation ordered by set iteration",
+)
+def check_float_accumulation(context: RuleContext) -> Iterable[Finding]:
+    return _shared_scan(context).float_accum
+
+
+# ---------------------------------------------------------------------------
+# det-unseeded-random
+# ---------------------------------------------------------------------------
+
+def _module_aliases(tree: ast.AST, module: str) -> Set[str]:
+    """Names the ``module`` is importable under in this file."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _from_imports(tree: ast.AST, module: str) -> Dict[str, str]:
+    """``local name -> original name`` for ``from module import ...``."""
+    imported: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                imported[alias.asname or alias.name] = alias.name
+    return imported
+
+
+#: random-module entry points that are fine to use: seeded generator classes.
+_SEEDED_RANDOM_TYPES = frozenset({"Random", "SystemRandom"})
+
+
+@register_rule(
+    "det-unseeded-random",
+    family="determinism",
+    summary="module-level random.* call instead of a seeded Random instance",
+)
+def check_unseeded_random(context: RuleContext) -> Iterable[Finding]:
+    aliases = _module_aliases(context.tree, "random")
+    from_names = {
+        local: original
+        for local, original in _from_imports(context.tree, "random").items()
+        if original not in _SEEDED_RANDOM_TYPES
+    }
+    if not aliases and not from_names:
+        return []
+    findings = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in aliases
+            and func.attr not in _SEEDED_RANDOM_TYPES
+        ):
+            findings.append(
+                context.finding(
+                    node,
+                    "det-unseeded-random",
+                    f"call to module-level random.{func.attr}() shares "
+                    f"process-global RNG state",
+                    "draw from a seeded random.Random(seed) instance",
+                )
+            )
+        elif isinstance(func, ast.Name) and func.id in from_names:
+            findings.append(
+                context.finding(
+                    node,
+                    "det-unseeded-random",
+                    f"call to random.{from_names[func.id]}() (imported as "
+                    f"{func.id}) shares process-global RNG state",
+                    "draw from a seeded random.Random(seed) instance",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# det-wall-clock
+# ---------------------------------------------------------------------------
+
+_TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    }
+)
+
+_DATETIME_FUNCTIONS = frozenset({"now", "utcnow", "today"})
+
+_UUID_FUNCTIONS = frozenset({"uuid1", "uuid4"})
+
+
+@register_rule(
+    "det-wall-clock",
+    family="determinism",
+    summary="wall-clock/env/identity read in simulated-time code",
+    exempt_zones=WALL_CLOCK_ZONES,
+)
+def check_wall_clock(context: RuleContext) -> Iterable[Finding]:
+    tree = context.tree
+    time_aliases = _module_aliases(tree, "time")
+    os_aliases = _module_aliases(tree, "os")
+    uuid_aliases = _module_aliases(tree, "uuid")
+    datetime_names = set(_from_imports(tree, "datetime")) | _module_aliases(
+        tree, "datetime"
+    )
+    time_from = {
+        local
+        for local, original in _from_imports(tree, "time").items()
+        if original in _TIME_FUNCTIONS
+    }
+    findings = []
+
+    def hit(node: ast.AST, what: str, fix: str) -> None:
+        findings.append(
+            context.finding(
+                node,
+                "det-wall-clock",
+                f"{what} in simulated-time code",
+                fix,
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in os_aliases
+                and node.attr == "environ"
+            ):
+                hit(
+                    node,
+                    "os.environ read",
+                    "thread configuration through the scenario/spec tree",
+                )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in ("id", "hash") and node.args:
+                hit(
+                    node,
+                    f"builtin {func.id}() (address/PYTHONHASHSEED dependent)",
+                    "key on a stable field or an explicit counter",
+                )
+            elif func.id in time_from:
+                hit(
+                    node,
+                    f"wall-clock call {func.id}()",
+                    "use simulated time from the event engine",
+                )
+            continue
+        if not isinstance(func, ast.Attribute):
+            continue
+        owner = func.value
+        if isinstance(owner, ast.Name):
+            if owner.id in time_aliases and func.attr in _TIME_FUNCTIONS:
+                hit(
+                    node,
+                    f"wall-clock call time.{func.attr}()",
+                    "use simulated time from the event engine",
+                )
+            elif owner.id in os_aliases and func.attr == "getenv":
+                hit(
+                    node,
+                    "os.getenv read",
+                    "thread configuration through the scenario/spec tree",
+                )
+            elif owner.id in os_aliases and func.attr == "urandom":
+                hit(
+                    node,
+                    "os.urandom read",
+                    "derive entropy from the scenario seed",
+                )
+            elif owner.id in uuid_aliases and func.attr in _UUID_FUNCTIONS:
+                hit(
+                    node,
+                    f"uuid.{func.attr}() (host/clock dependent)",
+                    "derive identifiers from seeds or counters",
+                )
+            elif owner.id in datetime_names and func.attr in _DATETIME_FUNCTIONS:
+                hit(
+                    node,
+                    f"datetime {func.attr}() read",
+                    "use simulated time from the event engine",
+                )
+        elif (
+            isinstance(owner, ast.Attribute)
+            and isinstance(owner.value, ast.Name)
+            and owner.value.id in datetime_names
+            and owner.attr == "datetime"
+            and func.attr in _DATETIME_FUNCTIONS
+        ):
+            hit(
+                node,
+                f"datetime.datetime.{func.attr}() read",
+                "use simulated time from the event engine",
+            )
+    return findings

@@ -1,0 +1,160 @@
+"""The analysis engine: walk files, run rules, honor suppression pragmas.
+
+The engine is the only component that touches the filesystem.  It walks the
+requested paths (sorted, so reports are deterministic), parses each ``.py``
+file once, runs every selected rule whose exempt zones do not cover the
+file, and drops findings silenced by an inline pragma::
+
+    risky = compute()  # lint: ignore[det-set-iter] order is re-sorted below
+    # lint: ignore[unit-mixed-arith] comparing raw magnitudes on purpose
+    if a_ns < b_s:
+        ...
+
+A pragma suppresses the listed rule ids (comma-separated) on its own line;
+a comment line that contains *only* a pragma also covers the next line.
+Unparseable files surface as ``parse-error`` findings rather than crashing
+the run -- a syntax error must fail the lint job, not hide it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, AnalysisError, Rule, RuleContext
+
+#: Rule id carried by findings for files the parser rejects.
+PARSE_ERROR_RULE = "parse-error"
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore\[([^\]]*)\]")
+
+
+@dataclass
+class LintReport:
+    """Everything one engine run produced."""
+
+    #: Surviving findings, sorted by (file, line, column, rule).
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by an inline pragma (kept for --show-suppressed
+    #: style tooling and for the self-scan tests).
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Files actually parsed and scanned.
+    files_scanned: int = 0
+    #: Rule ids that ran (post --select/--ignore filtering).
+    rules_run: List[str] = field(default_factory=list)
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    """``line number -> suppressed rule ids`` from ``# lint: ignore[...]``.
+
+    The empty-bracket form ``# lint: ignore[]`` suppresses nothing (it is
+    not a blanket waiver -- every suppression names its rule).
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if not match:
+            continue
+        rule_ids = {
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        }
+        if not rule_ids:
+            continue
+        suppressions.setdefault(lineno, set()).update(rule_ids)
+        if line[: match.start()].strip() == "":
+            # Standalone pragma comment: also covers the following line.
+            suppressions.setdefault(lineno + 1, set()).update(rule_ids)
+    return suppressions
+
+
+def normalize_path(path: Path, root: Optional[Path] = None) -> str:
+    """POSIX-style path, made relative to ``root`` (default: cwd) if possible."""
+    base = (root or Path.cwd()).resolve()
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """All ``.py`` files under ``paths``, deduplicated and sorted."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if "__pycache__" in candidate.parts:
+                    continue
+                seen.add(candidate.resolve())
+        elif path.suffix == ".py":
+            seen.add(path.resolve())
+        elif not path.exists():
+            raise AnalysisError(f"lint path does not exist: {path}")
+    return sorted(seen)
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Scan one file's source; returns ``(findings, suppressed)``."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        finding = Finding(
+            file=path,
+            line=error.lineno or 1,
+            column=(error.offset or 1),
+            rule=PARSE_ERROR_RULE,
+            message=f"file does not parse: {error.msg}",
+            suggestion="fix the syntax error",
+        )
+        return [finding], []
+    context = RuleContext(
+        path=path, tree=tree, source=source, lines=source.splitlines()
+    )
+    suppressions = parse_pragmas(source)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules:
+        if rule.exempt(path):
+            continue
+        for finding in rule.checker(context):
+            if finding.rule in suppressions.get(finding.line, ()):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    return sorted(findings), sorted(suppressed)
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Run the selected rules over every ``.py`` file under ``paths``."""
+    rules = RULES.select(select=select, ignore=ignore)
+    report = LintReport(rules_run=[rule.rule_id for rule in rules])
+    for file_path in iter_python_files(paths):
+        normalized = normalize_path(file_path, root=root)
+        source = file_path.read_text(encoding="utf-8")
+        findings, suppressed = analyze_source(source, normalized, rules)
+        report.findings.extend(findings)
+        report.suppressed.extend(suppressed)
+        report.files_scanned += 1
+    report.findings.sort()
+    report.suppressed.sort()
+    return report

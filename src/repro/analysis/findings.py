@@ -1,0 +1,56 @@
+"""Finding records produced by the static analysis rules.
+
+A :class:`Finding` is one rule hit at one source location.  Findings are
+plain frozen dataclasses with an exact JSON round-trip (the same contract
+as every other serialized record in this repo), ordered by location so
+reports and baselines are deterministic regardless of rule execution
+order.
+
+The *baseline key* deliberately excludes the line number: grandfathered
+findings in ``lint_baseline.json`` must survive unrelated edits that shift
+code up or down, so the key is ``(file, rule, message)`` and the baseline
+stores a per-key count (two identical hits in one file need two baseline
+entries' worth of budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Path as given to the engine, normalized to POSIX separators and made
+    #: repo-relative when possible, so baselines are machine-portable.
+    file: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    #: Actionable fix hint ("iterate sorted(...) instead", ...).
+    suggestion: str = ""
+
+    def location(self) -> str:
+        """``file:line:column`` -- the clickable prefix of text reports."""
+        return f"{self.file}:{self.line}:{self.column}"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-insensitive identity used by the baseline (see module doc)."""
+        return (self.file, self.rule, self.message)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown Finding field {unknown[0]!r}; known: {sorted(known)}"
+            )
+        return cls(**data)

@@ -1,0 +1,93 @@
+"""Reporters: render a lint run for humans (text) or machines (JSON).
+
+The JSON schema is versioned (``corona-lint/1``) and covered by a test, so
+CI consumers (the findings artifact, future dashboards) can rely on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintReport
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES
+
+LINT_FORMAT = "corona-lint/1"
+
+
+def render_json(
+    report: LintReport,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Baseline,
+) -> Dict[str, object]:
+    """The machine-readable report (stable schema ``corona-lint/1``)."""
+    new_keys = {id(f) for f in new}
+    findings = []
+    for finding in sorted([*new, *baselined]):
+        entry = dict(finding.to_dict())
+        entry["new"] = id(finding) in new_keys
+        findings.append(entry)
+    return {
+        "format": LINT_FORMAT,
+        "files_scanned": report.files_scanned,
+        "rules_run": list(report.rules_run),
+        "summary": {
+            "total": len(new) + len(baselined),
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(report.suppressed),
+            "stale_baseline": sum(stale.values()),
+        },
+        "findings": findings,
+        "stale_baseline": [
+            {"file": file, "rule": rule, "message": message, "count": count}
+            for (file, rule, message), count in sorted(stale.items())
+        ],
+    }
+
+
+def render_text(
+    report: LintReport,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Baseline,
+) -> str:
+    """The human-readable report: one line per new finding, then a summary."""
+    lines: List[str] = []
+    for finding in sorted(new):
+        line = f"{finding.location()}: {finding.rule}: {finding.message}"
+        if finding.suggestion:
+            line += f" (fix: {finding.suggestion})"
+        lines.append(line)
+    if stale:
+        lines.append("")
+        lines.append(
+            f"note: {sum(stale.values())} stale baseline entr"
+            f"{'y' if sum(stale.values()) == 1 else 'ies'} no longer occur; "
+            f"refresh with --update-baseline:"
+        )
+        for (file, rule, message), count in sorted(stale.items()):
+            lines.append(f"  {file}: {rule}: {message} (x{count})")
+    lines.append("")
+    lines.append(
+        f"{report.files_scanned} files scanned, "
+        f"{len(report.rules_run)} rules: "
+        f"{len(new)} new, {len(baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_rule_catalog() -> str:
+    """The registered rules, one line each (``corona-repro lint --rules``)."""
+    lines = []
+    for rule in RULES.rules():
+        zones = (
+            f" [exempt: {', '.join(rule.exempt_zones)}]"
+            if rule.exempt_zones
+            else ""
+        )
+        lines.append(f"{rule.rule_id} ({rule.family}): {rule.summary}{zones}")
+    return "\n".join(lines)

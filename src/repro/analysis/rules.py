@@ -1,0 +1,184 @@
+"""The lint rule registry: ``rule id -> checker``, mirroring ``api/registry``.
+
+Rules are registered with the same decorator idiom the Scenario API uses
+for configurations and workloads (:mod:`repro.api.registry`): a module
+table, a ``@register_rule`` decorator, collision errors on double
+registration and unknown-name errors listing what *is* registered.  The
+two stock rule families live in :mod:`repro.analysis.determinism` and
+:mod:`repro.analysis.unitflow`; importing :mod:`repro.analysis` registers
+both, and user modules may register additional rules the same way.
+
+A checker is a callable ``(RuleContext) -> Iterable[Finding]`` invoked
+once per analyzed file with the parsed AST.  Rules declare *exempt zones*
+-- path fragments (``harness/``, ``obs/``...) where the hazard they hunt
+is the point of the code (wall-clock profiling belongs in the harness,
+not in simulated-time models) -- and the engine silences them there.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+
+class AnalysisError(ValueError):
+    """Base class for static-analysis failures (bad rule ids, bad baselines)."""
+
+
+class RuleCollisionError(AnalysisError):
+    """A rule id was registered twice without ``replace=True``."""
+
+
+class UnknownRuleError(AnalysisError, KeyError):
+    """A rule id was selected/ignored that no registered rule carries."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep the message
+        return self.args[0]
+
+
+@dataclass
+class RuleContext:
+    """Everything a checker gets to look at for one file."""
+
+    #: Normalized path (what findings will carry).
+    path: str
+    tree: ast.AST
+    source: str
+    #: Source split into lines (1-indexed access via ``lines[line - 1]``).
+    lines: List[str] = field(default_factory=list)
+
+    def finding(
+        self,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        suggestion: str = "",
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            file=self.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+            suggestion=suggestion,
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: identity, docs and the checker callable."""
+
+    rule_id: str
+    family: str
+    summary: str
+    checker: Callable[[RuleContext], Iterable[Finding]]
+    #: Path fragments where this rule is silent (allowlisted zones).
+    exempt_zones: Tuple[str, ...] = ()
+
+    def exempt(self, path: str) -> bool:
+        return any(zone in path for zone in self.exempt_zones)
+
+
+class RuleRegistry:
+    """``rule id -> Rule`` with decorator-based registration."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(
+        self,
+        rule_id: str,
+        *,
+        family: str,
+        summary: str,
+        exempt_zones: Tuple[str, ...] = (),
+        replace: bool = False,
+    ) -> Callable:
+        """Decorator registering a checker under ``rule_id``."""
+        if not isinstance(rule_id, str) or not rule_id:
+            raise AnalysisError(
+                f"rule ids must be non-empty strings, got {rule_id!r}"
+            )
+
+        def decorator(checker: Callable) -> Callable:
+            if rule_id in self._rules and not replace:
+                raise RuleCollisionError(
+                    f"rule {rule_id!r} is already registered; pass "
+                    f"replace=True to shadow it"
+                )
+            self._rules[rule_id] = Rule(
+                rule_id=rule_id,
+                family=family,
+                summary=summary,
+                checker=checker,
+                exempt_zones=exempt_zones,
+            )
+            return checker
+
+        return decorator
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise UnknownRuleError(
+                f"unknown rule {rule_id!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered rule ids in registration order."""
+        return list(self._rules)
+
+    def rules(self) -> List[Rule]:
+        return list(self._rules.values())
+
+    def select(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> List[Rule]:
+        """The rules to run after ``--select``/``--ignore`` filtering.
+
+        Unknown ids in either list raise :class:`UnknownRuleError` (a typo
+        in a CI invocation must fail the job, not silently lint nothing).
+        """
+        chosen = list(select) if select else self.names()
+        for rule_id in chosen:
+            self.get(rule_id)
+        ignored = set(ignore or ())
+        for rule_id in sorted(ignored):  # sorted: first bad id wins stably
+            self.get(rule_id)
+        return [self.get(r) for r in chosen if r not in ignored]
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+#: The public rule table.  Importing :mod:`repro.analysis` seeds it with the
+#: determinism and unit-flow families.
+RULES = RuleRegistry()
+
+
+def register_rule(
+    rule_id: str,
+    *,
+    family: str,
+    summary: str,
+    exempt_zones: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> Callable:
+    """Register a ``(RuleContext) -> Iterable[Finding]`` checker by id."""
+    return RULES.register(
+        rule_id,
+        family=family,
+        summary=summary,
+        exempt_zones=exempt_zones,
+        replace=replace,
+    )

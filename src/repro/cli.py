@@ -4,7 +4,12 @@ Installed as ``corona-repro`` (see ``pyproject.toml``).  Subcommands:
 
 ``run``
     Execute a scenario JSON file through the Scenario API (the stable
-    entry point everything below is built on).
+    entry point everything below is built on).  ``--check-determinism``
+    instead replays the scenario in fresh processes and diffs result
+    digests (exit code 4 on divergence).
+``lint``
+    Static determinism & unit-flow analysis over the source tree, gated
+    by a committed baseline of grandfathered findings.
 ``scenario``
     ``init`` (write a template scenario file), ``validate`` (parse + check
     names against the registries) and ``list`` (show every registered
@@ -299,6 +304,10 @@ def _scenario_error_message(path: str, exc: ScenarioError) -> str:
 #: Exit code when pairs/points failed after exhausting their retries (a
 #: clean partial run under ``--allow-failures`` still exits 0).
 EXIT_FAILURES = 3
+#: ``run --check-determinism`` found diverging result digests.
+EXIT_DETERMINISM = 4
+#: ``lint`` found findings not covered by the baseline.
+EXIT_LINT_FINDINGS = 1
 
 
 def _policy_from_args(args: argparse.Namespace) -> Optional[RetryPolicy]:
@@ -360,6 +369,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from dataclasses import replace
 
         scenario = replace(scenario, observability=observability)
+    if args.check_determinism:
+        from repro.analysis.runtime import check_determinism
+
+        try:
+            check = check_determinism(scenario, jobs=args.jobs)
+        except (RuntimeError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        print(check.summary())
+        return 0 if check.ok else EXIT_DETERMINISM
     progress = print if args.verbose else None
     try:
         result = run_scenario(
@@ -390,6 +408,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _print_failures(result.failures)
         print("continuing with partial results (--allow-failures)")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.analysis import (
+        AnalysisError,
+        analyze_paths,
+        load_baseline,
+        partition_findings,
+        render_json,
+        render_rule_catalog,
+        render_text,
+        write_baseline,
+    )
+
+    if args.rules:
+        print(render_rule_catalog())
+        return 0
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    baseline_path = Path(args.baseline)
+    try:
+        report = analyze_paths(paths, select=args.select, ignore=args.ignore)
+        baseline = load_baseline(baseline_path)
+    except AnalysisError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.update_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(report.findings)} findings)"
+        )
+        return 0
+    new, baselined, stale = partition_findings(report.findings, baseline)
+    if args.format == "json":
+        print(
+            json_module.dumps(
+                render_json(report, new, baselined, stale), indent=2
+            )
+        )
+    else:
+        print(render_text(report, new, baselined, stale))
+    return EXIT_LINT_FINDINGS if new else 0
 
 
 def _template_scenario(args: argparse.Namespace) -> Scenario:
@@ -866,7 +928,70 @@ def build_parser() -> argparse.ArgumentParser:
             "to setting workloads[*].arrival in the scenario file)"
         ),
     )
+    run_p.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help=(
+            "replay the scenario in two fresh spawned processes (output "
+            "sinks and observability stripped) and compare SHA-256 result "
+            f"digests; exit code {EXIT_DETERMINISM} on divergence"
+        ),
+    )
     run_p.set_defaults(handler=_cmd_run)
+
+    lint_p = subparsers.add_parser(
+        "lint",
+        help="static determinism & unit-flow analysis over the source tree",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "rules:\n"
+            "  Determinism rules hunt nondeterminism hazards (set iteration\n"
+            "  feeding ordered computation, module-level random.* calls,\n"
+            "  wall-clock/env reads outside the harness/obs zone, float\n"
+            "  accumulation ordered by set iteration); unit-flow rules\n"
+            "  infer units from the _ns/_s/_cycles/_bytes_per_s suffix\n"
+            "  convention and flag mixed-unit arithmetic and suffix drops\n"
+            "  across binding boundaries.  `lint --rules` lists them.\n"
+            "  Suppress one finding with an inline pragma:\n"
+            "      x = f()  # lint: ignore[det-set-iter] reason\n"
+            "  Grandfathered findings live in lint_baseline.json; the exit\n"
+            "  code only reflects *new* findings.  Refresh the baseline\n"
+            "  with --update-baseline after deliberate changes."
+        ),
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src/repro)",
+    )
+    lint_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json follows the corona-lint/1 schema)",
+    )
+    lint_p.add_argument(
+        "--baseline", default="lint_baseline.json", metavar="FILE",
+        help=(
+            "baseline of grandfathered findings (default: "
+            "lint_baseline.json; a missing file means an empty baseline)"
+        ),
+    )
+    lint_p.add_argument(
+        "--select", nargs="+", metavar="RULE",
+        help="run only these rule ids",
+    )
+    lint_p.add_argument(
+        "--ignore", nargs="+", metavar="RULE",
+        help="skip these rule ids",
+    )
+    lint_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings and exit",
+    )
+    lint_p.add_argument(
+        "--rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    lint_p.set_defaults(handler=_cmd_lint)
 
     scenario_p = subparsers.add_parser(
         "scenario", help="create, validate and introspect scenario files"

@@ -108,6 +108,7 @@ def active_chaos() -> Optional[ChaosSpec]:
     environment, so this is effectively parse-once per process).
     """
     global _CACHE
+    # lint: ignore[det-wall-clock] the env var IS the chaos hook's interface
     text = os.environ.get(CHAOS_ENV_VAR, "")
     if not text.strip():
         return None
@@ -138,6 +139,7 @@ def maybe_sabotage(pair_index: int, attempt: int, in_process: bool) -> None:
             stable_uniform(spec.seed, _SITE_HANG, pair_index, attempt)
             < spec.hang_rate
         ):
+            # lint: ignore[det-wall-clock] sabotage hangs real worker time
             time.sleep(spec.hang_s)
     if spec.error_rate > 0.0 and (
         stable_uniform(spec.seed, _SITE_ERROR, pair_index, attempt)

@@ -1102,5 +1102,12 @@ class ParallelEvaluationRunner:
         return sum(result.num_requests for result in self.results)
 
     def total_wall_clock_seconds(self) -> float:
-        """Sum of per-pair replay seconds (CPU work, not elapsed time)."""
-        return sum(self.run_seconds.values())
+        """Sum of per-pair replay seconds (CPU work, not elapsed time).
+
+        ``run_seconds`` is keyed in worker *completion* order, which varies
+        run to run; summing floats in that order would make the total
+        order-dependent at the ulp level.  Summing in sorted-value order
+        makes it a pure function of the per-pair timings (and identical to
+        the serial runner's total for equal timing multisets).
+        """
+        return sum(sorted(self.run_seconds.values()))

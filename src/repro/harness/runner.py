@@ -209,4 +209,7 @@ class EvaluationRunner:
         return sum(result.num_requests for result in self.results)
 
     def total_wall_clock_seconds(self) -> float:
-        return sum(self.run_seconds.values())
+        # Sorted-value order, matching ParallelRunner.total_wall_clock_seconds:
+        # the float total is then a pure function of the timing multiset,
+        # independent of the order pairs were replayed in.
+        return sum(sorted(self.run_seconds.values()))

@@ -48,6 +48,10 @@ class SerialResource:
         "busy_time",
         "reservations",
         "_high_water_request",
+        "scan_steps",
+        "_skip_lo",
+        "_skip_hi",
+        "_skip_len",
     )
 
     def __init__(self, name: str, servers: int = 1) -> None:
@@ -61,6 +65,20 @@ class SerialResource:
         self.busy_time: float = 0.0
         self.reservations: int = 0
         self._high_water_request: float = 0.0
+        #: Interval-test count across all backfill scans (perf regression
+        #: hook: a congested resource must not rescan its whole timeline
+        #: on every reservation).
+        self.scan_steps: int = 0
+        # Proven-gap window for the single-server backfill scan: every free
+        # gap whose start lies in [_skip_lo, _skip_hi) was proven too short
+        # for a reservation of _skip_len seconds (or longer), so a scan for
+        # duration >= _skip_len starting inside the window may jump straight
+        # to _skip_hi.  Sound because committed intervals only shrink gaps;
+        # pruning -- the one operation that merges gaps -- advances _skip_lo
+        # past the merged region (see reserve/next_available).
+        self._skip_lo: float = 0.0
+        self._skip_hi: float = 0.0
+        self._skip_len: float = 0.0
 
     # -- internal helpers ----------------------------------------------------
     def _prune(self, server: int, before: float) -> None:
@@ -79,11 +97,46 @@ class SerialResource:
         # Skip intervals that end at or before the candidate start.
         index = bisect.bisect_right(ends, candidate)
         while index < len(starts):
+            self.scan_steps += 1
             if candidate + duration <= starts[index] + _EPSILON:
                 return candidate
             candidate = max(candidate, ends[index])
             index += 1
         return candidate
+
+    # -- proven-gap window (single-server backfill scan) ---------------------
+    def _record_skip_window(self, lo: float, hi: float, duration: float) -> None:
+        """A scan for ``duration`` just advanced from ``lo`` to ``hi``: every
+        free gap starting in ``[lo, hi)`` is too short for ``duration``
+        (gap adequacy is monotone in the candidate position, so positions
+        between visited interval ends are covered too)."""
+        old_lo, old_hi, old_len = self._skip_lo, self._skip_hi, self._skip_len
+        if old_hi <= old_lo:
+            # No live window.
+            self._skip_lo, self._skip_hi, self._skip_len = lo, hi, duration
+        elif lo >= old_lo and hi <= old_hi and duration >= old_len:
+            # Already covered by a claim at least as strong.
+            return
+        elif lo <= old_hi and old_lo <= hi:
+            # Overlapping/adjacent: merge.  The union holds only for
+            # durations covered by both claims, hence the max.
+            self._skip_lo = old_lo if old_lo < lo else lo
+            self._skip_hi = old_hi if old_hi > hi else hi
+            self._skip_len = old_len if old_len > duration else duration
+        elif hi > old_hi:
+            # Disjoint and ahead of the old window: scans move forward in
+            # time, so the newer window is the useful one.
+            self._skip_lo, self._skip_hi, self._skip_len = lo, hi, duration
+
+    def _prune_skip_window(self, starts: List[float]) -> None:
+        """Pruning merged every gap before the (new) first interval into one
+        open stretch, voiding proofs there; claims at or beyond the first
+        remaining interval's start are untouched by deleting earlier ones."""
+        if starts:
+            if self._skip_lo < starts[0]:
+                self._skip_lo = starts[0]
+        else:
+            self._skip_hi = self._skip_lo  # empty timeline: no proofs survive
 
     def _insert(self, server: int, start: float, end: float) -> None:
         starts = self._starts[server]
@@ -139,6 +192,7 @@ class SerialResource:
                 cut = bisect.bisect_right(ends, prune_before)
                 del ends[:cut]
                 del starts[:cut]
+                self._prune_skip_window(starts)
             index = bisect.bisect_right(ends, now)
             if index >= len(starts) or now <= starts[index] + _EPSILON:
                 return now
@@ -181,9 +235,16 @@ class SerialResource:
                 cut = bisect.bisect_right(ends, prune_before)
                 del ends[:cut]
                 del starts[:cut]
+                self._prune_skip_window(starts)
             candidate = now
             index = bisect.bisect_right(ends, candidate)
+            if duration >= self._skip_len and self._skip_lo <= candidate < self._skip_hi:
+                # Every gap starting in the window was already proven too
+                # short for this duration; resume the scan past it.
+                candidate = self._skip_hi
+                index = bisect.bisect_right(ends, candidate)
             n = len(starts)
+            steps = 0
             while index < n:
                 if candidate + duration <= starts[index] + _EPSILON:
                     break
@@ -191,6 +252,10 @@ class SerialResource:
                 if interval_end > candidate:
                     candidate = interval_end
                 index += 1
+                steps += 1
+            self.scan_steps += steps
+            if candidate > now:
+                self._record_skip_window(now, candidate, duration)
             end = candidate + duration
             if index >= n:
                 # Tail commit, inlined: the reservation lands at or after the
@@ -240,6 +305,10 @@ class SerialResource:
         self.busy_time = 0.0
         self.reservations = 0
         self._high_water_request = 0.0
+        self.scan_steps = 0
+        self._skip_lo = 0.0
+        self._skip_hi = 0.0
+        self._skip_len = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SerialResource({self.name!r}, servers={self.servers})"

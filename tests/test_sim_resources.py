@@ -329,3 +329,123 @@ class TestResourceEdgeCases:
         # Accounting is prune-independent.
         assert resource.reservations == 7
         assert resource.busy_time == pytest.approx(7.0 * us)
+
+
+class _NaiveSerialReference:
+    """Bit-exact reference for the single-server backfill scan, with no
+    prune horizon and no proven-gap window: a plain left-to-right scan over
+    coalesced intervals, mirroring reserve()'s adequacy test exactly."""
+
+    _EPS = 1e-15
+
+    def __init__(self):
+        self.intervals = []  # sorted, disjoint (start, end)
+
+    def reserve(self, now, duration):
+        candidate = now
+        for start, end in self.intervals:
+            if end <= candidate:
+                continue
+            if candidate + duration <= start + self._EPS:
+                break
+            if end > candidate:
+                candidate = end
+        self.intervals.append((candidate, candidate + duration))
+        self.intervals.sort()
+        merged = []
+        for start, end in self.intervals:
+            if merged and start <= merged[-1][1] + self._EPS:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        self.intervals = merged
+        return candidate + duration
+
+
+class TestBackfillScanIndex:
+    """The carried-forward proven-gap window (the indexed structure for the
+    single-server backfill scan): placements stay bit-identical to a plain
+    scan while congested resources stop rescanning their whole timeline."""
+
+    def test_comb_contention_scan_steps_bounded(self):
+        # A comb of committed intervals leaving 0.4 ns gaps; reservations
+        # needing 0.5 ns can never backfill and must reach the tail.  A
+        # plain scan re-walks all N teeth per reservation (~N*M steps); the
+        # proven-gap window pays N once and O(1) per reservation after.
+        resource = SerialResource("hot-link")
+        teeth, reservations = 4000, 200
+        for i in range(teeth):
+            resource.reserve(i * 1e-9, 0.6e-9)
+        congested_base = resource.scan_steps
+        ends = [resource.reserve(0.0, 0.5e-9) for _ in range(reservations)]
+        steps = resource.scan_steps - congested_base
+        assert steps < teeth + 20 * reservations
+        # All placements serialize at the tail, back to back.
+        for previous, current in zip(ends, ends[1:]):
+            assert current == pytest.approx(previous + 0.5e-9)
+
+    def test_comb_placements_match_plain_scan(self):
+        resource = SerialResource("hot-link")
+        reference = _NaiveSerialReference()
+        for i in range(500):
+            now, duration = i * 1e-9, 0.6e-9
+            assert resource.reserve(now, duration) == reference.reserve(now, duration)
+        for _ in range(50):
+            assert resource.reserve(0.0, 0.5e-9) == reference.reserve(0.0, 0.5e-9)
+
+    def test_smaller_duration_ignores_longer_proof(self):
+        # The window records proofs per duration: a 0.5 ns scan over 0.4 ns
+        # gaps must not block a later 0.3 ns reservation from backfilling.
+        resource = SerialResource("link")
+        for i in range(10):
+            resource.reserve(i * 1e-9, 0.6e-9)  # gaps of 0.4 ns
+        tail = resource.reserve(0.0, 0.5e-9)  # too long for any gap
+        assert tail == pytest.approx(9 * 1e-9 + 0.6e-9 + 0.5e-9)
+        backfilled = resource.reserve(0.0, 0.3e-9)  # fits the first gap
+        assert backfilled == pytest.approx(0.6e-9 + 0.3e-9)
+
+    def test_randomized_equivalence_with_plain_scan(self):
+        import random
+
+        rng = random.Random(20080621)
+        for _ in range(20):
+            resource = SerialResource("link")
+            reference = _NaiveSerialReference()
+            clock = 0.0
+            for _ in range(300):
+                clock += rng.random() * 2e-9
+                now = max(0.0, clock - rng.random() * 3e-9)
+                duration = rng.choice((0.0, 0.3e-9, 0.5e-9, 2e-9)) * (
+                    1.0 + rng.random()
+                )
+                assert resource.reserve(now, duration) == reference.reserve(
+                    now, duration
+                )
+
+    def test_randomized_equivalence_across_prune_horizon(self):
+        # Larger steps walk the clock far past the 5 us prune horizon while
+        # requests stay within it, so pruning (which merges old gaps and
+        # must advance the window) is exercised against the same reference.
+        import random
+
+        rng = random.Random(2008)
+        resource = SerialResource("link")
+        reference = _NaiveSerialReference()
+        clock = 0.0
+        for _ in range(2000):
+            clock += rng.random() * 0.5e-6
+            now = max(0.0, clock - rng.random() * 2e-6)
+            duration = rng.choice((0.0, 10e-9, 50e-9)) * (1.0 + rng.random())
+            assert resource.reserve(now, duration) == reference.reserve(
+                now, duration
+            )
+
+    def test_reset_clears_scan_state(self):
+        resource = SerialResource("link")
+        for i in range(50):
+            resource.reserve(i * 1e-9, 0.6e-9)
+        resource.reserve(0.0, 0.5e-9)
+        assert resource.scan_steps > 0
+        resource.reset()
+        assert resource.scan_steps == 0
+        assert resource.reserve(0.0, 1e-9) == pytest.approx(1e-9)
