@@ -178,24 +178,29 @@ LAST_PHASE_TIMINGS: Dict[str, Dict[str, float]] = {}
 
 
 def compare(baseline: Dict[str, float], current: Dict[str, float]):
-    """Return (ok, lines): throughput metrics may not drop >20%."""
+    """Return (ok, lines): throughput metrics may not drop >20%.
+
+    The comparison itself lives in the diff engine
+    (:func:`repro.diffing.metric_deltas`, the same codepath behind
+    ``corona-repro diff`` on bench snapshots); this wrapper keeps the
+    historical line format and the (ok, lines) contract.
+    """
+    from repro.diffing import metric_deltas
+
     lines = []
     ok = True
-    for key in sorted(current):
-        if not key.endswith("_per_s"):
+    for delta in metric_deltas(baseline, current, REGRESSION_TOLERANCE):
+        new = delta.current
+        if not delta.has_baseline:
+            lines.append(f"  {delta.metric:<38} {new:14,.0f}  (no baseline)")
             continue
-        new = current[key]
-        old = baseline.get(key)
-        if not old:
-            lines.append(f"  {key:<38} {new:14,.0f}  (no baseline)")
-            continue
-        ratio = new / old
         flag = ""
-        if ratio < 1.0 - REGRESSION_TOLERANCE:
+        if delta.regressed:
             ok = False
             flag = "  REGRESSION"
         lines.append(
-            f"  {key:<38} {new:14,.0f}  vs {old:14,.0f}  ({ratio:5.2f}x){flag}"
+            f"  {delta.metric:<38} {new:14,.0f}  vs {delta.baseline:14,.0f}  "
+            f"({delta.ratio:5.2f}x){flag}"
         )
     return ok, lines
 

@@ -261,7 +261,9 @@ def _write_path(raw: str) -> Path:
     return path
 
 
-def _write_outputs(result: ScenarioResult) -> None:
+def _write_outputs(
+    result: ScenarioResult, matrix: Optional[ScenarioMatrix] = None
+) -> None:
     # The JSON sink is written last so its "timings" section can include the
     # report/CSV write time (it cannot contain its own).
     output = result.scenario.output
@@ -288,6 +290,42 @@ def _write_outputs(result: ScenarioResult) -> None:
             json.dumps(result.to_json_dict(), indent=2) + "\n", encoding="utf-8"
         )
         result.written["json"] = path
+        _write_artifact_manifest(result, matrix, path)
+
+
+def _write_artifact_manifest(
+    result: ScenarioResult, matrix: Optional[ScenarioMatrix], json_sink: Path
+) -> None:
+    """The ``corona-artifacts/1`` manifest of everything the run left behind:
+    result sinks plus each pair's telemetry artifacts, resolved with the same
+    slugging the runners write with -- how `corona-repro diff` finds the raw
+    latency samples of a (configuration, workload) pair."""
+    from repro.obs.artifacts import (
+        DiffableArtifact,
+        artifact_manifest_path,
+        pair_artifacts,
+        write_artifact_manifest,
+    )
+
+    artifacts = [
+        DiffableArtifact(kind=kind, path=str(path))
+        for kind, path in sorted(result.written.items())
+    ]
+    observability = matrix.observability if matrix is not None else None
+    if observability is not None and observability.simulation_active:
+        multi = matrix.run_count() > 1
+        for replay in result.results:
+            artifacts.extend(
+                pair_artifacts(
+                    observability, replay.configuration, replay.workload, multi
+                )
+            )
+    manifest = write_artifact_manifest(
+        artifact_manifest_path(json_sink),
+        artifacts,
+        run_name=result.scenario.name,
+    )
+    result.written["artifacts"] = manifest
 
 
 def run(
@@ -425,7 +463,7 @@ def run(
         except TypeError as exc:
             raise ScenarioError(f"experiments[{index}].params", str(exc)) from None
         report.extra_sections.append(section)
-    _write_outputs(result)
+    _write_outputs(result, matrix)
     return result
 
 

@@ -19,10 +19,15 @@ Installed as ``corona-repro`` (see ``pyproject.toml``).  Subcommands:
     ``--directory`` checkpointing and resume), ``expand`` (preview the grid
     points a spec expands to) and ``status`` (progress of a sweep
     directory).
+``diff``
+    Compare two runs (result JSON/CSV, sweep directories, bench
+    snapshots) and emit a ranked divergence report; exit code 5 when a
+    divergence crosses the threshold.
 ``trace``
-    ``info`` (inspect a trace file, either format) and ``convert``
+    ``info`` (inspect a trace file, either format), ``convert``
     (text <-> packed binary, the on-disk import hook for externally
-    generated traces).
+    generated traces) and ``view`` (summarize a ``--timeline-out``
+    artifact: span histograms, slowest transactions, fault events).
 ``tables``
     Print Tables 1-4 regenerated from the models.
 ``inventory``
@@ -308,6 +313,8 @@ EXIT_FAILURES = 3
 EXIT_DETERMINISM = 4
 #: ``lint`` found findings not covered by the baseline.
 EXIT_LINT_FINDINGS = 1
+#: ``diff`` found gating divergences between the two runs.
+EXIT_DIVERGENCE = 5
 
 
 def _policy_from_args(args: argparse.Namespace) -> Optional[RetryPolicy]:
@@ -709,6 +716,56 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Differential analysis
+# ---------------------------------------------------------------------------
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.diffing import (
+        DiffLoadError,
+        DiffThresholds,
+        diff_json_dict,
+        diff_markdown,
+        diff_runs,
+        load_run,
+    )
+
+    try:
+        baseline = load_run(args.baseline, label=args.baseline)
+        current = load_run(args.current, label=args.current)
+    except DiffLoadError as exc:
+        raise SystemExit(str(exc)) from None
+    thresholds = DiffThresholds(
+        relative=args.threshold, ks=args.ks_threshold
+    )
+    try:
+        result = diff_runs(baseline, current, thresholds)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        print(json_module.dumps(diff_json_dict(result), indent=2))
+    else:
+        print(diff_markdown(result, top=args.top))
+    if args.output:
+        path = Path(args.output)
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix.lower() == ".json":
+            path.write_text(
+                json_module.dumps(diff_json_dict(result), indent=2) + "\n",
+                encoding="utf-8",
+            )
+        else:
+            path.write_text(
+                diff_markdown(result, top=args.top) + "\n", encoding="utf-8"
+            )
+        print(f"diff written to {path}", file=sys.stderr)
+    return EXIT_DIVERGENCE if result.gating() else 0
+
+
+# ---------------------------------------------------------------------------
 # Trace file commands
 # ---------------------------------------------------------------------------
 
@@ -751,6 +808,23 @@ def _cmd_trace_convert(args: argparse.Namespace) -> int:
         f"converted {args.input} ({source_format}, "
         f"{packed.total_requests:,} records) -> {args.output} ({target})"
     )
+    return 0
+
+
+def _cmd_trace_view(args: argparse.Namespace) -> int:
+    from repro.obs.trace_view import (
+        TraceViewError,
+        load_timeline,
+        render_timeline_summary,
+        summarize_timeline,
+    )
+
+    try:
+        events = load_timeline(args.path)
+    except (OSError, TraceViewError) as exc:
+        raise SystemExit(str(exc)) from None
+    summary = summarize_timeline(events, top=args.top)
+    print(render_timeline_summary(summary))
     return 0
 
 
@@ -815,7 +889,17 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help=(
             "record per-transaction spans and fault events as Chrome "
-            "trace_event JSON (open in Perfetto / chrome://tracing)"
+            "trace_event JSON (open in Perfetto / chrome://tracing, or "
+            "summarize with 'corona-repro trace view')"
+        ),
+    )
+    parser.add_argument(
+        "--samples-out",
+        metavar="PATH",
+        help=(
+            "export each pair's raw per-transaction latency (and open-loop "
+            "sojourn) samples as corona-samples/1 JSON; 'corona-repro diff' "
+            "reads these for exact percentile and KS-distance comparison"
         ),
     )
 
@@ -851,7 +935,12 @@ def _observability_from_args(args: argparse.Namespace, base):
 
     from repro.obs.spec import ObservabilitySpec
 
-    if not (args.progress or args.metrics_out or args.timeline_out):
+    if not (
+        args.progress
+        or args.metrics_out
+        or args.timeline_out
+        or args.samples_out
+    ):
         return base
     spec = base if base is not None else ObservabilitySpec()
     updates = {}
@@ -861,6 +950,8 @@ def _observability_from_args(args: argparse.Namespace, base):
         updates["metrics_path"] = args.metrics_out
     if args.timeline_out:
         updates["timeline_path"] = args.timeline_out
+    if args.samples_out:
+        updates["samples_path"] = args.samples_out
     return dc_replace(spec, **updates)
 
 
@@ -1109,8 +1200,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_status_p.set_defaults(handler=_cmd_sweep_status)
 
+    diff_p = subparsers.add_parser(
+        "diff",
+        help="compare two runs and rank their divergences",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description=(
+            "Align two run artifacts -- corona-results/1 JSON, result CSVs "
+            "(plain or long-form), sweep directories (manifest.json + "
+            "points.jsonl), corona-sweep-results/1 JSON, or BENCH_replay "
+            "snapshots -- by (point_id, configuration, workload) and compare "
+            "every result field: relative-threshold scalar and counter "
+            "deltas, flag flips, added/removed/failed pairs, and -- when "
+            "both runs carry --samples-out artifacts -- exact per-percentile "
+            "deltas plus a two-sample KS distance over the raw latency "
+            "samples.  Wall-clock phase timings are reported informationally "
+            "and never gate."
+        ),
+        epilog=(
+            "exit codes:\n"
+            f"  0  no divergence above threshold\n"
+            f"  {EXIT_DIVERGENCE}  at least one gating divergence\n"
+        ),
+    )
+    diff_p.add_argument("baseline", help="baseline run artifact")
+    diff_p.add_argument("current", help="current run artifact")
+    diff_p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="relative delta a metric may move before it diverges "
+        "(default 0.05)",
+    )
+    diff_p.add_argument(
+        "--ks-threshold",
+        type=float,
+        default=0.1,
+        metavar="DISTANCE",
+        help="two-sample KS distance the latency distribution may show "
+        "(default 0.1)",
+    )
+    diff_p.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="truncate the markdown divergence table to the worst N "
+        "(default: all)",
+    )
+    diff_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the corona-diff/1 JSON document instead of markdown",
+    )
+    diff_p.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the report to PATH (.json extension selects the "
+        "JSON document)",
+    )
+    diff_p.set_defaults(handler=_cmd_diff)
+
     trace_p = subparsers.add_parser(
-        "trace", help="inspect and convert trace files"
+        "trace", help="inspect, convert and summarize trace files"
     )
     trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
 
@@ -1137,6 +1289,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="target format (auto = the opposite of the input's)",
     )
     convert_p.set_defaults(handler=_cmd_trace_convert)
+
+    view_p = trace_sub.add_parser(
+        "view",
+        help="summarize a --timeline-out artifact in the terminal",
+        description=(
+            "Summarize a Chrome trace_event timeline written by "
+            "--timeline-out: per-stage span duration histograms, the "
+            "slowest transactions, the fault-event table and the recorded "
+            "counter tracks -- without leaving the terminal."
+        ),
+    )
+    view_p.add_argument("path", help="TIMELINE.json written by --timeline-out")
+    view_p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="slowest transactions to list (default 10)",
+    )
+    view_p.set_defaults(handler=_cmd_trace_view)
 
     subparsers.add_parser("tables", help="print Tables 1-4").set_defaults(
         handler=_cmd_tables

@@ -9,10 +9,64 @@ geometric-mean speedups quoted in Section 5.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, List, Optional, Sequence
+from math import ceil
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.sim.stats import geometric_mean
+
+#: Format tag of the per-pair raw-sample artifact (``--samples-out``).
+SAMPLES_FORMAT = "corona-samples/1"
+
+
+def nearest_rank(ordered: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0.0 when empty).
+
+    The same estimator the replay uses for its p99/sojourn fields, exposed
+    so the diff engine computes percentile deltas with identical semantics.
+    """
+    if not ordered:
+        return 0.0
+    rank = ceil(quantile * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+
+def samples_payload(
+    configuration: str,
+    workload: str,
+    latency_s: Sequence[float],
+    sojourn_s: Sequence[float] = (),
+) -> Dict[str, object]:
+    """The raw-sample sink document: per-transaction latency (and, on
+    open-loop replays, sojourn) samples in replay order.
+
+    Kept as a separate artifact rather than result fields so the long-form
+    CSV/JSON sinks stay fixed-width; the diff engine reads these to compute
+    exact per-percentile deltas and KS distances instead of comparing only
+    the summarized p50/p95/p99 fields.
+    """
+    payload: Dict[str, object] = {
+        "format": SAMPLES_FORMAT,
+        "configuration": configuration,
+        "workload": workload,
+        "latency_s": list(latency_s),
+    }
+    if sojourn_s:
+        payload["sojourn_s"] = list(sojourn_s)
+    return payload
+
+
+def load_samples(path: str) -> Dict[str, object]:
+    """Parse a :data:`SAMPLES_FORMAT` artifact, validating its format tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, Mapping) or payload.get("format") != SAMPLES_FORMAT:
+        raise ValueError(
+            f"{path}: not a raw-sample artifact (expected format "
+            f"{SAMPLES_FORMAT!r}, got {payload.get('format')!r})"
+        )
+    return dict(payload)
 
 
 @dataclass(frozen=True)

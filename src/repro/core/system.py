@@ -55,7 +55,6 @@ from __future__ import annotations
 import gc
 from dataclasses import dataclass, field
 from heapq import heappop, heappush, nsmallest
-from math import ceil
 from typing import Dict, List, Optional
 
 from repro.coherence.engine import CoherenceConfig, CoherenceEngine, CoherentMiss
@@ -63,7 +62,7 @@ from repro.core.config import CoronaConfig, CORONA_DEFAULT
 from repro.faults.inject import build_injector
 from repro.faults.spec import FaultSpec
 from repro.core.configs import SystemConfiguration
-from repro.core.results import WorkloadResult
+from repro.core.results import WorkloadResult, nearest_rank
 from repro.cores.hub import Hub
 from repro.memory.system import MemorySystem
 from repro.network.broadcast import OpticalBroadcastBus
@@ -180,12 +179,9 @@ class TransactionStats:
         return histogram
 
 
-def _nearest_rank(ordered: List[float], quantile: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample (0.0 when empty)."""
-    if not ordered:
-        return 0.0
-    rank = ceil(quantile * len(ordered))
-    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+# Nearest-rank percentile; shared with the diff engine so percentile deltas
+# are computed with exactly the replay's estimator.
+_nearest_rank = nearest_rank
 
 
 class _Transaction:

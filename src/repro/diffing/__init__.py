@@ -1,0 +1,55 @@
+"""Differential run analytics: align two runs, rank their divergences.
+
+The diff engine behind ``corona-repro diff``.  Three layers:
+
+* :mod:`repro.diffing.loader` -- normalize heterogeneous run artifacts
+  (``corona-results/1`` JSON, result CSVs, sweep directories with
+  ``manifest.json`` + ``points.jsonl``, ``corona-sweep-results/1`` JSON,
+  ``BENCH_replay.json`` snapshots) into one :class:`~repro.diffing.loader.RunView`
+  keyed by ``(point_id, configuration, workload)``.
+* :mod:`repro.diffing.compare` -- align two views with explicit
+  added/removed/failed handling and compare every
+  :class:`~repro.core.results.WorkloadResult` field: relative-threshold
+  scalar and counter deltas, flag flips, per-percentile and KS distribution
+  comparison from raw-sample artifacts, and (informational) phase-timing
+  drift.  Also hosts :func:`~repro.diffing.compare.metric_deltas`, the one
+  comparison codepath ``scripts/bench_regression.py`` gates through.
+* :mod:`repro.diffing.report` -- the ranked markdown report and the
+  ``corona-diff/1`` JSON document CI archives and gates on (exit code 5).
+"""
+
+from repro.diffing.compare import (
+    DiffResult,
+    DiffThresholds,
+    Divergence,
+    MetricDelta,
+    diff_runs,
+    ks_distance,
+    metric_deltas,
+)
+from repro.diffing.loader import (
+    DiffLoadError,
+    PairEntry,
+    PairKey,
+    RunView,
+    load_run,
+)
+from repro.diffing.report import DIFF_FORMAT, diff_json_dict, diff_markdown
+
+__all__ = [
+    "DIFF_FORMAT",
+    "DiffLoadError",
+    "DiffResult",
+    "DiffThresholds",
+    "Divergence",
+    "MetricDelta",
+    "PairEntry",
+    "PairKey",
+    "RunView",
+    "diff_json_dict",
+    "diff_markdown",
+    "diff_runs",
+    "ks_distance",
+    "load_run",
+    "metric_deltas",
+]

@@ -1,0 +1,437 @@
+"""Normalize heterogeneous run artifacts into one diffable view.
+
+``corona-repro diff`` accepts whatever a run left behind -- a
+``corona-results/1`` JSON sink, a result CSV (plain or long-form), a sweep
+directory (``manifest.json`` + ``points.jsonl``), a ``corona-sweep-results/1``
+JSON, or a ``BENCH_replay.json`` throughput snapshot -- and every shape is
+loaded here into the same :class:`RunView`: pair entries keyed by
+``(point_id, configuration, workload)``, each carrying its
+:class:`~repro.core.results.WorkloadResult` (or its failure records), the
+point's axis coordinates when the artifact knows them, and the path of the
+pair's raw-sample artifact when a ``corona-artifacts/1`` manifest sits next
+to the results JSON.  The compare layer never sees the source format.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.results import (
+    RESULT_CSV_COLUMNS,
+    WorkloadResult,
+    load_samples,
+)
+
+
+class DiffLoadError(ValueError):
+    """A diff input could not be recognized or parsed; the message names
+    the path and what was expected there."""
+
+    def __init__(self, path: Union[str, Path], message: str) -> None:
+        self.path = str(path)
+        super().__init__(f"{self.path}: {message}")
+
+
+@dataclass(frozen=True, order=True)
+class PairKey:
+    """The alignment key: one replayed pair of one (sweep) point.
+
+    ``point_id`` is empty for plain (non-sweep) runs, so a plain run and a
+    sweep never silently align against each other's pairs.
+    """
+
+    point_id: str
+    configuration: str
+    workload: str
+
+    def label(self) -> str:
+        if not (self.configuration or self.workload):
+            return self.point_id
+        pair = f"{self.configuration} x {self.workload}"
+        return f"{self.point_id}: {pair}" if self.point_id else pair
+
+
+@dataclass
+class PairEntry:
+    """One aligned unit: a completed result or a recorded failure."""
+
+    key: PairKey
+    result: Optional[WorkloadResult] = None
+    #: ``"ok"`` or ``"failed"`` (the pair exhausted its retry policy).
+    status: str = "ok"
+    #: Axis coordinates of the sweep point (empty for plain runs).
+    axis_values: Mapping[str, object] = field(default_factory=dict)
+    #: Raw failure dicts (``PairFailure.to_dict`` shape) for failed pairs.
+    failures: List[Mapping[str, object]] = field(default_factory=list)
+    #: Path of the pair's ``corona-samples/1`` artifact, when discoverable.
+    samples_path: str = ""
+
+    def latency_samples(self) -> List[float]:
+        """The pair's raw latency samples, sorted ascending (empty when no
+        sample artifact exists or it went missing after the manifest was
+        written -- distribution comparison then falls back to the
+        summarized percentile fields)."""
+        if not self.samples_path or not Path(self.samples_path).exists():
+            return []
+        try:
+            payload = load_samples(self.samples_path)
+        except (OSError, ValueError, json.JSONDecodeError):
+            return []
+        return sorted(float(v) for v in payload.get("latency_s", []))
+
+
+@dataclass
+class RunView:
+    """One run, whatever artifact it came from, ready to align."""
+
+    label: str
+    #: Source shape: ``results-json`` / ``sweep-dir`` / ``sweep-json`` /
+    #: ``csv`` / ``bench``.
+    kind: str
+    path: Path
+    entries: Dict[PairKey, PairEntry] = field(default_factory=dict)
+    #: Sweep axis names, in declaration order (empty for plain runs).
+    axis_names: List[str] = field(default_factory=list)
+    #: Bench snapshots only: the flat ``{metric: value}`` mapping.
+    bench_metrics: Dict[str, float] = field(default_factory=dict)
+    #: Per-phase wall-clock seconds, when the artifact recorded them
+    #: (results JSON ``timings.phases``, bench ``phase_timings`` flattened).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def keys(self) -> List[PairKey]:
+        return sorted(self.entries)
+
+    @property
+    def is_bench(self) -> bool:
+        return self.kind == "bench"
+
+    def records(self):
+        """Completed entries as sweep-record-shaped objects (``point_id``,
+        ``axis_values``, ``result``) for the axis-aggregation reuse."""
+        return [
+            _RecordShim(entry.key.point_id, entry.axis_values, entry.result)
+            for entry in self.entries.values()
+            if entry.result is not None
+        ]
+
+
+@dataclass(frozen=True)
+class _RecordShim:
+    point_id: str
+    axis_values: Mapping[str, object]
+    result: WorkloadResult
+
+
+# ---------------------------------------------------------------------------
+# Shape-specific loaders
+# ---------------------------------------------------------------------------
+
+def _result_from_dict(path: Union[str, Path], data: Mapping) -> WorkloadResult:
+    try:
+        return WorkloadResult.from_dict(dict(data))
+    except (TypeError, ValueError) as exc:
+        raise DiffLoadError(path, f"bad result record: {exc}") from None
+
+
+def _attach_samples(view: RunView, json_path: Path) -> None:
+    """Wire each pair's raw-sample artifact path in from the run's
+    ``corona-artifacts/1`` manifest, when one sits next to the JSON sink."""
+    from repro.obs.artifacts import artifact_manifest_path, load_artifact_manifest
+
+    manifest_path = artifact_manifest_path(json_path)
+    if not manifest_path.exists():
+        return
+    try:
+        artifacts = load_artifact_manifest(str(manifest_path))
+    except (OSError, ValueError, json.JSONDecodeError):
+        return  # a broken manifest only costs the distribution comparison
+    for artifact in artifacts:
+        if artifact.kind != "samples":
+            continue
+        key = PairKey("", artifact.configuration, artifact.workload)
+        entry = view.entries.get(key)
+        if entry is not None:
+            entry.samples_path = artifact.path
+
+
+def _load_results_json(path: Path, payload: Mapping, label: str) -> RunView:
+    view = RunView(label=label, kind="results-json", path=path)
+    for record in payload.get("results", []):
+        result = _result_from_dict(path, record)
+        key = PairKey("", result.configuration, result.workload)
+        view.entries[key] = PairEntry(key=key, result=result)
+    for failure in payload.get("failures", []):
+        key = PairKey(
+            "", failure.get("configuration", ""), failure.get("workload", "")
+        )
+        view.entries[key] = PairEntry(
+            key=key, status="failed", failures=[dict(failure)]
+        )
+    timings = payload.get("timings", {})
+    if isinstance(timings, Mapping):
+        phases = timings.get("phases", {})
+        if isinstance(phases, Mapping):
+            view.phase_seconds = {
+                str(name): float(value)
+                for name, value in phases.items()
+                if isinstance(value, (int, float))
+            }
+    _attach_samples(view, path)
+    return view
+
+
+def _load_sweep_json(path: Path, payload: Mapping, label: str) -> RunView:
+    view = RunView(label=label, kind="sweep-json", path=path)
+    axis_names: List[str] = []
+    sweep = payload.get("sweep", {})
+    if isinstance(sweep, Mapping):
+        axis_names = [
+            axis.get("name", "")
+            for axis in sweep.get("axes", [])
+            if isinstance(axis, Mapping)
+        ]
+    view.axis_names = [name for name in axis_names if name]
+    for record in payload.get("records", []):
+        result = _result_from_dict(path, record.get("result", {}))
+        key = PairKey(
+            str(record.get("point_id", "")),
+            result.configuration,
+            result.workload,
+        )
+        view.entries[key] = PairEntry(
+            key=key,
+            result=result,
+            axis_values=dict(record.get("axis_values", {})),
+        )
+    for point_id, failures in (payload.get("failures") or {}).items():
+        for failure in failures:
+            key = PairKey(
+                str(point_id),
+                failure.get("configuration", ""),
+                failure.get("workload", ""),
+            )
+            view.entries[key] = PairEntry(
+                key=key, status="failed", failures=[dict(failure)]
+            )
+    return view
+
+
+def _load_sweep_directory(path: Path, label: str) -> RunView:
+    from repro.sweeps.engine import _load_completed, _read_manifest
+
+    manifest = _read_manifest(path)
+    if manifest is None:
+        raise DiffLoadError(
+            path, "directory has no sweep manifest.json; not a sweep output"
+        )
+    view = RunView(label=label, kind="sweep-dir", path=path)
+    sweep = manifest.get("sweep", {})
+    if isinstance(sweep, Mapping):
+        view.axis_names = [
+            axis.get("name", "")
+            for axis in sweep.get("axes", [])
+            if isinstance(axis, Mapping) and axis.get("name")
+        ]
+    axis_by_point: Dict[str, Mapping[str, object]] = {
+        point.get("point_id", ""): dict(point.get("axis_values", {}))
+        for point in manifest.get("points", [])
+        if isinstance(point, Mapping)
+    }
+    completed, failed, _retried, _seconds, _offset = _load_completed(path)
+    for point_id, results in completed.items():
+        for result in results:
+            key = PairKey(point_id, result.configuration, result.workload)
+            view.entries[key] = PairEntry(
+                key=key,
+                result=result,
+                axis_values=axis_by_point.get(point_id, {}),
+            )
+    for point_id, failures in failed.items():
+        for failure in failures:
+            key = PairKey(
+                point_id,
+                failure.get("configuration", ""),
+                failure.get("workload", ""),
+            )
+            view.entries[key] = PairEntry(
+                key=key,
+                status="failed",
+                axis_values=axis_by_point.get(point_id, {}),
+                failures=[dict(failure)],
+            )
+    return view
+
+
+def _load_bench(path: Path, payload: Mapping, label: str) -> RunView:
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, Mapping):
+        raise DiffLoadError(path, "bench snapshot has no 'metrics' mapping")
+    view = RunView(label=label, kind="bench", path=path)
+    view.bench_metrics = {
+        str(key): float(value)
+        for key, value in metrics.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    for section, phases in (payload.get("phase_timings") or {}).items():
+        if isinstance(phases, Mapping):
+            for name, value in phases.items():
+                if isinstance(value, (int, float)):
+                    view.phase_seconds[f"{section}.{name}"] = float(value)
+    return view
+
+
+def _coerce_csv_value(field_type: type, raw: str):
+    if field_type is bool:
+        return raw.strip().lower() in ("true", "1", "yes")
+    if field_type is int:
+        # int("3.0") raises; long-form axis cells may render ints as floats.
+        return int(float(raw))
+    if field_type is float:
+        return float(raw)
+    return raw
+
+
+def _result_field_types() -> Dict[str, type]:
+    import typing
+
+    return {
+        name: hint
+        for name, hint in typing.get_type_hints(WorkloadResult).items()
+        if name in RESULT_CSV_COLUMNS
+    }
+
+
+def _load_csv(path: Path, label: str) -> RunView:
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DiffLoadError(path, "empty CSV") from None
+        rows = list(reader)
+    long_form = header and header[0] == "point_id"
+    axis_names = [
+        column[len("axis."):] for column in header if column.startswith("axis.")
+    ]
+    result_columns = [
+        column
+        for column in header
+        if column in RESULT_CSV_COLUMNS
+    ]
+    missing = [
+        column
+        for column in ("configuration", "workload", "execution_time_s")
+        if column not in result_columns
+    ]
+    if missing:
+        raise DiffLoadError(
+            path,
+            f"not a result CSV (missing column {missing[0]!r}); expected a "
+            f"plain or long-form result export",
+        )
+    types = _result_field_types()
+    index = {column: header.index(column) for column in header}
+    view = RunView(
+        label=label,
+        kind="csv",
+        path=path,
+        axis_names=axis_names,
+    )
+    for line, row in enumerate(rows, start=2):
+        if not row:
+            continue
+        try:
+            data = {
+                column: _coerce_csv_value(types[column], row[index[column]])
+                for column in result_columns
+            }
+            result = WorkloadResult(**data)
+        except (ValueError, IndexError, TypeError) as exc:
+            raise DiffLoadError(path, f"line {line}: bad row: {exc}") from None
+        point_id = row[index["point_id"]] if long_form else ""
+        key = PairKey(point_id, result.configuration, result.workload)
+        axis_values = {
+            name: row[index[f"axis.{name}"]] for name in axis_names
+        }
+        view.entries[key] = PairEntry(
+            key=key, result=result, axis_values=axis_values
+        )
+    return view
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def load_run(path: Union[str, Path], label: str = "") -> RunView:
+    """Load any supported run artifact into a :class:`RunView`.
+
+    Dispatch is by shape, not extension: directories must hold a sweep
+    manifest; JSON documents are recognized by their ``format`` tag
+    (``corona-results/1`` and ``corona-sweep-results/1``), with untagged
+    mappings carrying a ``metrics`` key accepted as bench snapshots; other
+    files are parsed as result CSVs.
+    """
+    path = Path(path)
+    label = label or path.name
+    if not path.exists():
+        raise DiffLoadError(path, "no such file or directory")
+    if path.is_dir():
+        return _load_sweep_directory(path, label)
+    if path.suffix.lower() == ".csv":
+        return _load_csv(path, label)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DiffLoadError(path, f"unreadable: {exc}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return _load_csv(path, label)
+    if not isinstance(payload, Mapping):
+        raise DiffLoadError(path, "JSON document is not an object")
+    tag = payload.get("format")
+    if tag == "corona-results/1":
+        return _load_results_json(path, payload, label)
+    if tag == "corona-sweep-results/1":
+        return _load_sweep_json(path, payload, label)
+    if tag is None and "metrics" in payload:
+        return _load_bench(path, payload, label)
+    raise DiffLoadError(
+        path,
+        f"unrecognized JSON format {tag!r}; expected corona-results/1, "
+        f"corona-sweep-results/1, or a bench snapshot with a 'metrics' key",
+    )
+
+
+def align(
+    baseline: RunView, current: RunView
+) -> Tuple[List[PairKey], List[PairKey], List[PairKey]]:
+    """``(common, added, removed)`` pair keys, each sorted.
+
+    ``added`` are keys only the current run has; ``removed`` only the
+    baseline.  Failed entries participate -- a pair that failed in one run
+    and completed in the other is *common* and surfaces as a status flip in
+    the compare layer, not as coverage drift.
+    """
+    base_keys = set(baseline.entries)
+    current_keys = set(current.entries)
+    return (
+        sorted(base_keys & current_keys),
+        sorted(current_keys - base_keys),
+        sorted(base_keys - current_keys),
+    )
+
+
+__all__ = [
+    "DiffLoadError",
+    "PairEntry",
+    "PairKey",
+    "RunView",
+    "align",
+    "load_run",
+]

@@ -1,0 +1,161 @@
+"""Render a :class:`~repro.diffing.compare.DiffResult` for humans and CI.
+
+Two output channels with identical content: a markdown report (ranked
+divergence table, structural section, axis drift, informational notes) and
+the ``corona-diff/1`` JSON document -- the machine artifact CI archives and
+the shape the exit-code-5 gate is defined over.
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+from typing import Dict, List
+
+from repro.diffing.compare import DiffResult
+
+#: Format tag of the JSON diff document.
+DIFF_FORMAT = "corona-diff/1"
+
+
+def diff_json_dict(result: DiffResult) -> Dict[str, object]:
+    """The ``corona-diff/1`` payload of one diff."""
+    thresholds = result.thresholds
+    return {
+        "format": DIFF_FORMAT,
+        "baseline": result.baseline_label,
+        "current": result.current_label,
+        "thresholds": {
+            "relative": thresholds.relative,
+            "ks": thresholds.ks,
+            "percentiles": list(thresholds.percentiles),
+            "phase": thresholds.phase,
+        },
+        "aligned_pairs": result.aligned,
+        "added_pairs": [key.label() for key in result.added],
+        "removed_pairs": [key.label() for key in result.removed],
+        "max_severity": result.max_severity,
+        "gating_count": len(result.gating()),
+        "divergences": [d.to_dict() for d in result.divergences],
+        "notes": [d.to_dict() for d in result.notes],
+        "pair_ranking": [
+            {
+                "point_id": key.point_id,
+                "configuration": key.configuration,
+                "workload": key.workload,
+                "score": score if isfinite(score) else None,
+            }
+            for key, score in result.pair_scores
+        ],
+        "axis_divergences": [dict(row) for row in result.axis_divergences],
+    }
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _format_relative(relative: float) -> str:
+    if not isfinite(relative):
+        return "inf"
+    return f"{relative * 100:.2f}%"
+
+
+def diff_markdown(result: DiffResult, top: int = 0) -> str:
+    """The human-facing report (``top`` truncates the divergence table;
+    0 keeps everything)."""
+    lines: List[str] = [
+        f"# Diff: `{result.baseline_label}` vs `{result.current_label}`",
+        "",
+        f"{result.aligned} aligned pair(s); {len(result.added)} added, "
+        f"{len(result.removed)} removed; "
+        f"{len(result.divergences)} divergence(s) "
+        f"({len(result.gating())} gating, max severity "
+        f"{result.max_severity}).",
+        "",
+    ]
+    if not result.divergences:
+        lines.append("No divergences above threshold.")
+        lines.append("")
+    else:
+        shown = result.divergences[:top] if top else result.divergences
+        lines.append("## Divergences (ranked)")
+        lines.append("")
+        header = [
+            "severity", "pair", "metric", "kind", "baseline", "current",
+            "delta",
+        ]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|---" * len(header) + "|")
+        for divergence in shown:
+            lines.append(
+                "| "
+                + " | ".join(
+                    [
+                        divergence.severity,
+                        divergence.key.label() or "(run)",
+                        divergence.metric,
+                        divergence.kind,
+                        _format_value(divergence.baseline),
+                        _format_value(divergence.current),
+                        _format_relative(divergence.relative),
+                    ]
+                )
+                + " |"
+            )
+        if top and len(result.divergences) > top:
+            lines.append("")
+            lines.append(
+                f"... {len(result.divergences) - top} more below rank {top} "
+                f"(raise --top or read the JSON document)."
+            )
+        lines.append("")
+    if result.pair_scores:
+        lines.append("## Pair ranking")
+        lines.append("")
+        for key, score in result.pair_scores:
+            rendered = f"{score:.2f}" if score < 1e307 else "inf"
+            lines.append(f"- `{key.label()}` (worst score {rendered})")
+        lines.append("")
+    if result.axis_divergences:
+        lines.append("## Axis drift")
+        lines.append("")
+        header = ["axis", "value", "metric", "geomean ratio", "pairs"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|---" * len(header) + "|")
+        for row in result.axis_divergences:
+            lines.append(
+                "| "
+                + " | ".join(
+                    [
+                        str(row["axis"]),
+                        _format_value(row["value"]),
+                        str(row["metric"]),
+                        f"{row['geomean_ratio']:.4f}x",
+                        str(row["pairs"]),
+                    ]
+                )
+                + " |"
+            )
+        lines.append("")
+    if result.notes:
+        lines.append("## Notes (informational, never gating)")
+        lines.append("")
+        for note in result.notes:
+            label = note.key.label() or "(run)"
+            lines.append(
+                f"- `{label}` {note.metric}: "
+                f"{_format_value(note.baseline)} -> "
+                f"{_format_value(note.current)}"
+                + (f" ({note.note})" if note.note else "")
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+__all__ = ["DIFF_FORMAT", "diff_json_dict", "diff_markdown"]

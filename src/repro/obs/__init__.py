@@ -16,9 +16,14 @@ bit-identical to one built before this package existed):
 """
 
 from repro.obs.artifacts import (
+    DiffableArtifact,
+    artifact_manifest_path,
+    load_artifact_manifest,
+    pair_artifacts,
     pair_path,
     pair_slug,
     resolve_pair_spec,
+    write_artifact_manifest,
     write_pair_artifacts,
 )
 from repro.obs.log import (
@@ -33,16 +38,21 @@ from repro.obs.timeline import TimelineRecorder
 
 __all__ = [
     "METRIC_COLUMNS",
+    "DiffableArtifact",
     "MetricsSampler",
     "ObservabilityError",
     "ObservabilitySpec",
     "ProgressReporter",
     "TimelineRecorder",
+    "artifact_manifest_path",
     "configure_logging",
     "configure_worker_logging",
     "get_logger",
+    "load_artifact_manifest",
+    "pair_artifacts",
     "pair_path",
     "pair_slug",
     "resolve_pair_spec",
+    "write_artifact_manifest",
     "write_pair_artifacts",
 ]

@@ -15,13 +15,17 @@ import csv
 import json
 import re
 import time
-from dataclasses import replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core.results import samples_payload
 from repro.obs.metrics import METRIC_COLUMNS
 from repro.obs.spec import ObservabilitySpec
 
 METRICS_FORMAT = "corona-metrics/1"
+#: Format tag of the run-level artifact manifest (what a run left behind).
+ARTIFACTS_FORMAT = "corona-artifacts/1"
 
 _SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -73,7 +77,22 @@ def resolve_pair_spec(
         timeline_path=(
             pair_path(spec.timeline_path, slug, multi) if spec.timeline_path else ""
         ),
+        samples_path=(
+            pair_path(spec.samples_path, slug, multi) if spec.samples_path else ""
+        ),
     )
+
+
+def _open_sink(path: str, newline: Optional[str] = None):
+    """Open a telemetry sink for writing, creating parent directories --
+    sinks resolve to per-pair paths the user never typed, so a missing
+    directory must not kill the replay after it finished."""
+    parent = Path(path).parent
+    if parent and not parent.exists():
+        parent.mkdir(parents=True, exist_ok=True)
+    if newline is None:
+        return open(path, "w", encoding="utf-8")
+    return open(path, "w", encoding="utf-8", newline=newline)
 
 
 def write_pair_artifacts(
@@ -81,9 +100,9 @@ def write_pair_artifacts(
 ) -> Tuple[Dict[str, str], float]:
     """Write the simulator's collected telemetry to its spec's sinks.
 
-    Returns ``(written, seconds)``: a ``{"metrics"|"timeline": path}``
-    mapping of what was produced and the wall-clock cost of writing it
-    (charged to the ``sink_write`` phase).
+    Returns ``(written, seconds)``: a ``{"metrics"|"timeline"|"samples":
+    path}`` mapping of what was produced and the wall-clock cost of writing
+    it (charged to the ``sink_write`` phase).
     """
     spec = simulator.observability
     written: Dict[str, str] = {}
@@ -98,9 +117,19 @@ def write_pair_artifacts(
         written["metrics"] = spec.metrics_path
     recorder = simulator._obs_timeline
     if recorder is not None and spec.timeline_path:
-        with open(spec.timeline_path, "w", encoding="utf-8") as handle:
+        with _open_sink(spec.timeline_path) as handle:
             json.dump(recorder.trace_events(), handle)
         written["timeline"] = spec.timeline_path
+    if spec.samples_path:
+        payload = samples_payload(
+            configuration_name,
+            workload_name,
+            latency_s=[sample[0] for sample in simulator.stats._samples],
+            sojourn_s=list(simulator._sojourns or ()),
+        )
+        with _open_sink(spec.samples_path) as handle:
+            json.dump(payload, handle)
+        written["samples"] = spec.samples_path
     return written, time.perf_counter() - started
 
 
@@ -115,11 +144,121 @@ def _write_metrics(
             "columns": list(METRIC_COLUMNS),
             "rows": [list(row) for row in rows],
         }
-        with open(path, "w", encoding="utf-8") as handle:
+        with _open_sink(path) as handle:
             json.dump(payload, handle)
         return
-    with open(path, "w", encoding="utf-8", newline="") as handle:
+    with _open_sink(path, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(("configuration", "workload") + METRIC_COLUMNS)
         for row in rows:
             writer.writerow((configuration_name, workload_name) + row)
+
+
+# ---------------------------------------------------------------------------
+# Artifact manifest: what a run left behind
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DiffableArtifact:
+    """One file a run produced, as the diff engine sees it.
+
+    ``kind`` names the artifact family (``report``/``csv``/``json`` result
+    sinks, per-pair ``metrics``/``timeline``/``samples`` telemetry);
+    ``configuration``/``workload`` are set on per-pair artifacts so a loader
+    can find, say, the raw-sample file of one (configuration, workload)
+    without re-deriving the slugging rules.
+    """
+
+    kind: str
+    path: str
+    configuration: str = ""
+    workload: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        payload = {"kind": self.kind, "path": self.path}
+        if self.configuration:
+            payload["configuration"] = self.configuration
+        if self.workload:
+            payload["workload"] = self.workload
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DiffableArtifact":
+        return cls(
+            kind=str(data.get("kind", "")),
+            path=str(data.get("path", "")),
+            configuration=str(data.get("configuration", "")),
+            workload=str(data.get("workload", "")),
+        )
+
+
+def pair_artifacts(
+    spec: Optional[ObservabilitySpec],
+    configuration_name: str,
+    workload_name: str,
+    multi: bool,
+    prefix: str = "",
+) -> List[DiffableArtifact]:
+    """The telemetry artifacts one pair's replay leaves behind (by path
+    resolution only -- the same rules the runners used to write them)."""
+    resolved = resolve_pair_spec(
+        spec, configuration_name, workload_name, multi, prefix=prefix
+    )
+    if resolved is None:
+        return []
+    artifacts = []
+    for kind, path in (
+        ("metrics", resolved.metrics_path),
+        ("timeline", resolved.timeline_path),
+        ("samples", resolved.samples_path),
+    ):
+        if path:
+            artifacts.append(
+                DiffableArtifact(
+                    kind=kind,
+                    path=path,
+                    configuration=configuration_name,
+                    workload=workload_name,
+                )
+            )
+    return artifacts
+
+
+def write_artifact_manifest(
+    path: Union[str, Path],
+    artifacts: Sequence[DiffableArtifact],
+    run_name: str = "",
+) -> Path:
+    """Write the ``corona-artifacts/1`` manifest listing a run's outputs."""
+    target = Path(path)
+    payload = {
+        "format": ARTIFACTS_FORMAT,
+        "name": run_name,
+        "artifacts": [artifact.to_dict() for artifact in artifacts],
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def load_artifact_manifest(path: Union[str, Path]) -> List[DiffableArtifact]:
+    """Parse an artifact manifest, validating its format tag."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if (
+        not isinstance(payload, Mapping)
+        or payload.get("format") != ARTIFACTS_FORMAT
+    ):
+        raise ValueError(
+            f"{path}: not an artifact manifest (expected format "
+            f"{ARTIFACTS_FORMAT!r}, got {payload.get('format')!r})"
+        )
+    return [
+        DiffableArtifact.from_dict(entry)
+        for entry in payload.get("artifacts", [])
+        if isinstance(entry, Mapping)
+    ]
+
+
+def artifact_manifest_path(json_sink: Union[str, Path]) -> Path:
+    """Where a run's artifact manifest lives, derived from its JSON sink
+    (``results.json`` -> ``results.artifacts.json``)."""
+    return Path(json_sink).with_suffix(".artifacts.json")

@@ -35,6 +35,13 @@ _COUNTER_METRICS = frozenset(
         "active",
         "offered_rps",
         "achieved_rps",
+        # Coherence traffic counters (cumulative; step tracks in Perfetto).
+        "directory_lookups",
+        "c2c_forwards",
+        "invalidations_sent",
+        "invalidation_broadcasts",
+        "invalidation_unicasts",
+        "writebacks",
     }
 )
 
@@ -198,6 +205,20 @@ class MetricsSampler:
         add(rows, t_ns, "transactions", "issued", issued)
         add(rows, t_ns, "transactions", "completed", completed)
         add(rows, t_ns, "transactions", "in_flight", issued - completed)
+
+        # Coherence traffic: directory consultations, cache-to-cache
+        # forwards, invalidation fan-out split by delivery mechanism, and
+        # dirty writebacks.  Coherence-free replays build no engine and
+        # emit none of these rows, keeping their sinks bit-identical.
+        coherence = system.coherence
+        if coherence is not None:
+            cstats = coherence.stats
+            add(rows, t_ns, "coherence", "directory_lookups", cstats.shared_requests)
+            add(rows, t_ns, "coherence", "c2c_forwards", cstats.c2c_transfers)
+            add(rows, t_ns, "coherence", "invalidations_sent", cstats.invalidations_sent)
+            add(rows, t_ns, "coherence", "invalidation_broadcasts", cstats.broadcasts_used)
+            add(rows, t_ns, "coherence", "invalidation_unicasts", cstats.unicast_invalidations)
+            add(rows, t_ns, "coherence", "writebacks", cstats.dirty_writebacks)
 
         # Open-loop load tracking: the nominal offered rate vs the running
         # completion rate (closed-loop replays carry no offered load and

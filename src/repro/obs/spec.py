@@ -56,6 +56,11 @@ class ObservabilitySpec:
     metrics_path: str = ""
     #: Sink for the Chrome ``trace_event`` timeline; empty disables it.
     timeline_path: str = ""
+    #: Sink for the raw per-transaction latency (and open-loop sojourn)
+    #: samples as ``corona-samples/1`` JSON; empty disables it.  The replay
+    #: always collects these samples, so exporting them changes no result;
+    #: the diff engine reads them for exact percentile/KS comparison.
+    samples_path: str = ""
     #: Per-transaction span groups recorded before the timeline truncates
     #: (counters and fault events keep flowing; truncation is noted in the
     #: trace metadata).
@@ -72,7 +77,7 @@ class ObservabilitySpec:
                 "metrics_interval_ns",
                 f"must be > 0, got {self.metrics_interval_ns!r}",
             )
-        for name in ("metrics_path", "timeline_path"):
+        for name in ("metrics_path", "timeline_path", "samples_path"):
             if not isinstance(getattr(self, name), str):
                 raise ObservabilityError(
                     name, f"must be a string path, got {getattr(self, name)!r}"
@@ -114,9 +119,20 @@ class ObservabilitySpec:
         return bool(self.timeline_path)
 
     @property
+    def samples_enabled(self) -> bool:
+        return bool(self.samples_path)
+
+    @property
     def simulation_active(self) -> bool:
-        """Whether anything is installed into the replay engine at all."""
-        return self.metrics_enabled or self.timeline_enabled
+        """Whether the replay carries any per-pair telemetry at all.
+
+        A samples-only spec installs nothing into the event loop (the stats
+        object always collects raw samples); it still counts as active so
+        the runners resolve its per-pair sink path and drain it.
+        """
+        return (
+            self.metrics_enabled or self.timeline_enabled or self.samples_enabled
+        )
 
     @property
     def any_active(self) -> bool:

@@ -1,0 +1,257 @@
+"""Terminal summaries of Chrome ``trace_event`` timeline artifacts.
+
+``corona-repro trace view TIMELINE.json`` renders what the
+:class:`~repro.obs.timeline.TimelineRecorder` wrote without leaving the
+terminal (no Perfetto required): per-stage span statistics with an ASCII
+duration histogram, the top-N slowest transactions, the fault-event table
+and the counter tracks present.  Everything here reads the JSON event list
+the recorder produced; nothing re-runs a replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.core.results import nearest_rank
+
+#: Buckets of the per-stage duration histogram (rendered as one bar each).
+_HISTOGRAM_BINS = 8
+_BAR_WIDTH = 24
+
+
+class TraceViewError(ValueError):
+    """A timeline artifact failed to parse as trace-event JSON."""
+
+
+@dataclass
+class StageSummary:
+    """Duration statistics of one span name (``cat == "stage"`` or the
+    ``transaction`` parents), in microseconds."""
+
+    name: str
+    durations_us: List[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.durations_us)
+
+    @property
+    def total_us(self) -> float:
+        return sum(self.durations_us)
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+    def percentile_us(self, quantile: float) -> float:
+        return nearest_rank(sorted(self.durations_us), quantile)
+
+    @property
+    def max_us(self) -> float:
+        return max(self.durations_us) if self.durations_us else 0.0
+
+    def histogram(self, bins: int = _HISTOGRAM_BINS) -> List[Tuple[float, int]]:
+        """``(upper_bound_us, count)`` pairs over equal-width buckets."""
+        if not self.durations_us:
+            return []
+        top = self.max_us
+        if top <= 0.0:
+            return [(0.0, self.count)]
+        width = top / bins
+        counts = [0] * bins
+        for value in self.durations_us:
+            index = min(bins - 1, int(value / width))
+            counts[index] += 1
+        return [(width * (i + 1), counts[i]) for i in range(bins)]
+
+
+@dataclass
+class TimelineSummary:
+    """Everything ``trace view`` prints, extracted from one event list."""
+
+    stages: Dict[str, StageSummary]
+    transactions: StageSummary
+    #: ``(ts_us, dur_us, name, tid, args)`` of the slowest transactions.
+    slowest: List[Tuple[float, float, str, int, Mapping]]
+    #: ``(ts_us, name, site, delay_ns)`` per fault instant event.
+    faults: List[Tuple[float, str, object, float]]
+    #: Counter-track name -> number of points recorded.
+    counters: Dict[str, int]
+    #: Transactions dropped past the recorder's limit (0 = complete).
+    dropped_transactions: int = 0
+
+
+def load_timeline(path: Union[str, Path]) -> List[Mapping]:
+    """The event array of a timeline artifact, validated to be a list."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceViewError(f"{path}: unreadable timeline: {exc}") from None
+    events = (
+        payload.get("traceEvents") if isinstance(payload, Mapping) else payload
+    )
+    if not isinstance(events, list):
+        raise TraceViewError(
+            f"{path}: not a trace-event timeline (expected a JSON array "
+            f"of events, got {type(payload).__name__})"
+        )
+    return [event for event in events if isinstance(event, Mapping)]
+
+
+def summarize_timeline(events: Sequence[Mapping], top: int = 10) -> TimelineSummary:
+    """Digest an event list into the ``trace view`` tables."""
+    stages: Dict[str, StageSummary] = {}
+    transactions = StageSummary(name="transaction")
+    slowest: List[Tuple[float, float, str, int, Mapping]] = []
+    faults: List[Tuple[float, str, object, float]] = []
+    counters: Dict[str, int] = {}
+    dropped = 0
+    for event in events:
+        phase = event.get("ph")
+        if phase == "X":
+            duration = float(event.get("dur", 0.0))
+            if event.get("cat") == "transaction":
+                transactions.durations_us.append(duration)
+                slowest.append(
+                    (
+                        float(event.get("ts", 0.0)),
+                        duration,
+                        str(event.get("name", "txn")),
+                        int(event.get("tid", 0)),
+                        event.get("args") or {},
+                    )
+                )
+            else:
+                name = str(event.get("name", "span"))
+                stages.setdefault(name, StageSummary(name=name)).durations_us.append(
+                    duration
+                )
+        elif phase == "C":
+            counters[str(event.get("name", "counter"))] = (
+                counters.get(str(event.get("name", "counter")), 0) + 1
+            )
+        elif phase == "i":
+            args = event.get("args") or {}
+            faults.append(
+                (
+                    float(event.get("ts", 0.0)),
+                    str(event.get("name", "fault")),
+                    args.get("site"),
+                    float(args.get("delay_ns", 0.0)),
+                )
+            )
+        elif phase == "M" and event.get("name") == "timeline_truncated":
+            dropped = int((event.get("args") or {}).get("dropped_transactions", 0))
+    slowest.sort(key=lambda entry: (-entry[1], entry[0], entry[3]))
+    return TimelineSummary(
+        stages=stages,
+        transactions=transactions,
+        slowest=slowest[: max(top, 0)],
+        faults=faults,
+        counters=counters,
+        dropped_transactions=dropped,
+    )
+
+
+def _bar(count: int, peak: int) -> str:
+    if peak <= 0:
+        return ""
+    return "#" * max(1 if count else 0, round(count / peak * _BAR_WIDTH))
+
+
+def render_timeline_summary(summary: TimelineSummary) -> str:
+    """The plain-text report ``trace view`` prints."""
+    from repro.harness.tables import format_table
+
+    lines: List[str] = []
+    txn = summary.transactions
+    lines.append(
+        f"{txn.count} transactions, {len(summary.stages)} stage span kinds, "
+        f"{len(summary.faults)} fault events, "
+        f"{len(summary.counters)} counter tracks"
+    )
+    if summary.dropped_transactions:
+        lines.append(
+            f"note: timeline truncated; {summary.dropped_transactions} "
+            f"transactions past the recorder limit were dropped"
+        )
+    lines.append("")
+
+    ordered = sorted(
+        summary.stages.values(), key=lambda s: (-s.total_us, s.name)
+    )
+    if txn.count:
+        ordered = [txn] + ordered
+    if ordered:
+        lines.append("span durations (us):")
+        lines.append(
+            format_table(
+                ["span", "count", "mean", "p50", "p95", "max"],
+                [
+                    (
+                        stage.name,
+                        str(stage.count),
+                        f"{stage.mean_us:.3f}",
+                        f"{stage.percentile_us(0.50):.3f}",
+                        f"{stage.percentile_us(0.95):.3f}",
+                        f"{stage.max_us:.3f}",
+                    )
+                    for stage in ordered
+                ],
+            )
+        )
+        lines.append("")
+
+    for stage in ordered:
+        buckets = stage.histogram()
+        if not buckets:
+            continue
+        peak = max(count for _, count in buckets)
+        lines.append(f"{stage.name} duration histogram (us):")
+        for upper, count in buckets:
+            lines.append(f"  <= {upper:10.3f}  {count:6d}  {_bar(count, peak)}")
+        lines.append("")
+
+    if summary.slowest:
+        lines.append("slowest transactions:")
+        lines.append(
+            format_table(
+                ["ts (us)", "dur (us)", "name", "tid", "home", "size"],
+                [
+                    (
+                        f"{ts:.3f}",
+                        f"{dur:.3f}",
+                        name,
+                        str(tid),
+                        str(args.get("home", "-")),
+                        str(args.get("size_bytes", "-")),
+                    )
+                    for ts, dur, name, tid, args in summary.slowest
+                ],
+            )
+        )
+        lines.append("")
+
+    if summary.faults:
+        lines.append("fault events:")
+        lines.append(
+            format_table(
+                ["ts (us)", "kind", "site", "delay (ns)"],
+                [
+                    (f"{ts:.3f}", name, str(site), f"{delay_ns:.1f}")
+                    for ts, name, site, delay_ns in summary.faults
+                ],
+            )
+        )
+        lines.append("")
+
+    if summary.counters:
+        lines.append("counter tracks:")
+        for name in sorted(summary.counters):
+            lines.append(f"  {name}  ({summary.counters[name]} points)")
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

@@ -57,6 +57,12 @@ from repro.sweeps.library import (
     latency_throughput_sweep_spec,
     sensitivity_sweep_spec,
 )
+from repro.sweeps.aggregate import (
+    aggregation_report_section,
+    axis_divergence_rows,
+    axis_value_geomeans,
+    detect_crossovers,
+)
 from repro.sweeps.saturation import detect_knee, saturation_rows
 from repro.sweeps.spec import (
     SWEEP_FORMAT,
@@ -108,4 +114,9 @@ __all__ = [
     # saturation analysis
     "detect_knee",
     "saturation_rows",
+    # axis aggregation
+    "aggregation_report_section",
+    "axis_divergence_rows",
+    "axis_value_geomeans",
+    "detect_crossovers",
 ]

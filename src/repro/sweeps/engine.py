@@ -202,6 +202,16 @@ def _manifest_payload(spec: SweepSpec, points: Sequence[SweepPoint]) -> Dict:
         "name": spec.name,
         "spec_sha256": spec_digest(spec),
         "point_ids": [point.point_id for point in points],
+        # Point-level alignment metadata: the diff engine aligns two sweep
+        # directories by (point_id, configuration, workload) and labels the
+        # axis coordinates without re-expanding the spec.
+        "points": [
+            {
+                "point_id": point.point_id,
+                "axis_values": dict(point.axis_values),
+            }
+            for point in points
+        ],
         "sweep": spec.to_dict(),
     }
 
@@ -412,10 +422,12 @@ def _sweep_report(spec: SweepSpec, records: Sequence[SweepRecord]) -> str:
         )
         lines.append("| " + " | ".join(cells) + " |")
     lines.append("")
-    # Open-loop sweeps (any record carrying an offered load) get the
-    # latency-throughput knee table appended.
+    # Per-axis geomeans and configuration crossovers, then -- for open-loop
+    # sweeps (any record carrying an offered load) -- the knee table.
+    from repro.sweeps.aggregate import aggregation_report_section
     from repro.sweeps.saturation import saturation_report_section
 
+    lines.extend(aggregation_report_section(records, axis_names))
     lines.extend(saturation_report_section(records))
     return "\n".join(lines)
 

@@ -351,7 +351,8 @@ class TestRunEntryPoint:
             ),
         )
         result = run(scenario)
-        assert sorted(result.written) == ["csv", "json", "report"]
+        # A JSON sink also gets the corona-artifacts/1 manifest next to it.
+        assert sorted(result.written) == ["artifacts", "csv", "json", "report"]
         report = result.written["report"].read_text()
         assert report.startswith("# Corona reproduction report")
         payload = json.loads(result.written["json"].read_text())

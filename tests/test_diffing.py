@@ -1,0 +1,827 @@
+"""Tests for the differential-analytics subsystem (`repro.diffing` and its
+satellites): artifact loading across every supported shape, pair alignment
+with added/removed/failed edge cases, the relative-threshold and
+distribution comparison semantics, self-diff of bit-identical runs (serial
+vs parallel) reporting zero divergences, an injected regression ranking
+first with exit code 5, the bench-gate delegation, sweep axis aggregation
+and crossover detection, the raw-sample artifact + run manifest, the
+coherence counter tracks, and the `trace view` summarizer."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.api import (
+    OutputSpec,
+    ScaleSpec,
+    Scenario,
+    SystemSpec,
+    WorkloadSpec,
+    run,
+)
+from repro.cli import main as cli_main
+from repro.core.results import (
+    SAMPLES_FORMAT,
+    WorkloadResult,
+    load_samples,
+    nearest_rank,
+)
+from repro.diffing import (
+    DiffLoadError,
+    DiffThresholds,
+    diff_json_dict,
+    diff_markdown,
+    diff_runs,
+    ks_distance,
+    load_run,
+    metric_deltas,
+)
+from repro.diffing.loader import PairEntry, PairKey, RunView, align
+from repro.obs import ObservabilitySpec
+from repro.obs.artifacts import artifact_manifest_path, load_artifact_manifest
+from repro.sweeps import (
+    SweepAxis,
+    SweepSpec,
+    axis_divergence_rows,
+    axis_value_geomeans,
+    detect_crossovers,
+    run_sweep,
+)
+
+
+def _scenario(tmp_path, name="diffed", seed=5, jobs=1, samples=False,
+              configurations=("XBar/OCM", "LMesh/ECM")):
+    directory = tmp_path / name
+    observability = None
+    if samples:
+        observability = ObservabilitySpec(
+            samples_path=str(directory / "samples.json")
+        )
+    return Scenario(
+        name=name,
+        system=SystemSpec(configurations=tuple(configurations)),
+        workloads=(WorkloadSpec(name="Uniform", num_requests=400),),
+        scale=ScaleSpec(seed=seed),
+        jobs=jobs,
+        observability=observability,
+        output=OutputSpec(
+            json=str(directory / "results.json"),
+            csv=str(directory / "results.csv"),
+        ),
+    )
+
+
+def _result(configuration="XBar/OCM", workload="Uniform", **overrides):
+    base = dict(
+        workload=workload,
+        configuration=configuration,
+        num_requests=100,
+        execution_time_s=1e-6,
+        achieved_bandwidth_bytes_per_s=1e12,
+        average_latency_s=3e-8,
+        p99_latency_s=5e-8,
+        network_dynamic_power_w=10.0,
+        network_static_power_w=2.0,
+        network_energy_j=1e-5,
+        network_messages=200,
+        network_hops=400,
+        memory_bytes=6400.0,
+    )
+    base.update(overrides)
+    return WorkloadResult(**base)
+
+
+def _view(*entries, label="view", kind="results-json", axis_names=()):
+    view = RunView(label=label, kind=kind, path=None)
+    view.axis_names = list(axis_names)
+    for entry in entries:
+        view.entries[entry.key] = entry
+    return view
+
+
+def _entry(result, point_id="", status="ok", axis_values=None):
+    key = PairKey(point_id, result.configuration, result.workload)
+    return PairEntry(
+        key=key,
+        result=result if status == "ok" else None,
+        status=status,
+        axis_values=axis_values or {},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Loader
+# ---------------------------------------------------------------------------
+
+class TestLoader:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(DiffLoadError, match="no such file"):
+            load_run(tmp_path / "absent.json")
+
+    def test_unknown_json_format_raises(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"format": "corona-mystery/9"}))
+        with pytest.raises(DiffLoadError, match="corona-mystery/9"):
+            load_run(path)
+
+    def test_results_json_round_trip(self, tmp_path):
+        result = run(_scenario(tmp_path))
+        view = load_run(tmp_path / "diffed" / "results.json")
+        assert view.kind == "results-json"
+        assert len(view.entries) == 2
+        key = PairKey("", "XBar/OCM", "Uniform")
+        assert view.entries[key].result.configuration == "XBar/OCM"
+        # The JSON sink's results reload exactly.
+        by_key = {
+            (r.configuration, r.workload): r for r in result.results
+        }
+        for entry in view.entries.values():
+            original = by_key[(entry.key.configuration, entry.key.workload)]
+            assert entry.result == original
+
+    def test_plain_csv_loads_with_typed_fields(self, tmp_path):
+        run(_scenario(tmp_path))
+        view = load_run(tmp_path / "diffed" / "results.csv")
+        assert view.kind == "csv"
+        entry = view.entries[PairKey("", "XBar/OCM", "Uniform")]
+        assert isinstance(entry.result.num_requests, int)
+        assert isinstance(entry.result.execution_time_s, float)
+        assert isinstance(entry.result.coherence_enabled, bool)
+
+    def test_csv_and_json_of_same_run_self_diff_clean(self, tmp_path):
+        run(_scenario(tmp_path))
+        json_view = load_run(tmp_path / "diffed" / "results.json")
+        csv_view = load_run(tmp_path / "diffed" / "results.csv")
+        outcome = diff_runs(json_view, csv_view)
+        assert outcome.divergences == []
+
+    def test_non_result_csv_rejected(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(DiffLoadError, match="not a result CSV"):
+            load_run(path)
+
+    def test_bench_snapshot_loads_metrics(self, tmp_path):
+        path = tmp_path / "BENCH_replay.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "metrics": {"replay_x_events_per_s": 100.0, "jobs": 4},
+                    "phase_timings": {"matrix_serial": {"replay": 1.5}},
+                }
+            )
+        )
+        view = load_run(path)
+        assert view.is_bench
+        assert view.bench_metrics["replay_x_events_per_s"] == 100.0
+        assert view.phase_seconds == {"matrix_serial.replay": 1.5}
+
+    def test_failed_pairs_load_as_failed_entries(self, tmp_path):
+        payload = {
+            "format": "corona-results/1",
+            "scenario": {},
+            "results": [_result().to_dict()],
+            "failures": [
+                {
+                    "configuration": "LMesh/ECM",
+                    "workload": "Uniform",
+                    "kind": "crash",
+                    "message": "boom",
+                    "attempts": 3,
+                    "quarantined": True,
+                }
+            ],
+        }
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(payload))
+        view = load_run(path)
+        failed = view.entries[PairKey("", "LMesh/ECM", "Uniform")]
+        assert failed.status == "failed"
+        assert failed.result is None
+        assert failed.failures[0]["kind"] == "crash"
+
+
+# ---------------------------------------------------------------------------
+# Alignment and comparison semantics
+# ---------------------------------------------------------------------------
+
+class TestAlignment:
+    def test_added_and_removed_pairs_are_structural_and_severe(self):
+        baseline = _view(_entry(_result("XBar/OCM")), _entry(_result("LMesh/ECM")))
+        current = _view(_entry(_result("XBar/OCM")), _entry(_result("HMesh/OCM")))
+        outcome = diff_runs(baseline, current)
+        assert outcome.added == [PairKey("", "HMesh/OCM", "Uniform")]
+        assert outcome.removed == [PairKey("", "LMesh/ECM", "Uniform")]
+        metrics = {d.metric for d in outcome.divergences}
+        assert metrics == {"pair_added", "pair_removed"}
+        assert all(d.severity == "severe" and d.gating for d in outcome.divergences)
+
+    def test_status_flip_is_severe_and_gating(self):
+        baseline = _view(_entry(_result()))
+        current = _view(_entry(_result(), status="failed"))
+        outcome = diff_runs(baseline, current)
+        assert len(outcome.divergences) == 1
+        finding = outcome.divergences[0]
+        assert finding.kind == "status"
+        assert finding.severity == "severe"
+        assert outcome.gating()
+
+    def test_both_failed_is_informational_only(self):
+        baseline = _view(_entry(_result(), status="failed"))
+        current = _view(_entry(_result(), status="failed"))
+        outcome = diff_runs(baseline, current)
+        assert outcome.divergences == []
+        assert len(outcome.notes) == 1
+        assert outcome.notes[0].note == "pair failed in both runs"
+        assert not outcome.gating()
+
+    def test_point_ids_never_align_across_plain_and_sweep(self):
+        plain = _view(_entry(_result()))
+        sweep = _view(_entry(_result(), point_id="p0001"))
+        common, added, removed = align(plain, sweep)
+        assert common == []
+        assert added == [PairKey("p0001", "XBar/OCM", "Uniform")]
+        assert removed == [PairKey("", "XBar/OCM", "Uniform")]
+
+
+class TestComparison:
+    def test_identical_results_no_divergence(self):
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(_result())))
+        assert outcome.divergences == []
+        assert outcome.max_severity == "info"
+
+    def test_delta_within_threshold_is_silent(self):
+        current = _result(average_latency_s=3e-8 * 1.04)
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(current)))
+        assert outcome.divergences == []
+
+    def test_scalar_delta_scores_and_severity_tiers(self):
+        # 7.5% over a 5% threshold -> score 1.5 -> minor.
+        minor = _result(average_latency_s=3e-8 * 1.075)
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(minor)))
+        assert [d.severity for d in outcome.divergences] == ["minor"]
+        # 20% -> score 4 -> moderate; 50% -> score 10 -> severe.
+        moderate = _result(average_latency_s=3e-8 * 1.2)
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(moderate)))
+        assert [d.severity for d in outcome.divergences] == ["moderate"]
+        severe = _result(average_latency_s=3e-8 * 1.5)
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(severe)))
+        assert [d.severity for d in outcome.divergences] == ["severe"]
+
+    def test_zero_baseline_to_nonzero_is_severe(self):
+        current = _result(fault_tokens_lost=7)
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(current)))
+        finding = outcome.divergences[0]
+        assert finding.metric == "fault_tokens_lost"
+        assert finding.kind == "counter"
+        assert finding.severity == "severe"
+        assert math.isinf(finding.relative)
+
+    def test_flag_flip_is_severe(self):
+        current = _result(saturated=True)
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(current)))
+        finding = outcome.divergences[0]
+        assert (finding.kind, finding.metric) == ("flag", "saturated")
+        assert finding.severity == "severe"
+
+    def test_ranking_is_most_severe_first_with_stable_ties(self):
+        current = _result(
+            average_latency_s=3e-8 * 1.5,   # 50% -> severe
+            network_messages=220,           # 10% -> minor/moderate
+        )
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(current)))
+        assert outcome.divergences[0].metric == "average_latency_s"
+        assert outcome.pair_scores[0][0] == PairKey("", "XBar/OCM", "Uniform")
+
+    def test_custom_threshold_widens_the_gate(self):
+        current = _result(average_latency_s=3e-8 * 1.2)
+        outcome = diff_runs(
+            _view(_entry(_result())),
+            _view(_entry(current)),
+            DiffThresholds(relative=0.5),
+        )
+        assert outcome.divergences == []
+
+    def test_bench_views_compare_throughput(self):
+        baseline = RunView(label="a", kind="bench", path=None)
+        baseline.bench_metrics = {"replay_events_per_s": 100.0}
+        current = RunView(label="b", kind="bench", path=None)
+        current.bench_metrics = {"replay_events_per_s": 60.0}
+        outcome = diff_runs(baseline, current)
+        assert outcome.divergences[0].kind == "throughput"
+        assert outcome.gating()
+
+    def test_bench_vs_results_is_an_error(self):
+        bench = RunView(label="b", kind="bench", path=None)
+        with pytest.raises(ValueError, match="bench snapshots"):
+            diff_runs(bench, _view(_entry(_result())))
+
+
+class TestKSDistance:
+    def test_identical_samples_zero(self):
+        samples = sorted([1.0, 2.0, 3.0, 4.0])
+        assert ks_distance(samples, samples) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_distance([1.0, 2.0], [10.0, 20.0]) == 1.0
+
+    def test_empty_side_is_zero(self):
+        assert ks_distance([], [1.0]) == 0.0
+
+    def test_shifted_distribution_detected(self):
+        base = [float(i) for i in range(100)]
+        shifted = [float(i) + 50.0 for i in range(100)]
+        assert ks_distance(base, shifted) == 0.5
+
+
+class TestMetricDeltas:
+    def test_regression_detected_at_threshold(self):
+        deltas = metric_deltas(
+            {"a_per_s": 100.0}, {"a_per_s": 79.0}, threshold=0.20
+        )
+        assert deltas[0].regressed
+        deltas = metric_deltas(
+            {"a_per_s": 100.0}, {"a_per_s": 81.0}, threshold=0.20
+        )
+        assert not deltas[0].regressed
+
+    def test_missing_baseline_never_regresses(self):
+        deltas = metric_deltas({}, {"a_per_s": 50.0}, threshold=0.20)
+        assert not deltas[0].regressed
+        assert deltas[0].ratio is None
+        assert not deltas[0].has_baseline
+
+    def test_suffix_filter_and_ordering(self):
+        deltas = metric_deltas(
+            {"b_per_s": 1.0, "a_per_s": 1.0},
+            {"b_per_s": 1.0, "a_per_s": 1.0, "seconds": 9.0},
+            threshold=0.2,
+        )
+        assert [d.metric for d in deltas] == ["a_per_s", "b_per_s"]
+
+    def test_bench_compare_contract_and_line_format(self):
+        from scripts.bench_regression import compare
+
+        ok, lines = compare(
+            {"replay_per_s": 100.0},
+            {"replay_per_s": 70.0, "fresh_per_s": 5.0},
+        )
+        assert not ok
+        assert any("(no baseline)" in line for line in lines)
+        regression = [line for line in lines if "REGRESSION" in line]
+        assert regression and "( 0.70x)" in regression[0]
+        ok, lines = compare({"replay_per_s": 100.0}, {"replay_per_s": 95.0})
+        assert ok
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: self-diff, injected regression, exit codes
+# ---------------------------------------------------------------------------
+
+class TestEndToEnd:
+    def test_self_diff_identical_seeds_zero_divergence(self, tmp_path, capsys):
+        run(_scenario(tmp_path, name="a", samples=True))
+        run(_scenario(tmp_path, name="b", samples=True))
+        code = cli_main(
+            ["diff", str(tmp_path / "a" / "results.json"),
+             str(tmp_path / "b" / "results.json")]
+        )
+        assert code == 0
+        assert "0 divergence(s)" in capsys.readouterr().out
+
+    def test_self_diff_serial_vs_parallel_bit_identical(self, tmp_path):
+        run(_scenario(tmp_path, name="serial", jobs=1))
+        run(_scenario(tmp_path, name="parallel", jobs=2))
+        outcome = diff_runs(
+            load_run(tmp_path / "serial" / "results.json"),
+            load_run(tmp_path / "parallel" / "results.json"),
+        )
+        assert outcome.divergences == []
+        assert outcome.aligned == 2
+
+    def test_injected_regression_ranks_first_and_exits_5(
+        self, tmp_path, capsys
+    ):
+        run(_scenario(tmp_path, name="base"))
+        base_path = tmp_path / "base" / "results.json"
+        payload = json.loads(base_path.read_text())
+        for record in payload["results"]:
+            if record["configuration"] == "XBar/OCM":
+                record["average_latency_s"] *= 1.5
+                record["p99_latency_s"] *= 1.5
+                record["execution_time_s"] *= 1.5
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(payload))
+        outcome = diff_runs(load_run(base_path), load_run(regressed))
+        # Every divergence belongs to the perturbed pair, which ranks first.
+        assert outcome.pair_scores[0][0] == PairKey("", "XBar/OCM", "Uniform")
+        assert all(
+            d.key.configuration == "XBar/OCM" for d in outcome.divergences
+        )
+        code = cli_main(["diff", str(base_path), str(regressed), "--json"])
+        assert code == 5
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "corona-diff/1"
+        assert document["gating_count"] == len(outcome.divergences)
+        first = document["divergences"][0]
+        assert first["configuration"] == "XBar/OCM"
+
+    def test_diff_output_file_and_markdown(self, tmp_path, capsys):
+        run(_scenario(tmp_path, name="a"))
+        target = tmp_path / "report" / "diff.md"
+        code = cli_main(
+            ["diff", str(tmp_path / "a" / "results.json"),
+             str(tmp_path / "a" / "results.json"),
+             "--output", str(target)]
+        )
+        assert code == 0
+        assert "No divergences above threshold" in target.read_text()
+        capsys.readouterr()
+
+    def test_samples_drive_distribution_comparison(self, tmp_path):
+        run(_scenario(tmp_path, name="a", samples=True))
+        view_a = load_run(tmp_path / "a" / "results.json")
+        entry = view_a.entries[PairKey("", "XBar/OCM", "Uniform")]
+        samples = entry.latency_samples()
+        assert len(samples) == 400
+        assert samples == sorted(samples)
+        # Shift one pair's samples: the distribution findings appear with
+        # both the nearest-rank percentiles and the KS distance.
+        shifted_dir = tmp_path / "shifted"
+        shifted_dir.mkdir()
+        import shutil
+
+        shutil.copytree(tmp_path / "a", shifted_dir / "a")
+        sample_files = sorted((shifted_dir / "a").glob("samples-XBar*"))
+        assert sample_files
+        payload = json.loads(sample_files[0].read_text())
+        payload["latency_s"] = [v * 2.0 for v in payload["latency_s"]]
+        sample_files[0].write_text(json.dumps(payload))
+        # Rewrite the copied manifest's paths to the copy's location.
+        manifest = artifact_manifest_path(shifted_dir / "a" / "results.json")
+        text = manifest.read_text().replace(
+            str(tmp_path / "a"), str(shifted_dir / "a")
+        )
+        manifest.write_text(text)
+        outcome = diff_runs(
+            view_a, load_run(shifted_dir / "a" / "results.json")
+        )
+        metrics = {d.metric for d in outcome.divergences}
+        assert "latency_ks" in metrics
+        assert "latency_p99" in metrics
+        # The summarized p99 field is skipped when samples are compared.
+        assert "p99_latency_s" not in metrics
+
+    def test_sweep_directory_self_diff_clean_with_axis_table(self, tmp_path):
+        spec = SweepSpec(
+            name="diff-sweep",
+            base=Scenario(
+                system=SystemSpec(configurations=("XBar/OCM",)),
+                workloads=(WorkloadSpec(name="Uniform", num_requests=300),),
+                scale=ScaleSpec(seed=3),
+            ),
+            axes=(
+                SweepAxis(
+                    name="window",
+                    path="workloads[0].params.window",
+                    values=(2, 4),
+                ),
+            ),
+        )
+        run_sweep(spec, directory=tmp_path / "s1")
+        run_sweep(spec, directory=tmp_path / "s2")
+        view = load_run(tmp_path / "s1")
+        assert view.kind == "sweep-dir"
+        assert view.axis_names == ["window"]
+        assert all(key.point_id for key in view.entries)
+        outcome = diff_runs(view, load_run(tmp_path / "s2"))
+        assert outcome.divergences == []
+        # Bit-identical sweeps drift on no axis value.
+        assert outcome.axis_divergences == []
+        # The sweep's JSON sink loads and self-diffs clean too.
+        json_view = load_run(tmp_path / "s1" / "results.json")
+        assert json_view.kind == "sweep-json"
+        assert diff_runs(json_view, view).divergences == []
+
+
+# ---------------------------------------------------------------------------
+# Report rendering
+# ---------------------------------------------------------------------------
+
+class TestReport:
+    def test_json_document_shape(self):
+        current = _result(average_latency_s=3e-8 * 1.5)
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(current)))
+        document = diff_json_dict(outcome)
+        assert document["format"] == "corona-diff/1"
+        assert document["aligned_pairs"] == 1
+        assert document["max_severity"] == "severe"
+        assert document["thresholds"]["relative"] == 0.05
+        finding = document["divergences"][0]
+        assert finding["metric"] == "average_latency_s"
+        assert finding["gating"] is True
+        # The document is valid JSON even with infinite scores.
+        json.dumps(document)
+
+    def test_markdown_top_truncation(self):
+        current = _result(
+            average_latency_s=3e-8 * 1.5,
+            execution_time_s=1e-6 * 1.4,
+            network_messages=300,
+        )
+        outcome = diff_runs(_view(_entry(_result())), _view(_entry(current)))
+        text = diff_markdown(outcome, top=1)
+        assert "more below rank 1" in text
+        assert text.count("| severe") <= 1
+
+
+# ---------------------------------------------------------------------------
+# Sweep aggregation
+# ---------------------------------------------------------------------------
+
+class TestAggregation:
+    @staticmethod
+    def _record(point_id, axis_values, configuration, execution_time_s):
+        from repro.sweeps.engine import SweepRecord
+
+        return SweepRecord(
+            point_id=point_id,
+            axis_values=axis_values,
+            result=_result(
+                configuration=configuration,
+                execution_time_s=execution_time_s,
+            ),
+        )
+
+    def test_geomeans_per_axis_value(self):
+        records = [
+            self._record("p1", {"gap": 20}, "XBar/OCM", 2e-6),
+            self._record("p2", {"gap": 20}, "XBar/OCM", 8e-6),
+            self._record("p3", {"gap": 40}, "XBar/OCM", 3e-6),
+        ]
+        table = axis_value_geomeans(records, ["gap"])
+        rows = table["gap"]
+        assert rows[0][0] == 20
+        assert rows[0][1]["XBar/OCM"] == pytest.approx(4e-6)
+        assert rows[1][1]["XBar/OCM"] == pytest.approx(3e-6)
+
+    def test_crossover_detection(self):
+        records = [
+            self._record("p1", {"gap": 20}, "A", 1e-6),
+            self._record("p2", {"gap": 20}, "B", 2e-6),
+            self._record("p3", {"gap": 40}, "A", 3e-6),
+            self._record("p4", {"gap": 40}, "B", 2e-6),
+        ]
+        crossovers = detect_crossovers(axis_value_geomeans(records, ["gap"]))
+        assert len(crossovers) == 1
+        assert crossovers[0]["leader_before"] == "A"
+        assert crossovers[0]["leader_after"] == "B"
+
+    def test_no_crossover_without_flip(self):
+        records = [
+            self._record("p1", {"gap": 20}, "A", 1e-6),
+            self._record("p2", {"gap": 20}, "B", 2e-6),
+            self._record("p3", {"gap": 40}, "A", 1e-6),
+            self._record("p4", {"gap": 40}, "B", 3e-6),
+        ]
+        assert detect_crossovers(axis_value_geomeans(records, ["gap"])) == []
+
+    def test_axis_divergence_ranks_largest_drift_first(self):
+        baseline = [
+            self._record("p1", {"gap": 20}, "A", 1e-6),
+            self._record("p2", {"gap": 40}, "A", 1e-6),
+        ]
+        current = [
+            self._record("p1", {"gap": 20}, "A", 1.1e-6),
+            self._record("p2", {"gap": 40}, "A", 2e-6),
+        ]
+        rows = axis_divergence_rows(baseline, current, ["gap"])
+        assert rows[0]["value"] == 40
+        assert rows[0]["geomean_ratio"] == pytest.approx(2.0)
+        assert rows[1]["value"] == 20
+
+    def test_sweep_report_carries_aggregation_section(self, tmp_path):
+        spec = SweepSpec(
+            name="agg",
+            base=Scenario(
+                system=SystemSpec(
+                    configurations=("XBar/OCM", "LMesh/ECM")
+                ),
+                workloads=(WorkloadSpec(name="Uniform", num_requests=300),),
+                scale=ScaleSpec(seed=3),
+            ),
+            axes=(
+                SweepAxis(
+                    name="window",
+                    path="workloads[0].params.window",
+                    values=(2, 4),
+                ),
+            ),
+        )
+        run_sweep(spec, directory=tmp_path / "agg")
+        report = (tmp_path / "agg" / "report.md").read_text()
+        assert "## Axis aggregation" in report
+        assert "execution_time_s" in report
+
+    def test_sweep_manifest_records_point_alignment_metadata(self, tmp_path):
+        spec = SweepSpec(
+            name="meta",
+            base=Scenario(
+                system=SystemSpec(configurations=("XBar/OCM",)),
+                workloads=(WorkloadSpec(name="Uniform", num_requests=300),),
+                scale=ScaleSpec(seed=3),
+            ),
+            axes=(
+                SweepAxis(
+                    name="window",
+                    path="workloads[0].params.window",
+                    values=(2, 4),
+                ),
+            ),
+        )
+        run_sweep(spec, directory=tmp_path / "meta")
+        manifest = json.loads((tmp_path / "meta" / "manifest.json").read_text())
+        points = manifest["points"]
+        assert len(points) == 2
+        assert points[0]["point_id"] in manifest["point_ids"]
+        assert points[0]["axis_values"] == {"window": 2}
+
+
+# ---------------------------------------------------------------------------
+# Samples artifact and run manifest
+# ---------------------------------------------------------------------------
+
+class TestSamplesAndManifest:
+    def test_samples_artifact_format_and_content(self, tmp_path):
+        result = run(_scenario(tmp_path, name="s", samples=True))
+        manifest = load_artifact_manifest(result.written["artifacts"])
+        samples = [a for a in manifest if a.kind == "samples"]
+        assert len(samples) == 2
+        payload = load_samples(samples[0].path)
+        assert payload["format"] == SAMPLES_FORMAT
+        assert payload["configuration"] == samples[0].configuration
+        assert len(payload["latency_s"]) == 400
+
+    def test_samples_only_spec_changes_no_results(self, tmp_path):
+        plain = run(_scenario(tmp_path, name="plain"))
+        sampled = run(_scenario(tmp_path, name="sampled", samples=True))
+        assert [r.to_dict() for r in plain.results] == [
+            r.to_dict() for r in sampled.results
+        ]
+
+    def test_manifest_lists_result_sinks_without_telemetry(self, tmp_path):
+        result = run(_scenario(tmp_path, name="bare"))
+        manifest = load_artifact_manifest(result.written["artifacts"])
+        kinds = {a.kind for a in manifest}
+        assert {"json", "csv"} <= kinds
+        assert not any(a.kind == "samples" for a in manifest)
+
+    def test_nearest_rank_matches_replay_estimator(self):
+        from repro.core.system import _nearest_rank
+
+        assert _nearest_rank is nearest_rank
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank(ordered, 0.5) == 2.0
+        assert nearest_rank(ordered, 0.99) == 4.0
+        assert nearest_rank([], 0.5) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Coherence counter tracks
+# ---------------------------------------------------------------------------
+
+class TestCoherenceCounters:
+    COHERENCE_METRICS = {
+        "directory_lookups",
+        "c2c_forwards",
+        "invalidations_sent",
+        "invalidation_broadcasts",
+        "invalidation_unicasts",
+        "writebacks",
+    }
+
+    def _coherent_scenario(self, tmp_path, coherence=True):
+        payload = {
+            "name": "coh",
+            "system": {"configurations": ["XBar/OCM"]},
+            "workloads": [
+                {
+                    "name": "Uniform",
+                    "num_requests": 300,
+                    "sharing": {"fraction": 0.4},
+                }
+            ],
+            "scale": {"seed": 3},
+            "observability": {
+                "metrics_path": str(tmp_path / "m.csv"),
+                "timeline_path": str(tmp_path / "t.json"),
+            },
+        }
+        if coherence:
+            payload["coherence"] = {}
+        return Scenario.from_dict(payload)
+
+    def test_coherent_replay_emits_counter_rows_and_tracks(self, tmp_path):
+        run(self._coherent_scenario(tmp_path))
+        with open(tmp_path / "m.csv", newline="") as handle:
+            rows = list(csv.reader(handle))
+        header = rows[0]
+        metric_col = header.index("metric")
+        resource_col = header.index("resource")
+        sampled = {
+            row[metric_col]
+            for row in rows[1:]
+            if row[resource_col] == "coherence"
+        }
+        assert sampled == self.COHERENCE_METRICS
+        events = json.loads((tmp_path / "t.json").read_text())
+        tracks = {
+            event["name"]
+            for event in events
+            if event.get("ph") == "C"
+        }
+        assert {
+            f"coherence.{metric}" for metric in self.COHERENCE_METRICS
+        } <= tracks
+
+    def test_coherence_free_replay_emits_no_coherence_rows(self, tmp_path):
+        run(self._coherent_scenario(tmp_path, coherence=False))
+        with open(tmp_path / "m.csv", newline="") as handle:
+            rows = list(csv.reader(handle))
+        resource_col = rows[0].index("resource")
+        assert all(row[resource_col] != "coherence" for row in rows[1:])
+
+
+# ---------------------------------------------------------------------------
+# trace view
+# ---------------------------------------------------------------------------
+
+class TestTraceView:
+    def _timeline(self, tmp_path):
+        from dataclasses import replace
+
+        scenario = _scenario(
+            tmp_path, name="tl", configurations=("XBar/OCM",)
+        )
+        scenario = replace(
+            scenario,
+            observability=ObservabilitySpec(
+                timeline_path=str(tmp_path / "tl" / "timeline.json")
+            ),
+        )
+        run(scenario)
+        return tmp_path / "tl" / "timeline.json"
+
+    def test_summarize_real_timeline(self, tmp_path):
+        from repro.obs.trace_view import load_timeline, summarize_timeline
+
+        events = load_timeline(str(self._timeline(tmp_path)))
+        summary = summarize_timeline(events, top=5)
+        assert summary.transactions.count == 400
+        assert "memory" in summary.stages
+        assert len(summary.slowest) == 5
+        # Slowest list is sorted by duration descending.
+        durations = [entry[1] for entry in summary.slowest]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_cli_trace_view_renders(self, tmp_path, capsys):
+        path = self._timeline(tmp_path)
+        code = cli_main(["trace", "view", str(path), "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "400 transactions" in out
+        assert "slowest transactions" in out
+        assert "span durations" in out
+
+    def test_invalid_timeline_rejected(self, tmp_path):
+        from repro.obs.trace_view import TraceViewError, load_timeline
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('"just a string"')
+        with pytest.raises(TraceViewError):
+            load_timeline(str(bad))
+
+    def test_fault_events_surface_in_summary(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.faults import FaultSpec
+        from repro.obs.trace_view import load_timeline, summarize_timeline
+
+        scenario = _scenario(
+            tmp_path, name="flt", configurations=("XBar/OCM",)
+        )
+        scenario = replace(
+            scenario,
+            faults=FaultSpec(dram_timeout_rate=0.05, seed=7),
+            observability=ObservabilitySpec(
+                timeline_path=str(tmp_path / "flt" / "timeline.json")
+            ),
+        )
+        run(scenario)
+        events = load_timeline(str(tmp_path / "flt" / "timeline.json"))
+        summary = summarize_timeline(events)
+        assert summary.faults
